@@ -1,0 +1,359 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index), plus component
+// microbenchmarks and the ablations DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+package extractocol
+
+import (
+	"sync"
+	"testing"
+
+	"extractocol/internal/core"
+	"extractocol/internal/corpus"
+	"extractocol/internal/dex"
+	"extractocol/internal/evaluate"
+	"extractocol/internal/fuzz"
+	"extractocol/internal/httpsim"
+	"extractocol/internal/obfuscate"
+	"extractocol/internal/semmodel"
+	"extractocol/internal/siglang"
+	"extractocol/internal/trace"
+)
+
+// The corpus evaluation fixture is shared across benchmarks that only
+// post-process its results.
+var (
+	fixtureOnce sync.Once
+	fixture     []*evaluate.AppResult
+	fixtureErr  error
+)
+
+func corpusResults(b *testing.B) []*evaluate.AppResult {
+	b.Helper()
+	fixtureOnce.Do(func() { fixture, fixtureErr = evaluate.RunAll() })
+	if fixtureErr != nil {
+		b.Fatal(fixtureErr)
+	}
+	return fixture
+}
+
+// ---- Table 1: full coverage comparison over the corpus -------------------
+
+func BenchmarkTable1_FullCorpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := evaluate.RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := evaluate.Table1(results)
+		if len(rows) != 34 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// ---- Figures 6 and 7: signature and keyword totals ------------------------
+
+func BenchmarkFigure6_SignatureTotals(b *testing.B) {
+	results := corpusResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		open := evaluate.Figure6(results, true)
+		closed := evaluate.Figure6(results, false)
+		if closed.URIs.E <= closed.URIs.M {
+			b.Fatal("coverage ordering violated")
+		}
+		_ = open
+	}
+}
+
+func BenchmarkFigure7_KeywordTotals(b *testing.B) {
+	results := corpusResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		open := evaluate.Figure7(results, true)
+		closed := evaluate.Figure7(results, false)
+		if closed.Request.E <= closed.Request.A {
+			b.Fatal("keyword ordering violated")
+		}
+		_ = open
+	}
+}
+
+// ---- Table 2: matched-byte accounting --------------------------------------
+
+func BenchmarkTable2_ByteAccounting(b *testing.B) {
+	results := corpusResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		open := evaluate.Table2(results, true)
+		closed := evaluate.Table2(results, false)
+		if open.Request.Total() == 0 || closed.Request.Total() == 0 {
+			b.Fatal("no bytes accounted")
+		}
+	}
+}
+
+// ---- Tables 3-6: case studies ----------------------------------------------
+
+func BenchmarkTable3_RadioReddit(b *testing.B) {
+	app := corpus.RadioReddit()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Analyze(app.Prog, core.NewOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Transactions) != 6 {
+			b.Fatalf("transactions = %d", len(rep.Transactions))
+		}
+	}
+}
+
+func BenchmarkTable4_TED(b *testing.B) {
+	app := corpus.TED()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Analyze(app.Prog, core.NewOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Deps) == 0 {
+			b.Fatal("no dependencies")
+		}
+	}
+}
+
+func BenchmarkTable5_KayakScoped(b *testing.B) {
+	app := corpus.Kayak()
+	opts := core.NewOptions()
+	opts.ScopePrefix = "com.kayak."
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Analyze(app.Prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Transactions) != 46 {
+			b.Fatalf("endpoints = %d", len(rep.Transactions))
+		}
+	}
+}
+
+func BenchmarkTable6_KayakReplay(b *testing.B) {
+	app := corpus.Kayak()
+	opts := core.NewOptions()
+	opts.ScopePrefix = "com.kayak."
+	rep, err := core.Analyze(app.Prog, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ua string
+	for _, tx := range rep.Transactions {
+		for _, h := range tx.Request.Headers {
+			if h.Key == "User-Agent" {
+				if l, ok := h.Val.(*siglang.Lit); ok {
+					ua = l.Val
+				}
+			}
+		}
+	}
+	if ua == "" {
+		b.Fatal("User-Agent not recovered")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := app.NewNetwork()
+		hdr := map[string]string{"User-Agent": ua}
+		resp := net.RoundTrip(&httpsim.Request{Method: "POST",
+			URL:     "https://www.kayak.example/k/authajax",
+			Headers: hdr, Body: "action=registerandroid&uuid=x"})
+		if resp.Status != 200 {
+			b.Fatalf("authajax = %d", resp.Status)
+		}
+	}
+}
+
+// ---- §5.1 timing: open- vs closed-source analysis cost ---------------------
+
+func BenchmarkAnalyzeOpenSource(b *testing.B) {
+	apps := corpus.OpenSource()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app := apps[i%len(apps)]
+		if _, err := core.Analyze(app.Prog, core.NewOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyzeClosedSource(b *testing.B) {
+	apps := corpus.ClosedSource()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app := apps[i%len(apps)]
+		if _, err := core.Analyze(app.Prog, core.NewOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- §5.1 obfuscation: analysis of renamed binaries -------------------------
+
+func BenchmarkObfuscatedAnalysis(b *testing.B) {
+	app := corpus.Diode()
+	obfuscate.Apply(app.Prog, obfuscate.Options{KeepEntryPoints: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(app.Prog, core.NewOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation: the §3.4 asynchronous-event heuristic ------------------------
+
+func BenchmarkAsyncHeuristicOff(b *testing.B) {
+	benchAsyncHops(b, 0)
+}
+
+func BenchmarkAsyncHeuristicOn(b *testing.B) {
+	benchAsyncHops(b, 1)
+}
+
+func benchAsyncHops(b *testing.B, hops int) {
+	app, err := corpus.ByName("Weather Notification")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.NewOptions()
+	opts.MaxAsyncHops = hops
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(app.Prog, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Component microbenchmarks -----------------------------------------------
+
+func BenchmarkDexEncodeDecode(b *testing.B) {
+	app := corpus.Kayak()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := dex.Encode(app.Prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dex.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+	}
+}
+
+func BenchmarkManualFuzzing(b *testing.B) {
+	app := corpus.RadioReddit()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := app.NewNetwork()
+		if _, err := fuzz.Run(app.Prog, net, fuzz.Manual); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSignatureMatching(b *testing.B) {
+	app := corpus.RadioReddit()
+	rep, err := core.Analyze(app.Prog, core.NewOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := app.NewNetwork()
+	if _, err := fuzz.Run(app.Prog, net, fuzz.Manual); err != nil {
+		b.Fatal(err)
+	}
+	entries := trace.FromNetwork(net.Trace())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := trace.MatchReport(rep, entries)
+		if res.SigsValid != res.SigsWithTraffic {
+			b.Fatal("invalid signatures")
+		}
+	}
+}
+
+func BenchmarkRegexCompile(b *testing.B) {
+	app := corpus.Diode()
+	rep, err := core.Analyze(app.Prog, core.NewOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tx := range rep.Transactions {
+			if _, err := siglang.Compile(tx.Request.URI); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkCorpusGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		apps := corpus.Apps()
+		if len(apps) != 34 {
+			b.Fatalf("apps = %d", len(apps))
+		}
+	}
+}
+
+// ---- Ablation: the §4 intent-modeling extension -------------------------------
+
+func BenchmarkIntentModelingOff(b *testing.B) {
+	benchIntents(b, false)
+}
+
+func BenchmarkIntentModelingOn(b *testing.B) {
+	benchIntents(b, true)
+}
+
+func benchIntents(b *testing.B, model bool) {
+	app, err := corpus.ByName("MusicDownloader")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.NewOptions()
+	opts.ModelIntents = model
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Analyze(app.Prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// With intents modeled, the seven intent-triggered GETs appear.
+		if model && rep.CountByMethod()["GET"] <= 3 {
+			b.Fatal("intent modeling gained no transactions")
+		}
+	}
+}
+
+// ---- §3.4 de-obfuscation of a renamed HTTP library ----------------------------
+
+func BenchmarkDeobfuscation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		app := corpus.Diode()
+		obfuscate.Apply(app.Prog, obfuscate.Options{
+			KeepEntryPoints:        true,
+			ObfuscateLibraryPrefix: "org.apache.http",
+		})
+		b.StartTimer()
+		recovered := obfuscate.Deobfuscate(app.Prog, semmodel.Default())
+		if len(recovered) == 0 {
+			b.Fatal("nothing recovered")
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"extractocol/internal/dex"
+)
+
+func TestRunGeneratesSelectedApps(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, false, []string{"blippex", "TZM"}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("files = %d, want 2", len(entries))
+	}
+	for _, e := range entries {
+		p, err := dex.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if len(p.Classes()) == 0 {
+			t.Fatalf("%s: empty program", e.Name())
+		}
+	}
+}
+
+func TestRunObfuscated(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, true, []string{"blippex"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := dex.ReadFile(filepath.Join(dir, "blippex.apkb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Manifest.Obfuscated {
+		t.Fatal("program not marked obfuscated")
+	}
+}
+
+func TestSlug(t *testing.T) {
+	if got := slug("AOL: Mail, News & Video"); got != "aol-mail-news-and-video" {
+		t.Fatalf("slug = %q", got)
+	}
+}

@@ -1,0 +1,121 @@
+// Command evaluate regenerates the paper's evaluation artifacts from the
+// corpus: Tables 1-6 and Figures 6-7 of "Enabling Automatic Protocol
+// Behavior Analysis for Android Applications" (CoNEXT 2016), plus the
+// obfuscation-invariance check, the asynchronous-heuristic ablation, and
+// analysis timing.
+//
+// Usage:
+//
+//	evaluate                     run everything
+//	evaluate -only table1        one artifact (table1, table2, table3,
+//	                             table4, table5, table6, figure6, figure7,
+//	                             validity, obfuscation, ablation, timing)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"extractocol/internal/evaluate"
+)
+
+func main() {
+	only := flag.String("only", "", "single artifact to produce")
+	flag.Parse()
+	if err := run(*only); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(only string) error {
+	want := func(name string) bool { return only == "" || only == name }
+
+	var results []*evaluate.AppResult
+	needCorpus := only == "" || only == "table1" || only == "table2" ||
+		only == "figure6" || only == "figure7" || only == "validity" || only == "timing"
+	if needCorpus {
+		var err error
+		results, err = evaluate.RunAll()
+		if err != nil {
+			return err
+		}
+	}
+
+	if want("table1") {
+		fmt.Println(evaluate.FormatTable1(evaluate.Table1(results)))
+	}
+	if want("figure6") {
+		fmt.Println(evaluate.FormatFigure6(
+			evaluate.Figure6(results, true), evaluate.Figure6(results, false)))
+	}
+	if want("figure7") {
+		fmt.Println(evaluate.FormatFigure7(
+			evaluate.Figure7(results, true), evaluate.Figure7(results, false)))
+	}
+	if want("table2") {
+		fmt.Println(evaluate.FormatTable2(
+			evaluate.Table2(results, true), evaluate.Table2(results, false)))
+	}
+	if want("validity") {
+		v := evaluate.Validity(results)
+		fmt.Printf("Signature validity: %d/%d signatures with traffic matched; %d pairs reconstructed; %d unmatched traces\n\n",
+			v.SigsValid, v.SigsWithTraffic, v.Pairs, v.UnmatchedTraces)
+	}
+	if want("table3") {
+		out, err := evaluate.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	if want("table4") {
+		out, err := evaluate.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	if want("table5") {
+		rows, rep, err := evaluate.Table5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(evaluate.FormatTable5(rows, rep))
+	}
+	if want("table6") {
+		out, err := evaluate.Table6()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	if want("obfuscation") {
+		identical, total, err := evaluate.ObfuscationCheck()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Obfuscation check: %d/%d open-source apps yield identical signatures after ProGuard-style renaming\n\n",
+			identical, total)
+	}
+	if want("ablation") {
+		disabled, enabled, err := evaluate.AsyncHeuristicAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Async-event heuristic ablation (Weather Notification): %d request keywords disabled, %d enabled\n\n",
+			disabled, enabled)
+	}
+	if want("timing") {
+		fmt.Println(evaluate.Timing(results))
+	}
+	if want("slicefraction") || only == "" {
+		frac, err := evaluate.DiodeSliceFraction()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Diode slice fraction (Fig. 3): %.1f%% of app instructions\n", frac*100)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSingleArtifacts(t *testing.T) {
+	// The cheap artifacts that do not require the full corpus sweep.
+	for _, only := range []string{"table3", "table5", "table6", "ablation"} {
+		if err := run(only); err != nil {
+			t.Errorf("%s: %v", only, err)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus evaluation")
+	}
+	if err := run("table1"); err != nil {
+		t.Fatal(err)
+	}
+}

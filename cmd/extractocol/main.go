@@ -1,0 +1,75 @@
+// Command extractocol analyzes an Android application binary (.apkb
+// container) and reports its protocol behavior: reconstructed HTTP
+// transactions, message signatures, request/response pairs and
+// inter-transaction dependencies.
+//
+// Usage:
+//
+//	extractocol [flags] app.apkb
+//
+// Flags:
+//
+//	-format text|json|dot|disasm   output format (default text)
+//	-scope prefix           only analyze transactions whose demarcation
+//	                        point lies in classes with this prefix
+//	-async-hops n           asynchronous-event hops (0 disables the §3.4
+//	                        heuristic; default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"extractocol/internal/core"
+	"extractocol/internal/dex"
+	"extractocol/internal/report"
+)
+
+func main() {
+	format := flag.String("format", "text", "output format: text, json, dot or disasm")
+	scope := flag.String("scope", "", "class prefix to scope the analysis to")
+	hops := flag.Int("async-hops", 1, "asynchronous event hops (0 disables the heuristic)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: extractocol [flags] app.apkb")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *format, *scope, *hops); err != nil {
+		fmt.Fprintln(os.Stderr, "extractocol:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, format, scope string, hops int) error {
+	prog, err := dex.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	opts := core.NewOptions()
+	opts.MaxAsyncHops = hops
+	opts.ScopePrefix = scope
+	rep, err := core.Analyze(prog, opts)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "json":
+		data, err := report.JSON(rep)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	case "dot":
+		fmt.Print(report.DOT(rep))
+	case "disasm":
+		fmt.Print(prog.Disassemble())
+	case "text":
+		fmt.Print(report.Text(rep))
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}

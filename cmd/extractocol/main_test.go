@@ -1,0 +1,51 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"extractocol/internal/corpus"
+	"extractocol/internal/dex"
+)
+
+func writeApp(t *testing.T, name string) string {
+	t.Helper()
+	app, err := corpus.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "app.apkb")
+	if err := dex.WriteFile(path, app.Prog); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllFormats(t *testing.T) {
+	path := writeApp(t, "radio reddit")
+	for _, format := range []string{"text", "json", "dot"} {
+		if err := run(path, format, "", 1); err != nil {
+			t.Errorf("format %s: %v", format, err)
+		}
+	}
+}
+
+func TestRunScoped(t *testing.T) {
+	path := writeApp(t, "KAYAK")
+	if err := run(path, "text", "com.kayak.", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFormat(t *testing.T) {
+	path := writeApp(t, "blippex")
+	if err := run(path, "yaml", "", 1); err == nil {
+		t.Fatal("accepted unknown format")
+	}
+}
+
+func TestRunRejectsMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.apkb"), "text", "", 1); err == nil {
+		t.Fatal("accepted missing file")
+	}
+}

@@ -1,0 +1,74 @@
+// Command fuzz drives a corpus application through the UI-fuzzing
+// baselines (manual or PUMA-like automatic) against its simulated backend
+// and writes the captured traffic trace as JSON lines.
+//
+// Usage:
+//
+//	fuzz -app "radio reddit" [-mode manual|auto] [-out trace.jsonl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"extractocol/internal/corpus"
+	"extractocol/internal/fuzz"
+	"extractocol/internal/trace"
+)
+
+func main() {
+	appName := flag.String("app", "", "corpus application name (see -list)")
+	mode := flag.String("mode", "manual", "fuzzing mode: manual or auto")
+	out := flag.String("out", "", "trace output path (default stdout summary only)")
+	list := flag.Bool("list", false, "list corpus applications and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range corpus.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if err := run(*appName, *mode, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "fuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appName, modeName, out string) error {
+	app, err := corpus.ByName(appName)
+	if err != nil {
+		return err
+	}
+	mode := fuzz.Manual
+	if modeName == "auto" {
+		mode = fuzz.Auto
+	}
+	net := app.NewNetwork()
+	res, err := fuzz.Run(app.Prog, net, mode)
+	if err != nil {
+		return err
+	}
+	entries := trace.FromNetwork(net.Trace())
+	fmt.Printf("%s fuzzing of %s: fired %d entry points, %d skipped, %d exchanges",
+		mode, app.Spec.Name, len(res.Fired), len(res.Skipped), len(entries))
+	if res.Aborted {
+		fmt.Print(" (aborted at custom-UI gate)")
+	}
+	fmt.Println()
+	for _, e := range res.Errors {
+		fmt.Println("  error:", e)
+	}
+	counts := trace.CountByMethod(entries)
+	for m, c := range counts {
+		fmt.Printf("  %s: %d unique messages\n", m, c)
+	}
+	if out != "" {
+		if err := trace.Save(out, entries); err != nil {
+			return err
+		}
+		fmt.Println("trace written to", out)
+	}
+	return nil
+}

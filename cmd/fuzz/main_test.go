@@ -1,0 +1,34 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"extractocol/internal/trace"
+)
+
+func TestRunManualWithTraceOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := run("radio reddit", "manual", out); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := trace.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestRunAutoMode(t *testing.T) {
+	if err := run("TED", "auto", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	if err := run("No Such App", "manual", ""); err == nil {
+		t.Fatal("accepted unknown app")
+	}
+}

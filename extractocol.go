@@ -1,0 +1,70 @@
+// Package extractocol is the public API of this repository: a from-scratch
+// Go reproduction of "Enabling Automatic Protocol Behavior Analysis for
+// Android Applications" (CoNEXT 2016).
+//
+// Extractocol takes an Android application binary as its only input and
+// statically reconstructs the application's HTTP(S) protocol behavior:
+//
+//   - every HTTP transaction (request/response pair), found by tainting
+//     demarcation points — the API calls through which messages cross into
+//     the network — and slicing bidirectionally from them;
+//   - message signatures: request method, URI and query string as regular
+//     expressions, headers, and request/response bodies as JSON or XML
+//     trees;
+//   - fine-grained inter-transaction dependencies (an auth token minted by
+//     a login response and spent in later request bodies or headers);
+//   - how network data is consumed (media player, file, UI) and where
+//     request data originates (microphone, camera, location, device IDs).
+//
+// The facade wraps the pipeline in internal/core; applications are
+// ir.Program values decoded from .apkb containers (internal/dex). See
+// README.md for the architecture and examples/ for runnable scenarios.
+package extractocol
+
+import (
+	"extractocol/internal/core"
+	"extractocol/internal/dex"
+	"extractocol/internal/ir"
+	"extractocol/internal/report"
+)
+
+// Report is a complete protocol-behavior analysis of one application.
+type Report = core.Report
+
+// Transaction is one reconstructed HTTP transaction.
+type Transaction = core.Transaction
+
+// Options configures an analysis run.
+type Options = core.Options
+
+// Program is a decoded application binary.
+type Program = ir.Program
+
+// DefaultOptions returns the standard configuration: asynchronous-event
+// heuristic enabled with one hop (§3.4), no class scoping.
+func DefaultOptions() Options { return core.NewOptions() }
+
+// Analyze runs the full Extractocol pipeline over a decoded application.
+func Analyze(p *Program, opts Options) (*Report, error) {
+	return core.Analyze(p, opts)
+}
+
+// AnalyzeFile decodes an .apkb container and analyzes it with the default
+// options.
+func AnalyzeFile(path string) (*Report, error) {
+	p, err := dex.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return core.Analyze(p, core.NewOptions())
+}
+
+// TextReport renders a report as human-readable text.
+func TextReport(r *Report) string { return report.Text(r) }
+
+// JSONReport renders a report as machine-readable JSON.
+func JSONReport(r *Report) ([]byte, error) { return report.JSON(r) }
+
+// DOTReport renders the inter-transaction dependency graph in Graphviz
+// DOT format.
+func DOTReport(r *Report) string { return report.DOT(r) }

@@ -1,0 +1,78 @@
+package extractocol
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"extractocol/internal/corpus"
+	"extractocol/internal/dex"
+)
+
+func TestFacadeAnalyzeFile(t *testing.T) {
+	app := corpus.RadioReddit()
+	path := filepath.Join(t.TempDir(), "rr.apkb")
+	if err := dex.WriteFile(path, app.Prog); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Transactions) != 6 {
+		t.Fatalf("transactions = %d, want 6", len(rep.Transactions))
+	}
+
+	text := TextReport(rep)
+	if !strings.Contains(text, "api/vote") {
+		t.Error("text report missing vote transaction")
+	}
+	data, err := JSONReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v map[string]any
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("JSON report invalid: %v", err)
+	}
+	if dot := DOTReport(rep); !strings.HasPrefix(dot, "digraph") {
+		t.Error("DOT report malformed")
+	}
+}
+
+func TestFacadeAnalyzeWithOptions(t *testing.T) {
+	app := corpus.Kayak()
+	opts := DefaultOptions()
+	opts.ScopePrefix = "com.kayak."
+	rep, err := Analyze(app.Prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Transactions) != 46 {
+		t.Fatalf("scoped transactions = %d, want 46", len(rep.Transactions))
+	}
+}
+
+func TestFacadeAnalyzeFileMissing(t *testing.T) {
+	if _, err := AnalyzeFile(filepath.Join(t.TempDir(), "nope.apkb")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+// ExampleAnalyze demonstrates the library API: decode a binary, analyze
+// it, and inspect the reconstructed transactions.
+func ExampleAnalyze() {
+	app := corpus.RadioReddit()
+	rep, err := Analyze(app.Prog, DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	for _, tx := range rep.Transactions {
+		if tx.Request.Method == "POST" && strings.Contains(tx.URIRegex(), "login") {
+			fmt.Println(tx.Request.Method, "login transaction found; paired:", tx.Paired)
+		}
+	}
+	// Output: POST login transaction found; paired: true
+}

@@ -1,0 +1,3 @@
+module extractocol
+
+go 1.22

@@ -1,0 +1,319 @@
+// Package core orchestrates the Extractocol pipeline (Fig. 2): demarcation
+// point identification, bidirectional network-aware slicing, object-aware
+// augmentation, signature extraction, HTTP transaction reconstruction
+// (request/response pairing), and inter-transaction dependency analysis.
+// Its input is a binary container (ir.Program decoded by package dex); its
+// output is a complete protocol behavior report.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"extractocol/internal/callgraph"
+	"extractocol/internal/ir"
+	"extractocol/internal/pairing"
+	"extractocol/internal/semmodel"
+	"extractocol/internal/sigbuild"
+	"extractocol/internal/siglang"
+	"extractocol/internal/slice"
+	"extractocol/internal/taint"
+	"extractocol/internal/txdep"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// MaxAsyncHops bounds asynchronous event-boundary crossings (§3.4).
+	// 0 disables the heuristic (the paper's open-source setting); 1 is the
+	// paper's closed-source setting and the default used by NewOptions.
+	MaxAsyncHops int
+	// ScopePrefix, when non-empty, keeps only transactions whose
+	// demarcation point lies in a class with this prefix (used in §5.3 to
+	// scope Kayak analysis to com.kayak, excluding external libraries).
+	ScopePrefix string
+	// ModelIntents enables the §4 intent extension: intent-triggered entry
+	// points become analysis roots, closing the coverage gap of Table 1's
+	// rows where manual fuzzing beats the analyzer.
+	ModelIntents bool
+	// Model overrides the semantic model; nil uses semmodel.Default().
+	Model *semmodel.Model
+}
+
+// NewOptions returns the default configuration (async heuristic enabled).
+func NewOptions() Options { return Options{MaxAsyncHops: 1} }
+
+// errScoped marks transactions excluded by Options.ScopePrefix.
+var errScoped = fmt.Errorf("transaction out of scope")
+
+// Transaction is one reconstructed HTTP transaction.
+type Transaction struct {
+	ID    int
+	DP    string // demarcation point "method@index"
+	DPRef string // modeled API performing the I/O
+	Entry ir.EntryPoint
+
+	Request  *sigbuild.RequestSig
+	Response *sigbuild.ResponseSig
+
+	// Paired reports a reconstructed request/response pair whose response
+	// body is actually processed by the app.
+	Paired bool
+	// OneToOne/SharedHandler qualify the pairing (§3.3, Fig. 5);
+	// FlowConfirmed means information-flow analysis from the request's
+	// disjoint segment reached the response slice.
+	OneToOne      bool
+	SharedHandler bool
+	FlowConfirmed bool
+
+	Sinks   []string
+	Sources []string
+
+	// Entries lists every entry point producing this signature when
+	// duplicates were folded.
+	Entries []string
+}
+
+// URIRegex renders the request URI signature as an anchored regex.
+func (t *Transaction) URIRegex() string { return siglang.Regex(t.Request.URI) }
+
+// Key is the deduplication identity of the transaction's request. Two
+// entry points reaching the same signature fold together; fully dynamic
+// URIs ("GET (.*)", TED's transactions #4/#5/#7/#8) carry no distinguishing
+// constants, so they remain distinct per demarcation-point site, matching
+// how the paper counts them.
+func (t *Transaction) Key() string {
+	var b strings.Builder
+	b.WriteString(t.Request.Method)
+	b.WriteString("|")
+	uriCanon := siglang.Canon(t.Request.URI)
+	b.WriteString(uriCanon)
+	if !strings.Contains(uriCanon, `"`) {
+		b.WriteString("|")
+		b.WriteString(t.DP)
+	}
+	b.WriteString("|")
+	b.WriteString(t.Request.BodyKind)
+	b.WriteString("|")
+	b.WriteString(siglang.Canon(t.Request.Body))
+	return b.String()
+}
+
+// Report is the complete analysis output for one application.
+type Report struct {
+	Package  string
+	AppName  string
+	Duration time.Duration
+
+	Transactions []*Transaction
+	Deps         []txdep.Dep
+
+	// SliceFraction is the fraction of app instructions included in at
+	// least one slice (the paper reports 6.3% for Diode).
+	SliceFraction float64
+	// DPCount is the number of demarcation point sites found.
+	DPCount int
+}
+
+// Analyze runs the full pipeline over a decoded application binary.
+func Analyze(p *ir.Program, opts Options) (*Report, error) {
+	start := time.Now()
+	model := opts.Model
+	if model == nil {
+		model = semmodel.Default()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid program: %w", err)
+	}
+
+	cg := callgraph.Build(p, model)
+	txs := slice.Find(p, model, cg, slice.Options{
+		MaxAsyncHops:   opts.MaxAsyncHops,
+		IncludeIntents: opts.ModelIntents,
+	})
+	pairs := pairing.Analyze(txs)
+	pairing.VerifyFlow(p, model, cg, pairs)
+	pairByTx := map[*slice.Transaction]pairing.Pair{}
+	for _, pr := range pairs {
+		pairByTx[pr.Tx] = pr
+	}
+
+	// Signature extraction is independent per transaction: fan out across
+	// a bounded worker pool, then assemble results in transaction order so
+	// output stays deterministic.
+	type built struct {
+		req  *sigbuild.RequestSig
+		resp *sigbuild.ResponseSig
+		err  error
+	}
+	results := make([]built, len(txs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(txs) {
+		workers = len(txs)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					r, rs, err := sigbuild.Build(p, model, cg, txs[i])
+					results[i] = built{r, rs, err}
+				}
+			}()
+		}
+		for i, tx := range txs {
+			if opts.ScopePrefix != "" && !strings.HasPrefix(tx.DP.Method, opts.ScopePrefix) {
+				results[i] = built{err: errScoped}
+				continue
+			}
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for i, tx := range txs {
+			if opts.ScopePrefix != "" && !strings.HasPrefix(tx.DP.Method, opts.ScopePrefix) {
+				results[i] = built{err: errScoped}
+				continue
+			}
+			r, rs, err := sigbuild.Build(p, model, cg, tx)
+			results[i] = built{r, rs, err}
+		}
+	}
+
+	sliceStmts := map[taint.StmtID]bool{}
+	var out []*Transaction
+	dedup := map[string]*Transaction{}
+	for i, tx := range txs {
+		req, resp, err := results[i].req, results[i].resp, results[i].err
+		if err != nil {
+			// Scoped out, or a DP unreachable under abstract evaluation
+			// (e.g. dead branch): skip rather than abort the whole app.
+			continue
+		}
+		for s := range tx.Request.Stmts {
+			sliceStmts[s] = true
+		}
+		if tx.Response != nil {
+			for s := range tx.Response.Stmts {
+				sliceStmts[s] = true
+			}
+		}
+		pr := pairByTx[tx]
+		t := &Transaction{
+			DP:            fmt.Sprintf("%s@%d", tx.DP.Method, tx.DP.Index),
+			DPRef:         tx.DPRef,
+			Entry:         tx.Entry,
+			Request:       req,
+			Response:      resp,
+			Paired:        resp.HasBody(),
+			OneToOne:      pr.OneToOne,
+			SharedHandler: pr.SharedHandler,
+			FlowConfirmed: pr.FlowConfirmed,
+			Sinks:         sortedSet(tx.Sinks),
+			Sources:       sortedSet(tx.Sources),
+			Entries:       []string{tx.Entry.Method},
+		}
+		if prev, ok := dedup[t.Key()]; ok {
+			prev.Entries = append(prev.Entries, tx.Entry.Method)
+			prev.Paired = prev.Paired || t.Paired
+			mergeStringSets(&prev.Sinks, t.Sinks)
+			mergeStringSets(&prev.Sources, t.Sources)
+			continue
+		}
+		t.ID = len(out) + 1
+		dedup[t.Key()] = t
+		out = append(out, t)
+	}
+
+	// Inter-transaction dependencies on the deduplicated set.
+	var dtxs []*txdep.Tx
+	for _, t := range out {
+		dtxs = append(dtxs, &txdep.Tx{ID: t.ID, DPID: t.DP, Req: t.Request, Resp: t.Response})
+	}
+	deps := txdep.Infer(dtxs)
+
+	total := p.InstrCount()
+	frac := 0.0
+	if total > 0 {
+		frac = float64(len(sliceStmts)) / float64(total)
+	}
+	dpSites := map[string]bool{}
+	for _, tx := range txs {
+		dpSites[fmt.Sprintf("%s@%d", tx.DP.Method, tx.DP.Index)] = true
+	}
+
+	return &Report{
+		Package:       p.Manifest.Package,
+		AppName:       p.Manifest.AppName,
+		Duration:      time.Since(start),
+		Transactions:  out,
+		Deps:          deps,
+		SliceFraction: frac,
+		DPCount:       len(dpSites),
+	}, nil
+}
+
+// CountByMethod tallies unique request signatures per HTTP method.
+func (r *Report) CountByMethod() map[string]int {
+	out := map[string]int{}
+	for _, t := range r.Transactions {
+		out[t.Request.Method]++
+	}
+	return out
+}
+
+// BodyKindCounts tallies transactions by body representation: request
+// query strings, JSON bodies (either side), XML bodies (either side).
+func (r *Report) BodyKindCounts() (query, json, xml int) {
+	for _, t := range r.Transactions {
+		if t.Request.BodyKind == "query" {
+			query++
+		}
+		if t.Request.BodyKind == "json" || (t.Response != nil && t.Response.BodyKind == "json" && t.Response.HasBody()) {
+			json++
+		}
+		if t.Request.BodyKind == "xml" || (t.Response != nil && t.Response.BodyKind == "xml" && t.Response.HasBody()) {
+			xml++
+		}
+	}
+	return
+}
+
+// PairCount returns the number of reconstructed request/response pairs
+// whose response body is processed by the app.
+func (r *Report) PairCount() int {
+	n := 0
+	for _, t := range r.Transactions {
+		if t.Paired {
+			n++
+		}
+	}
+	return n
+}
+
+func sortedSet(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mergeStringSets(dst *[]string, add []string) {
+	set := map[string]bool{}
+	for _, s := range *dst {
+		set[s] = true
+	}
+	for _, s := range add {
+		set[s] = true
+	}
+	*dst = sortedSet(set)
+}

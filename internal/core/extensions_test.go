@@ -1,0 +1,238 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"extractocol/internal/httpsim"
+	"extractocol/internal/ir"
+	"extractocol/internal/runtime"
+	"extractocol/internal/siglang"
+)
+
+// TestSocketProtocolExtension exercises the §4 extension: direct use of
+// java.net.Socket for a text protocol. The socket becomes a TCP "request"
+// whose payload is reconstructed like any HTTP body, and getInputStream is
+// the demarcation point.
+func TestSocketProtocolExtension(t *testing.T) {
+	p := ir.NewProgram("t.sock")
+	c := p.AddClass(&ir.Class{Name: "t.sock.Chat"})
+	b := ir.NewMethod(c, "onSend", false, []string{"java.lang.String"}, "void")
+	msg := b.Param(0)
+	host := b.ConstStr("chat.example.com")
+	port := b.ConstInt(7777)
+	sock := b.New("java.net.Socket")
+	b.InvokeSpecial("java.net.Socket.<init>", sock, host, port)
+	out := b.Invoke("java.net.Socket.getOutputStream", sock)
+	cmd := b.ConstStr("MSG ")
+	b.InvokeVoid("java.io.OutputStream.write", out, cmd)
+	b.InvokeVoid("java.io.OutputStream.write", out, msg)
+	nl := b.ConstStr("\n")
+	b.InvokeVoid("java.io.OutputStream.write", out, nl)
+	in := b.Invoke("java.net.Socket.getInputStream", sock)
+	resp := b.Invoke("java.io.InputStream.readAll", in)
+	b.StaticPut("t.sock.Chat.last", resp)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.sock.Chat.onSend", Kind: ir.EventClick}}
+
+	rep, err := Analyze(p, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Transactions) != 1 {
+		t.Fatalf("transactions = %d, want 1", len(rep.Transactions))
+	}
+	tx := rep.Transactions[0]
+	if tx.Request.Method != "TCP" {
+		t.Errorf("method = %s, want TCP", tx.Request.Method)
+	}
+	uri := siglang.RegexBody(tx.Request.URI)
+	if !strings.Contains(uri, "tcp://chat\\.example\\.com:7777") {
+		t.Errorf("URI = %s", uri)
+	}
+	body := siglang.RegexBody(tx.Request.Body)
+	if !strings.HasPrefix(body, "MSG ") {
+		t.Errorf("payload signature = %q, want MSG prefix", body)
+	}
+
+	// Dynamic side: the interpreter speaks the same protocol.
+	net := httpsim.NewNetwork()
+	s := httpsim.NewServer("chat.example.com:7777")
+	s.HandlePrefix("TCP", "", func(r *httpsim.Request) *httpsim.Response {
+		if !strings.HasPrefix(r.Body, "MSG ") {
+			return httpsim.Error(400, "bad command")
+		}
+		return httpsim.Text("OK " + strings.TrimSpace(strings.TrimPrefix(r.Body, "MSG ")))
+	})
+	net.Register(s)
+	vm := runtime.New(p, net)
+	if err := vm.Fire(p.Manifest.EntryPoints[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.Statics["t.sock.Chat.last"]; got != "OK input0" {
+		t.Fatalf("socket reply = %v", got)
+	}
+	// And the signature matches the live payload.
+	re, err := siglang.Compile(tx.Request.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := net.Trace()
+	if len(tr) != 1 || !re.MatchString(tr[0].Request.Body) {
+		t.Fatalf("payload signature does not match live traffic %q", tr[0].Request.Body)
+	}
+}
+
+// TestIntentModelingExtension verifies the §4 intent extension: with
+// ModelIntents enabled, intent-triggered transactions stop being invisible.
+func TestIntentModelingExtension(t *testing.T) {
+	p := ir.NewProgram("t.int")
+	c := p.AddClass(&ir.Class{Name: "t.int.I"})
+	emitSimpleGet(c, "onCreate", "https://i.example.com/visible.json")
+	emitSimpleGet(c, "onDeepLink", "https://i.example.com/hidden.json")
+	p.Manifest.EntryPoints = []ir.EntryPoint{
+		{Method: "t.int.I.onCreate", Kind: ir.EventCreate},
+		{Method: "t.int.I.onDeepLink", Kind: ir.EventIntent},
+	}
+
+	base, err := Analyze(p, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Transactions) != 1 {
+		t.Fatalf("baseline transactions = %d, want 1 (intent hidden)", len(base.Transactions))
+	}
+
+	opts := NewOptions()
+	opts.ModelIntents = true
+	ext, err := Analyze(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext.Transactions) != 2 {
+		t.Fatalf("extended transactions = %d, want 2", len(ext.Transactions))
+	}
+	found := false
+	for _, tx := range ext.Transactions {
+		if strings.Contains(tx.URIRegex(), "hidden") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("intent-triggered transaction still missing")
+	}
+}
+
+func emitSimpleGet(c *ir.Class, name, uri string) {
+	b := ir.NewMethod(c, name, false, nil, "void")
+	u := b.ConstStr(uri)
+	req := b.New("org.apache.http.client.methods.HttpGet")
+	b.InvokeSpecial("org.apache.http.client.methods.HttpGet.<init>", req, u)
+	cl := b.New("org.apache.http.impl.client.DefaultHttpClient")
+	b.InvokeSpecial("org.apache.http.impl.client.DefaultHttpClient.<init>", cl)
+	b.Invoke("org.apache.http.client.HttpClient.execute", cl, req)
+	b.ReturnVoid()
+	b.Done()
+}
+
+// TestMultiHopAsyncChains verifies the §4 discussion of dependency chains
+// across multiple asynchronous events: one hop loses the second handler's
+// keywords, two hops ("multiple iterations") recover them.
+func TestMultiHopAsyncChains(t *testing.T) {
+	p := ir.NewProgram("t.hop")
+	c := p.AddClass(&ir.Class{Name: "t.hop.H", Fields: []*ir.Field{
+		{Name: "region", Type: "java.lang.String", Static: true},
+		{Name: "query", Type: "java.lang.String", Static: true},
+	}})
+
+	// Hop 2 origin: location handler writes the region fragment.
+	lb := ir.NewMethod(c, "onLocationChanged", false, []string{"java.lang.String"}, "void")
+	city := lb.Param(0)
+	sb0 := lb.New("java.lang.StringBuilder")
+	lb.InvokeSpecial("java.lang.StringBuilder.<init>", sb0)
+	r0 := lb.ConstStr("region=")
+	lb.InvokeVoid("java.lang.StringBuilder.append", sb0, r0)
+	lb.InvokeVoid("java.lang.StringBuilder.append", sb0, city)
+	frag0 := lb.Invoke("java.lang.StringBuilder.toString", sb0)
+	lb.StaticPut("t.hop.H.region", frag0)
+	lb.ReturnVoid()
+	lb.Done()
+
+	// Hop 1: a timer combines the region with more parameters.
+	tb := ir.NewMethod(c, "onTimer", false, nil, "void")
+	sb1 := tb.New("java.lang.StringBuilder")
+	tb.InvokeSpecial("java.lang.StringBuilder.<init>", sb1)
+	reg := tb.StaticGet("t.hop.H.region")
+	tb.InvokeVoid("java.lang.StringBuilder.append", sb1, reg)
+	amp := tb.ConstStr("&units=metric")
+	tb.InvokeVoid("java.lang.StringBuilder.append", sb1, amp)
+	frag1 := tb.Invoke("java.lang.StringBuilder.toString", sb1)
+	tb.StaticPut("t.hop.H.query", frag1)
+	tb.ReturnVoid()
+	tb.Done()
+
+	// The click handler issues the request.
+	cb := ir.NewMethod(c, "onRefresh", false, nil, "void")
+	sb2 := cb.New("java.lang.StringBuilder")
+	cb.InvokeSpecial("java.lang.StringBuilder.<init>", sb2)
+	base := cb.ConstStr("https://hop.example.com/data?")
+	cb.InvokeVoid("java.lang.StringBuilder.append", sb2, base)
+	q := cb.StaticGet("t.hop.H.query")
+	cb.InvokeVoid("java.lang.StringBuilder.append", sb2, q)
+	uri := cb.Invoke("java.lang.StringBuilder.toString", sb2)
+	req := cb.New("org.apache.http.client.methods.HttpGet")
+	cb.InvokeSpecial("org.apache.http.client.methods.HttpGet.<init>", req, uri)
+	cl := cb.New("org.apache.http.impl.client.DefaultHttpClient")
+	cb.InvokeSpecial("org.apache.http.impl.client.DefaultHttpClient.<init>", cl)
+	cb.Invoke("org.apache.http.client.HttpClient.execute", cl, req)
+	cb.ReturnVoid()
+	cb.Done()
+
+	p.Manifest.EntryPoints = []ir.EntryPoint{
+		{Method: "t.hop.H.onLocationChanged", Kind: ir.EventLocation},
+		{Method: "t.hop.H.onTimer", Kind: ir.EventTimer},
+		{Method: "t.hop.H.onRefresh", Kind: ir.EventClick},
+	}
+
+	kwAt := func(hops int) []string {
+		opts := NewOptions()
+		opts.MaxAsyncHops = hops
+		rep, err := Analyze(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := map[string]bool{}
+		for _, tx := range rep.Transactions {
+			for _, k := range siglang.Keywords(tx.Request.URI) {
+				set[k] = true
+			}
+		}
+		var out []string
+		for k := range set {
+			out = append(out, k)
+		}
+		return out
+	}
+
+	oneHop := kwAt(1)
+	twoHop := kwAt(2)
+	if contains(oneHop, "region") {
+		t.Errorf("one hop should not reach the location handler: %v", oneHop)
+	}
+	if !contains(oneHop, "units") {
+		t.Errorf("one hop should reach the timer handler: %v", oneHop)
+	}
+	if !contains(twoHop, "region") || !contains(twoHop, "units") {
+		t.Errorf("two hops should recover the whole chain: %v", twoHop)
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package core
+
+import "testing"
+
+func TestFlowConfirmedOnRadioRedditLike(t *testing.T) {
+	rep, err := Analyze(radioRedditLike(), NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range rep.Transactions {
+		if tx.Paired && !tx.FlowConfirmed {
+			t.Errorf("tx %d paired but flow not confirmed", tx.ID)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"extractocol/internal/ir"
+)
+
+// TestDeadBranchDPIsSkippedNotFatal: a demarcation point that abstract
+// evaluation can never reach (dead code) must not abort the whole app.
+func TestDeadBranchDPIsSkippedNotFatal(t *testing.T) {
+	p := ir.NewProgram("t.dead")
+	c := p.AddClass(&ir.Class{Name: "t.dead.D"})
+
+	// Live transaction.
+	emitSimpleGet(c, "onLive", "https://dead.example.com/live")
+
+	// A method containing a DP that no entry point ever calls.
+	orphan := ir.NewMethod(c, "orphan", false, nil, "void")
+	u := orphan.ConstStr("https://dead.example.com/orphan")
+	req := orphan.New("org.apache.http.client.methods.HttpGet")
+	orphan.InvokeSpecial("org.apache.http.client.methods.HttpGet.<init>", req, u)
+	cl := orphan.New("org.apache.http.impl.client.DefaultHttpClient")
+	orphan.InvokeSpecial("org.apache.http.impl.client.DefaultHttpClient.<init>", cl)
+	orphan.Invoke("org.apache.http.client.HttpClient.execute", cl, req)
+	orphan.ReturnVoid()
+	orphan.Done()
+
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.dead.D.onLive", Kind: ir.EventClick}}
+
+	rep, err := Analyze(p, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Transactions) != 1 {
+		t.Fatalf("transactions = %d, want 1 (orphan DP unreachable)", len(rep.Transactions))
+	}
+}
+
+// TestUnresolvableVolleyCallback: an enqueue whose callback type cannot be
+// inferred still yields the request side.
+func TestUnresolvableVolleyCallback(t *testing.T) {
+	p := ir.NewProgram("t.uv")
+	c := p.AddClass(&ir.Class{Name: "t.uv.V"})
+	b := ir.NewMethod(c, "go", false, []string{"com.android.volley.toolbox.JsonObjectRequest"}, "void")
+	// The request arrives as an opaque parameter: no allocation site, so
+	// the callback type is unknown.
+	req := b.Param(0)
+	q := b.New("com.android.volley.RequestQueue")
+	b.InvokeVoid("com.android.volley.RequestQueue.add", q, req)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.uv.V.go", Kind: ir.EventClick}}
+
+	rep, err := Analyze(p, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Transactions) != 1 {
+		t.Fatalf("transactions = %d", len(rep.Transactions))
+	}
+	tx := rep.Transactions[0]
+	if tx.Response != nil && tx.Response.HasBody() {
+		t.Fatal("no response slice should exist without a resolvable callback")
+	}
+}
+
+// TestEmptyAppAnalyzes: no entry points, no transactions, no error.
+func TestEmptyAppAnalyzes(t *testing.T) {
+	p := ir.NewProgram("t.empty")
+	rep, err := Analyze(p, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Transactions) != 0 || rep.PairCount() != 0 {
+		t.Fatalf("unexpected results: %+v", rep)
+	}
+}
+
+// TestInvalidProgramRejected: core refuses structurally broken binaries.
+func TestInvalidProgramRejected(t *testing.T) {
+	p := ir.NewProgram("t.bad")
+	c := p.AddClass(&ir.Class{Name: "t.bad.B"})
+	m := c.AddMethod(&ir.Method{Name: "m", Static: true, Return: "void", Registers: 1})
+	m.Instrs = []ir.Instr{{Op: ir.OpGoto, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Target: 99}}
+	if _, err := Analyze(p, NewOptions()); err == nil {
+		t.Fatal("accepted invalid program")
+	}
+}
+
+// TestRecursiveHelperTerminates: self-recursive request construction must
+// not hang the evaluator.
+func TestRecursiveHelperTerminates(t *testing.T) {
+	p := ir.NewProgram("t.rec")
+	c := p.AddClass(&ir.Class{Name: "t.rec.R"})
+
+	h := ir.NewMethod(c, "buildPath", false, []string{"int"}, "java.lang.String")
+	n := h.Param(0)
+	h.IfZ(n, "base")
+	one := h.ConstInt(1)
+	dec := h.Binop("-", n, one)
+	sub := h.Invoke("t.rec.R.buildPath", h.This(), dec)
+	seg := h.ConstStr("/x")
+	joined := h.Invoke("java.lang.String.concat", sub, seg)
+	h.Return(joined)
+	h.Label("base")
+	root := h.ConstStr("https://rec.example.com")
+	h.Return(root)
+	h.Done()
+
+	b := ir.NewMethod(c, "go", false, []string{"int"}, "void")
+	depth := b.Param(0)
+	uri := b.Invoke("t.rec.R.buildPath", b.This(), depth)
+	req := b.New("org.apache.http.client.methods.HttpGet")
+	b.InvokeSpecial("org.apache.http.client.methods.HttpGet.<init>", req, uri)
+	cl := b.New("org.apache.http.impl.client.DefaultHttpClient")
+	b.InvokeSpecial("org.apache.http.impl.client.DefaultHttpClient.<init>", cl)
+	b.Invoke("org.apache.http.client.HttpClient.execute", cl, req)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.rec.R.go", Kind: ir.EventClick}}
+
+	rep, err := Analyze(p, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Transactions) != 1 {
+		t.Fatalf("transactions = %d", len(rep.Transactions))
+	}
+}

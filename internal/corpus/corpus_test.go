@@ -1,0 +1,177 @@
+package corpus
+
+import (
+	"testing"
+
+	"extractocol/internal/core"
+	"extractocol/internal/dex"
+	"extractocol/internal/fuzz"
+	"extractocol/internal/trace"
+)
+
+func TestCorpusHas34Apps(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 34 {
+		t.Fatalf("corpus apps = %d, want 34", len(apps))
+	}
+	open, closed := 0, 0
+	for _, a := range apps {
+		if a.Spec.OpenSource {
+			open++
+		} else {
+			closed++
+		}
+	}
+	if open != 14 || closed != 20 {
+		t.Fatalf("open=%d closed=%d, want 14/20", open, closed)
+	}
+}
+
+func TestCorpusValidatesAndRoundTrips(t *testing.T) {
+	for _, a := range Apps() {
+		a := a
+		t.Run(a.Spec.Name, func(t *testing.T) {
+			if err := a.Prog.Validate(); err != nil {
+				t.Fatalf("invalid program: %v", err)
+			}
+			data, err := dex.Encode(a.Prog)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if _, err := dex.Decode(data); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+		})
+	}
+}
+
+func TestCorpusIsDeterministic(t *testing.T) {
+	a1, err := ByName("Pinterest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := ByName("Pinterest")
+	d1, _ := dex.Encode(a1.Prog)
+	d2, _ := dex.Encode(a2.Prog)
+	if string(d1) != string(d2) {
+		t.Fatal("two corpus builds differ")
+	}
+}
+
+// TestExtractocolMatchesStaticTruth checks the Table 1 Extractocol column:
+// the analyzer must find exactly the statically visible transactions.
+func TestExtractocolMatchesStaticTruth(t *testing.T) {
+	for _, a := range Apps() {
+		a := a
+		t.Run(a.Spec.Name, func(t *testing.T) {
+			rep, err := core.Analyze(a.Prog, core.NewOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := rep.CountByMethod()
+			for method, want := range a.Truth.StaticVis {
+				if want == 0 {
+					continue
+				}
+				if got[method] != want {
+					t.Errorf("%s: Extractocol found %d, truth %d", method, got[method], want)
+				}
+			}
+			for method, n := range got {
+				if a.Truth.StaticVis[method] != n {
+					t.Errorf("%s: extra signatures: got %d, truth %d", method, n, a.Truth.StaticVis[method])
+				}
+			}
+		})
+	}
+}
+
+// TestManualFuzzingMatchesTruth checks the manual-fuzzing column.
+func TestManualFuzzingMatchesTruth(t *testing.T) {
+	for _, a := range Apps() {
+		a := a
+		t.Run(a.Spec.Name, func(t *testing.T) {
+			n := a.NewNetwork()
+			res, err := fuzz.Run(a.Prog, n, fuzz.Manual)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Errors) > 0 {
+				t.Fatalf("interpreter errors: %v", res.Errors)
+			}
+			entries := trace.FromNetwork(n.Trace())
+			for _, e := range entries {
+				if e.Status >= 400 {
+					t.Errorf("failed exchange %s %s -> %d (%s)", e.Method, e.URL, e.Status, e.RespBody)
+				}
+			}
+			got := trace.CountByMethod(entries)
+			for method, want := range a.Truth.ManualVis {
+				if got[method] != want {
+					t.Errorf("%s: manual fuzzing saw %d, truth %d", method, got[method], want)
+				}
+			}
+		})
+	}
+}
+
+// TestAutoFuzzingMatchesTruth checks the PUMA-like column, including the
+// custom-UI gates that zero out whole apps.
+func TestAutoFuzzingMatchesTruth(t *testing.T) {
+	for _, a := range Apps() {
+		a := a
+		t.Run(a.Spec.Name, func(t *testing.T) {
+			n := a.NewNetwork()
+			res, err := fuzz.Run(a.Prog, n, fuzz.Auto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			entries := trace.FromNetwork(n.Trace())
+			if a.Spec.Gated {
+				if !res.Aborted || len(entries) != 0 {
+					t.Fatalf("gated app produced auto traffic: %d entries", len(entries))
+				}
+				return
+			}
+			got := trace.CountByMethod(entries)
+			for method, want := range a.Truth.AutoVis {
+				if got[method] != want {
+					t.Errorf("%s: auto fuzzing saw %d, truth %d", method, got[method], want)
+				}
+			}
+		})
+	}
+}
+
+// TestSignaturesValidAgainstTraffic is the paper's signature-validity
+// check: every signature with observed traffic must match it.
+func TestSignaturesValidAgainstTraffic(t *testing.T) {
+	for _, a := range Apps() {
+		a := a
+		t.Run(a.Spec.Name, func(t *testing.T) {
+			rep, err := core.Analyze(a.Prog, core.NewOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := a.NewNetwork()
+			if _, err := fuzz.Run(a.Prog, n, fuzz.Manual); err != nil {
+				t.Fatal(err)
+			}
+			entries := trace.FromNetwork(n.Trace())
+			res := trace.MatchReport(rep, entries)
+			// Every non-intent trace entry must be covered by a signature.
+			intentOnly := map[string]bool{}
+			for m, c := range a.Truth.ManualVis {
+				if c > a.Truth.StaticVis[m] {
+					intentOnly[m] = true
+				}
+			}
+			if len(res.Unmatched) > 0 && len(intentOnly) == 0 {
+				t.Errorf("unmatched traffic: %v", res.Unmatched)
+			}
+			if res.SigsWithTraffic > 0 && res.SigsValid < res.SigsWithTraffic {
+				t.Errorf("invalid signatures: %d of %d", res.SigsWithTraffic-res.SigsValid, res.SigsWithTraffic)
+			}
+		})
+	}
+}

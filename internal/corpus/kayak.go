@@ -1,0 +1,389 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"extractocol/internal/httpsim"
+	"extractocol/internal/ir"
+)
+
+// kayakUserAgent is the app-specific header the paper found to be load
+// bearing: Kayak's backend rejects requests without it (§5.3).
+const kayakUserAgent = "kayakandroidphone/8.1"
+
+// KayakCategories mirrors Table 5: API groups by URI prefix.
+var KayakCategories = []struct {
+	Name   string
+	Method string
+	Prefix string
+	Count  int
+}{
+	{"Travel Planner", "GET", "/trips/v2", 11},
+	{"Authentication", "POST", "/k/authajax", 2},
+	{"Facebook Auth", "POST", "/k/run/fbauth", 2},
+	{"Flight", "GET", "/api/search/V8/flight", 6},
+	{"Hotel", "GET", "/api/search/V8/hotel", 2},
+	{"Car", "GET", "/api/search/V8/car", 1},
+	{"Mobile Specific", "GET", "/h/mobileapis", 12},
+	{"Advertising", "GET", "/s/mobileads", 1},
+	{"Etc. (misc GET)", "GET", "/a/api", 6},
+	{"Etc.", "POST", "/k", 3},
+}
+
+// Kayak builds the §5.3 reverse-engineering target: 46 transactions in
+// com.kayak classes (39 GET + 7 POST across the Table 5 categories) plus
+// one transaction in an external advertising library, which the scoped
+// analysis (com.kayak prefix) must exclude. Session flow: authajax issues
+// the _sid_, flight/start consumes it and issues a searchid, flight/poll
+// consumes the searchid — Table 6's three signatures, replayable by
+// examples/replay.
+func Kayak() *App {
+	p := ir.NewProgram("com.kayak.android")
+	p.Manifest.AppName = "KAYAK"
+	api := p.AddClass(&ir.Class{Name: "com.kayak.android.Api", Fields: []*ir.Field{
+		{Name: "sid", Type: "java.lang.String", Static: true},
+		{Name: "searchid", Type: "java.lang.String", Static: true},
+	}})
+
+	nGET, nPOST := 0, 0
+	autoGET, autoPOST := 0, 0
+	pairs, jsonResp, qs := 0, 0, 0
+
+	emitKayakAuth(p, api)
+	nPOST++
+	qs++
+	jsonResp++
+	pairs++
+	emitKayakFlightStart(p, api)
+	nGET++
+	autoGET++
+	jsonResp++
+	pairs++
+	emitKayakFlightPoll(p, api)
+	nGET++
+	autoGET++
+	jsonResp++
+	pairs++
+
+	// Remaining category endpoints as straightforward transactions.
+	r := newRng("com.kayak.android")
+	seq := 0
+	usedPaths := map[string]bool{}
+	var routes []kayakRoute
+	for _, cat := range KayakCategories {
+		count := cat.Count
+		switch cat.Prefix {
+		case "/k/authajax":
+			count-- // one written above
+		case "/api/search/V8/flight":
+			count -= 2 // start and poll written above
+		}
+		for i := 0; i < count; i++ {
+			var sub string
+			for {
+				sub = fmt.Sprintf("%s/%s", cat.Prefix, r.pick(resourceWords))
+				if i%2 == 1 {
+					sub = fmt.Sprintf("%s/%s/%s", cat.Prefix, r.pick(resourceWords), r.pick(resourceWords))
+				}
+				if !usedPaths[cat.Method+" "+sub] {
+					usedPaths[cat.Method+" "+sub] = true
+					break
+				}
+			}
+			withJSON := false
+			switch cat.Name {
+			case "Hotel", "Car", "Advertising":
+				withJSON = i == 0
+			case "Mobile Specific":
+				withJSON = i == 0 // currency/allRates
+				if i == 0 {
+					sub = cat.Prefix + "/currency/allRates"
+				}
+			}
+			trait := ir.EventClick
+			if (nGET+nPOST)%3 == 2 {
+				trait = ir.EventLogin // session-scoped screens
+			}
+			seq++
+			emitKayakSimple(p, api, seq, cat.Method, sub, withJSON, trait)
+			routes = append(routes, kayakRoute{Method: cat.Method, Path: sub})
+			if cat.Method == "GET" {
+				nGET++
+				if trait == ir.EventClick {
+					autoGET++
+				}
+			} else {
+				nPOST++
+				qs++
+				if trait == ir.EventClick {
+					autoPOST++
+				}
+			}
+			if withJSON {
+				jsonResp++
+				pairs++
+			}
+		}
+	}
+
+	emitBallast(p, api, 200, newRng("kayak/ballast"))
+
+	// External advertising library — outside the com.kayak scope.
+	lib := p.AddClass(&ir.Class{Name: "com.admarvel.sdk.Tracker"})
+	tb := ir.NewMethod(lib, "onBeacon", false, nil, "void")
+	tu := tb.ConstStr("https://ads.admarvel.example/beacon?app=kayak")
+	treq := tb.New("org.apache.http.client.methods.HttpGet")
+	tb.InvokeSpecial("org.apache.http.client.methods.HttpGet.<init>", treq, tu)
+	rrExecute(tb, treq)
+	tb.ReturnVoid()
+	tb.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints,
+		ir.EntryPoint{Method: lib.Name + ".onBeacon", Kind: ir.EventCreate, Label: "adlib"})
+	nGET++ // the ad beacon is a real transaction of the unscoped app
+	autoGET++
+
+	truth := Truth{
+		ByMethod:    map[string]int{"GET": nGET, "POST": nPOST},
+		StaticVis:   map[string]int{"GET": nGET, "POST": nPOST},
+		ManualVis:   map[string]int{"GET": nGET, "POST": nPOST},
+		AutoVis:     map[string]int{"GET": autoGET, "POST": autoPOST + 1},
+		QueryBodies: qs, JSONBodies: jsonResp, Pairs: pairs,
+	}
+	spec := AppSpec{
+		Name: "KAYAK", Package: "com.kayak.android", Host: "www.kayak.example",
+		Protocol: "HTTPS", Library: "apache", Handwritten: true,
+		Counts: map[string]MethodCounts{
+			"GET":  {E: nGET, M: nGET, A: autoGET},
+			"POST": {E: nPOST, M: nPOST, A: autoPOST + 1},
+		},
+		QueryBodies: qs, JSONBodies: jsonResp, Pairs: pairs,
+	}
+	newNet := func() *httpsim.Network { return newKayakNetwork(routes) }
+	return &App{Spec: spec, Prog: p, NewNetwork: newNet, Truth: truth}
+}
+
+// kayakRoute is one generated category endpoint.
+type kayakRoute struct {
+	Method, Path string
+}
+
+func kayakRequest(b *ir.B, method string, uriReg int) int {
+	var req int
+	if method == "POST" {
+		req = b.New("org.apache.http.client.methods.HttpPost")
+		b.InvokeSpecial("org.apache.http.client.methods.HttpPost.<init>", req, uriReg)
+	} else {
+		req = b.New("org.apache.http.client.methods.HttpGet")
+		b.InvokeSpecial("org.apache.http.client.methods.HttpGet.<init>", req, uriReg)
+	}
+	hk := b.ConstStr("User-Agent")
+	hv := b.ConstStr(kayakUserAgent)
+	if method == "POST" {
+		b.InvokeVoid("org.apache.http.client.methods.HttpPost.addHeader", req, hk, hv)
+	} else {
+		b.InvokeVoid("org.apache.http.client.methods.HttpGet.addHeader", req, hk, hv)
+	}
+	return req
+}
+
+// emitKayakAuth: POST /k/authajax with the Table 6 registration body; the
+// response _sid_ is stored for the search flow.
+func emitKayakAuth(p *ir.Program, api *ir.Class) {
+	params := []string{"java.lang.String", "java.lang.String", "java.lang.String",
+		"java.lang.String", "java.lang.String", "java.lang.String"}
+	b := ir.NewMethod(api, "onStartSession", false, params, "void")
+	sb := b.New("java.lang.StringBuilder")
+	b.InvokeSpecial("java.lang.StringBuilder.<init>", sb)
+	head := b.ConstStr("action=registerandroid&uuid=")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, head)
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, b.Param(0))
+	for i, k := range []string{"hash", "model"} {
+		ks := b.ConstStr("&" + k + "=")
+		b.InvokeVoid("java.lang.StringBuilder.append", sb, ks)
+		b.InvokeVoid("java.lang.StringBuilder.append", sb, b.Param(i+1))
+	}
+	plat := b.ConstStr("&platform=android&os=")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, plat)
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, b.Param(3))
+	for i, k := range []string{"locale", "tz"} {
+		ks := b.ConstStr("&" + k + "=")
+		b.InvokeVoid("java.lang.StringBuilder.append", sb, ks)
+		b.InvokeVoid("java.lang.StringBuilder.append", sb, b.Param(i+4))
+	}
+	body := b.Invoke("java.lang.StringBuilder.toString", sb)
+	ent := b.New("org.apache.http.entity.StringEntity")
+	b.InvokeSpecial("org.apache.http.entity.StringEntity.<init>", ent, body)
+	u := b.ConstStr("https://www.kayak.example/k/authajax")
+	req := kayakRequest(b, "POST", u)
+	b.InvokeVoid("org.apache.http.client.methods.HttpPost.setEntity", req, ent)
+	raw := rrExecute(b, req)
+	js := b.InvokeStatic("org.json.JSONObject.parse", raw)
+	kSid := b.ConstStr("_sid_")
+	sid := b.Invoke("org.json.JSONObject.getString", js, kSid)
+	b.StaticPut(api.Name+".sid", sid)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints,
+		ir.EntryPoint{Method: api.Name + ".onStartSession", Kind: ir.EventCreate, Label: "auth"})
+}
+
+// emitKayakFlightStart: GET /api/search/V8/flight/start with the Table 6
+// query string; stores the returned searchid.
+func emitKayakFlightStart(p *ir.Program, api *ir.Class) {
+	params := []string{"java.lang.String", "java.lang.String", "java.lang.String",
+		"java.lang.String", "java.lang.String"}
+	b := ir.NewMethod(api, "onSearchFlights", false, params, "void")
+	sb := b.New("java.lang.StringBuilder")
+	b.InvokeSpecial("java.lang.StringBuilder.<init>", sb)
+	head := b.ConstStr("https://www.kayak.example/api/search/V8/flight/start?cabin=")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, head)
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, b.Param(0))
+	for i, k := range []string{"travelers", "origin", "destination", "depart_date"} {
+		ks := b.ConstStr("&" + k + "=")
+		b.InvokeVoid("java.lang.StringBuilder.append", sb, ks)
+		enc := b.InvokeStatic("java.net.URLEncoder.encode", b.Param(i+1))
+		b.InvokeVoid("java.lang.StringBuilder.append", sb, enc)
+	}
+	sidK := b.ConstStr("&_sid_=")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, sidK)
+	sid := b.StaticGet(api.Name + ".sid")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, sid)
+	uri := b.Invoke("java.lang.StringBuilder.toString", sb)
+	req := kayakRequest(b, "GET", uri)
+	raw := rrExecute(b, req)
+	js := b.InvokeStatic("org.json.JSONObject.parse", raw)
+	kID := b.ConstStr("searchid")
+	sidv := b.Invoke("org.json.JSONObject.getString", js, kID)
+	b.StaticPut(api.Name+".searchid", sidv)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints,
+		ir.EntryPoint{Method: api.Name + ".onSearchFlights", Kind: ir.EventClick, Label: "flightstart"})
+}
+
+// emitKayakFlightPoll: GET /api/search/V8/flight/poll consuming searchid.
+func emitKayakFlightPoll(p *ir.Program, api *ir.Class) {
+	b := ir.NewMethod(api, "onPollFlights", false, []string{"java.lang.String"}, "void")
+	sb := b.New("java.lang.StringBuilder")
+	b.InvokeSpecial("java.lang.StringBuilder.<init>", sb)
+	head := b.ConstStr("https://www.kayak.example/api/search/V8/flight/poll?searchid=")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, head)
+	sid := b.StaticGet(api.Name + ".searchid")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, sid)
+	tail := b.ConstStr("&d=up&includeopaques=true&includeSplit=false&currency=")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, tail)
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, b.Param(0))
+	uri := b.Invoke("java.lang.StringBuilder.toString", sb)
+	req := kayakRequest(b, "GET", uri)
+	raw := rrExecute(b, req)
+	js := b.InvokeStatic("org.json.JSONObject.parse", raw)
+	for _, key := range []string{"fares", "cheapest", "currencyCode"} {
+		k := b.ConstStr(key)
+		b.Invoke("org.json.JSONObject.getString", js, k)
+	}
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints,
+		ir.EntryPoint{Method: api.Name + ".onPollFlights", Kind: ir.EventClick, Label: "flightpoll"})
+}
+
+// emitKayakSimple writes a plain category endpoint transaction.
+func emitKayakSimple(p *ir.Program, api *ir.Class, seq int, method, path string, withJSON bool, trait ir.EventKind) {
+	name := fmt.Sprintf("onApi%d", seq)
+	b := ir.NewMethod(api, name, false, []string{"java.lang.String"}, "void")
+	var uri int
+	if method == "GET" {
+		sb := b.New("java.lang.StringBuilder")
+		b.InvokeSpecial("java.lang.StringBuilder.<init>", sb)
+		head := b.ConstStr("https://www.kayak.example" + path + "?v=")
+		b.InvokeVoid("java.lang.StringBuilder.append", sb, head)
+		b.InvokeVoid("java.lang.StringBuilder.append", sb, b.Param(0))
+		uri = b.Invoke("java.lang.StringBuilder.toString", sb)
+	} else {
+		uri = b.ConstStr("https://www.kayak.example" + path)
+	}
+	req := kayakRequest(b, method, uri)
+	if method == "POST" {
+		sb := b.New("java.lang.StringBuilder")
+		b.InvokeSpecial("java.lang.StringBuilder.<init>", sb)
+		s1 := b.ConstStr("payload=")
+		b.InvokeVoid("java.lang.StringBuilder.append", sb, s1)
+		enc := b.InvokeStatic("java.net.URLEncoder.encode", b.Param(0))
+		b.InvokeVoid("java.lang.StringBuilder.append", sb, enc)
+		body := b.Invoke("java.lang.StringBuilder.toString", sb)
+		ent := b.New("org.apache.http.entity.StringEntity")
+		b.InvokeSpecial("org.apache.http.entity.StringEntity.<init>", ent, body)
+		b.InvokeVoid("org.apache.http.client.methods.HttpPost.setEntity", req, ent)
+	}
+	if withJSON {
+		raw := rrExecute(b, req)
+		js := b.InvokeStatic("org.json.JSONObject.parse", raw)
+		for _, key := range []string{"status", "result"} {
+			k := b.ConstStr(key)
+			b.Invoke("org.json.JSONObject.getString", js, k)
+		}
+	} else {
+		rrDiscard(b, req)
+	}
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints,
+		ir.EntryPoint{Method: api.Name + "." + name, Kind: trait, Label: name})
+}
+
+// newKayakNetwork builds the Kayak backend with User-Agent access control
+// and the authajax -> flight/start -> flight/poll session flow.
+func newKayakNetwork(routes []kayakRoute) *httpsim.Network {
+	n := httpsim.NewNetwork()
+	s := httpsim.NewServer("www.kayak.example")
+	sid := "SID-7342"
+	searchid := "SEARCH-90125"
+
+	guard := func(h httpsim.Handler) httpsim.Handler {
+		return func(r *httpsim.Request) *httpsim.Response {
+			if !strings.HasPrefix(r.Headers["User-Agent"], "kayakandroidphone/") {
+				return httpsim.Error(403, "unsupported client")
+			}
+			return h(r)
+		}
+	}
+	s.Handle("POST", "/k/authajax", guard(func(r *httpsim.Request) *httpsim.Response {
+		if !strings.Contains(r.Body, "action=registerandroid") {
+			return httpsim.Error(400, "bad action")
+		}
+		return httpsim.JSON(fmt.Sprintf(`{"_sid_":%q}`, sid))
+	}))
+	s.Handle("GET", "/api/search/V8/flight/start", guard(func(r *httpsim.Request) *httpsim.Response {
+		if r.Query().Get("_sid_") != sid {
+			return httpsim.Error(403, "no session")
+		}
+		return httpsim.JSON(fmt.Sprintf(`{"searchid":%q}`, searchid))
+	}))
+	s.Handle("GET", "/api/search/V8/flight/poll", guard(func(r *httpsim.Request) *httpsim.Response {
+		if r.Query().Get("searchid") != searchid {
+			return httpsim.Error(404, "unknown search")
+		}
+		return httpsim.JSON(`{"fares":"[{\"price\":123},{\"price\":140}]",` +
+			`"cheapest":"123","currencyCode":"USD"}`)
+	}))
+	for _, rt := range routes {
+		if rt.Method == "POST" {
+			s.Handle("POST", rt.Path, guard(func(r *httpsim.Request) *httpsim.Response {
+				return httpsim.JSON(`{"status":"ok","result":"posted"}`)
+			}))
+			continue
+		}
+		s.Handle("GET", rt.Path, guard(func(r *httpsim.Request) *httpsim.Response {
+			return httpsim.JSON(`{"status":"ok","result":"data"}`)
+		}))
+	}
+	n.Register(s)
+
+	ads := httpsim.NewServer("ads.admarvel.example")
+	ads.HandlePrefix("GET", "/", func(r *httpsim.Request) *httpsim.Response {
+		return httpsim.Text("beacon-ok")
+	})
+	n.Register(ads)
+	return n
+}

@@ -1,0 +1,319 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"extractocol/internal/httpsim"
+	"extractocol/internal/ir"
+)
+
+// RadioReddit builds the Table 3 case study: an online music streaming
+// client with six transactions —
+//
+//	#1 GET  http://www.reddit.com/api/info.json?
+//	#2 GET  http://www.radioreddit.com/<station>/status.json
+//	#3 POST https://ssl.reddit.com/api/login        (user/passwd/api_type)
+//	#4 POST http://www.reddit.com/api/(unsave|save) (id/uh + Cookie header)
+//	#5 POST http://www.reddit.com/api/vote          (id/dir/uh + Cookie)
+//	#6 GET  (.*)                                    (relay URI -> MediaPlayer)
+//
+// Login's response carries modhash and cookie; the modhash value feeds the
+// "uh" field of #4/#5 and the cookie value their Cookie headers — the
+// dependency graph of Table 3.
+func RadioReddit() *App {
+	p := ir.NewProgram("com.radioreddit.android")
+	p.Manifest.AppName = "radio reddit"
+	api := p.AddClass(&ir.Class{Name: "com.radioreddit.android.Api", Fields: []*ir.Field{
+		{Name: "modhash", Type: "java.lang.String", Static: true},
+		{Name: "cookie", Type: "java.lang.String", Static: true},
+		{Name: "relayURI", Type: "java.lang.String", Static: true},
+	}})
+
+	emitRRInfo(p, api)
+	emitRRStatus(p, api)
+	emitRRLogin(p, api)
+	emitRRSaveUnsave(p, api)
+	emitRRVote(p, api)
+	emitBallast(p, api, 60, newRng("rr/ballast"))
+	// #6 (the media fetch) happens inside #2's handler via MediaPlayer.
+
+	truth := Truth{
+		ByMethod:    map[string]int{"GET": 3, "POST": 3},
+		StaticVis:   map[string]int{"GET": 3, "POST": 3},
+		ManualVis:   map[string]int{"GET": 3, "POST": 3},
+		AutoVis:     map[string]int{"GET": 3, "POST": 0}, // no credentials: votes are rejected
+		QueryBodies: 3, JSONBodies: 4, Pairs: 4,
+	}
+
+	spec := AppSpec{
+		Name: "radio reddit", Package: "com.radioreddit.android",
+		Host: "www.radioreddit.com", OpenSource: true, Protocol: "HTTP(S)",
+		Library: "apache", Handwritten: true,
+		Counts: map[string]MethodCounts{
+			"GET":  {E: 3, M: 3, A: 3},
+			"POST": {E: 3, M: 3, A: 3},
+		},
+		QueryBodies: 3, JSONBodies: 4, Pairs: 4,
+	}
+	return &App{Spec: spec, Prog: p, NewNetwork: newRRNetwork, Truth: truth}
+}
+
+func rrExecute(b *ir.B, req int) int {
+	cl := b.New("org.apache.http.impl.client.DefaultHttpClient")
+	b.InvokeSpecial("org.apache.http.impl.client.DefaultHttpClient.<init>", cl)
+	resp := b.Invoke("org.apache.http.client.HttpClient.execute", cl, req)
+	ent := b.Invoke("org.apache.http.HttpResponse.getEntity", resp)
+	return b.InvokeStatic("org.apache.http.util.EntityUtils.toString", ent)
+}
+
+// rrDiscard performs the exchange without reading the response body.
+func rrDiscard(b *ir.B, req int) {
+	cl := b.New("org.apache.http.impl.client.DefaultHttpClient")
+	b.InvokeSpecial("org.apache.http.impl.client.DefaultHttpClient.<init>", cl)
+	b.Invoke("org.apache.http.client.HttpClient.execute", cl, req)
+}
+
+func emitRRInfo(p *ir.Program, api *ir.Class) {
+	b := ir.NewMethod(api, "onRefreshInfo", false, nil, "void")
+	u := b.ConstStr("http://www.reddit.com/api/info.json?")
+	req := b.New("org.apache.http.client.methods.HttpGet")
+	b.InvokeSpecial("org.apache.http.client.methods.HttpGet.<init>", req, u)
+	raw := rrExecute(b, req)
+	js := b.InvokeStatic("org.json.JSONObject.parse", raw)
+	kKind := b.ConstStr("kind")
+	b.Invoke("org.json.JSONObject.getString", js, kKind)
+	kData := b.ConstStr("data")
+	b.Invoke("org.json.JSONObject.getJSONObject", js, kData)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints, ir.EntryPoint{
+		Method: api.Name + ".onRefreshInfo", Kind: ir.EventCreate, Label: "info",
+	})
+}
+
+func emitRRStatus(p *ir.Program, api *ir.Class) {
+	b := ir.NewMethod(api, "onSelectStation", false, []string{"java.lang.String"}, "void")
+	station := b.Param(0)
+	sb := b.New("java.lang.StringBuilder")
+	b.InvokeSpecial("java.lang.StringBuilder.<init>", sb)
+	s1 := b.ConstStr("http://www.radioreddit.com/api/")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, s1)
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, station)
+	s2 := b.ConstStr("/status.json")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, s2)
+	uri := b.Invoke("java.lang.StringBuilder.toString", sb)
+	req := b.New("org.apache.http.client.methods.HttpGet")
+	b.InvokeSpecial("org.apache.http.client.methods.HttpGet.<init>", req, uri)
+	raw := rrExecute(b, req)
+
+	js := b.InvokeStatic("org.json.JSONObject.parse", raw)
+	for _, key := range []string{"all_listeners", "listeners", "online", "playlist"} {
+		k := b.ConstStr(key)
+		b.Invoke("org.json.JSONObject.getString", js, k)
+	}
+	kRelay := b.ConstStr("relay")
+	relay := b.Invoke("org.json.JSONObject.getString", js, kRelay)
+	b.StaticPut(api.Name+".relayURI", relay)
+	kSongs := b.ConstStr("songs")
+	songs := b.Invoke("org.json.JSONObject.getJSONObject", js, kSongs)
+	kSong := b.ConstStr("song")
+	arr := b.Invoke("org.json.JSONObject.getJSONArray", songs, kSong)
+	zero := b.ConstInt(0)
+	song := b.Invoke("org.json.JSONArray.getJSONObject", arr, zero)
+	// 11 of the 13 song keys; "album" and "score" are never inspected,
+	// reproducing the 16-of-18-keyword observation on Fig. 8.
+	for _, key := range []string{
+		"artist", "title", "genre", "id", "preview_url", "download_url",
+		"reddit_title", "reddit_url", "redditor",
+	} {
+		k := b.ConstStr(key)
+		b.Invoke("org.json.JSONObject.getString", song, k)
+	}
+
+	// #6: stream the relay into the media player.
+	mp := b.New("android.media.MediaPlayer")
+	b.InvokeVoid("android.media.MediaPlayer.setDataSource", mp, relay)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints, ir.EntryPoint{
+		Method: api.Name + ".onSelectStation", Kind: ir.EventClick, Label: "station",
+	})
+}
+
+func emitRRLogin(p *ir.Program, api *ir.Class) {
+	b := ir.NewMethod(api, "onLogin", false, []string{"java.lang.String", "java.lang.String"}, "void")
+	user, pass := b.Param(0), b.Param(1)
+	sb := b.New("java.lang.StringBuilder")
+	b.InvokeSpecial("java.lang.StringBuilder.<init>", sb)
+	s1 := b.ConstStr("user=")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, s1)
+	encU := b.InvokeStatic("java.net.URLEncoder.encode", user)
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, encU)
+	s2 := b.ConstStr("&passwd=")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, s2)
+	encP := b.InvokeStatic("java.net.URLEncoder.encode", pass)
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, encP)
+	s3 := b.ConstStr("&api_type=json")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, s3)
+	body := b.Invoke("java.lang.StringBuilder.toString", sb)
+	ent := b.New("org.apache.http.entity.StringEntity")
+	b.InvokeSpecial("org.apache.http.entity.StringEntity.<init>", ent, body)
+
+	u := b.ConstStr("https://ssl.reddit.com/api/login")
+	req := b.New("org.apache.http.client.methods.HttpPost")
+	b.InvokeSpecial("org.apache.http.client.methods.HttpPost.<init>", req, u)
+	b.InvokeVoid("org.apache.http.client.methods.HttpPost.setEntity", req, ent)
+	raw := rrExecute(b, req)
+
+	js := b.InvokeStatic("org.json.JSONObject.parse", raw)
+	kM := b.ConstStr("modhash")
+	mh := b.Invoke("org.json.JSONObject.getString", js, kM)
+	b.StaticPut(api.Name+".modhash", mh)
+	kC := b.ConstStr("cookie")
+	ck := b.Invoke("org.json.JSONObject.getString", js, kC)
+	b.StaticPut(api.Name+".cookie", ck)
+	kH := b.ConstStr("need_https")
+	b.Invoke("org.json.JSONObject.getBoolean", js, kH)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints, ir.EntryPoint{
+		Method: api.Name + ".onLogin", Kind: ir.EventLogin, Label: "login",
+	})
+}
+
+// emitRRSaveUnsave emits transaction #4 with the (unsave | save) URI
+// disjunction of Table 3.
+func emitRRSaveUnsave(p *ir.Program, api *ir.Class) {
+	b := ir.NewMethod(api, "onSave", false, []string{"java.lang.String", "int"}, "void")
+	id, mode := b.Param(0), b.Param(1)
+	sb := b.New("java.lang.StringBuilder")
+	b.InvokeSpecial("java.lang.StringBuilder.<init>", sb)
+	base := b.ConstStr("http://www.reddit.com/api/")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, base)
+	b.IfZ(mode, "unsave")
+	sv := b.ConstStr("save")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, sv)
+	b.Goto("built")
+	b.Label("unsave")
+	us := b.ConstStr("unsave")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, us)
+	b.Label("built")
+	uri := b.Invoke("java.lang.StringBuilder.toString", sb)
+
+	body := rrAuthBody(b, api, id, ir.NoReg)
+	ent := b.New("org.apache.http.entity.StringEntity")
+	b.InvokeSpecial("org.apache.http.entity.StringEntity.<init>", ent, body)
+	req := b.New("org.apache.http.client.methods.HttpPost")
+	b.InvokeSpecial("org.apache.http.client.methods.HttpPost.<init>", req, uri)
+	b.InvokeVoid("org.apache.http.client.methods.HttpPost.setEntity", req, ent)
+	rrCookieHeader(b, api, req)
+	rrDiscard(b, req)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints, ir.EntryPoint{
+		Method: api.Name + ".onSave", Kind: ir.EventClick, Label: "save",
+	})
+}
+
+func emitRRVote(p *ir.Program, api *ir.Class) {
+	b := ir.NewMethod(api, "onVote", false, []string{"java.lang.String", "java.lang.String"}, "void")
+	id, dir := b.Param(0), b.Param(1)
+	u := b.ConstStr("http://www.reddit.com/api/vote")
+	body := rrAuthBody(b, api, id, dir)
+	ent := b.New("org.apache.http.entity.StringEntity")
+	b.InvokeSpecial("org.apache.http.entity.StringEntity.<init>", ent, body)
+	req := b.New("org.apache.http.client.methods.HttpPost")
+	b.InvokeSpecial("org.apache.http.client.methods.HttpPost.<init>", req, u)
+	b.InvokeVoid("org.apache.http.client.methods.HttpPost.setEntity", req, ent)
+	rrCookieHeader(b, api, req)
+	raw := rrExecute(b, req)
+	js := b.InvokeStatic("org.json.JSONObject.parse", raw)
+	kOK := b.ConstStr("success")
+	b.Invoke("org.json.JSONObject.getBoolean", js, kOK)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints, ir.EntryPoint{
+		Method: api.Name + ".onVote", Kind: ir.EventClick, Label: "vote",
+	})
+}
+
+// rrAuthBody builds "id=<id>[&dir=<dir>]&uh=<modhash>". Pass ir.NoReg as
+// dirReg to omit the dir field.
+func rrAuthBody(b *ir.B, api *ir.Class, idReg, dirReg int) int {
+	sb := b.New("java.lang.StringBuilder")
+	b.InvokeSpecial("java.lang.StringBuilder.<init>", sb)
+	p1 := b.ConstStr("id=")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, p1)
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, idReg)
+	if dirReg != ir.NoReg {
+		d := b.ConstStr("&dir=")
+		b.InvokeVoid("java.lang.StringBuilder.append", sb, d)
+		b.InvokeVoid("java.lang.StringBuilder.append", sb, dirReg)
+	}
+	uh := b.ConstStr("&uh=")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, uh)
+	mh := b.StaticGet(api.Name + ".modhash")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, mh)
+	return b.Invoke("java.lang.StringBuilder.toString", sb)
+}
+
+func rrCookieHeader(b *ir.B, api *ir.Class, req int) {
+	hk := b.ConstStr("Cookie")
+	hv := b.StaticGet(api.Name + ".cookie")
+	b.InvokeVoid("org.apache.http.client.methods.HttpPost.addHeader", req, hk, hv)
+}
+
+// newRRNetwork builds radio reddit's three backends with real session
+// state: login issues a modhash the vote/save endpoints verify.
+func newRRNetwork() *httpsim.Network {
+	n := httpsim.NewNetwork()
+
+	issued := "f0f0f0modhash"
+	cookieVal := "reddit_session=abc123"
+
+	www := httpsim.NewServer("www.reddit.com")
+	www.Handle("GET", "/api/info.json", func(r *httpsim.Request) *httpsim.Response {
+		return httpsim.JSON(`{"kind":"Listing","data":{"children":[]}}`)
+	})
+	authed := func(r *httpsim.Request) *httpsim.Response {
+		if !strings.Contains(r.Body, "uh="+issued) {
+			return httpsim.Error(403, "bad modhash")
+		}
+		if r.Headers["Cookie"] != cookieVal {
+			return httpsim.Error(403, "bad cookie")
+		}
+		return httpsim.JSON(`{"success":true}`)
+	}
+	www.Handle("POST", "/api/save", authed)
+	www.Handle("POST", "/api/unsave", authed)
+	www.Handle("POST", "/api/vote", authed)
+	n.Register(www)
+
+	ssl := httpsim.NewServer("ssl.reddit.com")
+	ssl.Handle("POST", "/api/login", func(r *httpsim.Request) *httpsim.Response {
+		if !strings.Contains(r.Body, "user=") || !strings.Contains(r.Body, "passwd=") {
+			return httpsim.Error(400, "missing credentials")
+		}
+		return httpsim.JSON(fmt.Sprintf(`{"modhash":%q,"cookie":%q,"need_https":true}`, issued, cookieVal))
+	})
+	n.Register(ssl)
+
+	radio := httpsim.NewServer("www.radioreddit.com")
+	radio.HandlePrefix("GET", "/api/", func(r *httpsim.Request) *httpsim.Response {
+		return httpsim.JSON(`{"all_listeners":"99999","listeners":"13586","online":"TRUE",` +
+			`"playlist":"hiphop","relay":"http://cdn.audiopump.example/radioreddit/hiphop_mp3_128k",` +
+			`"songs":{"song":[{"album":"","artist":"stirus","download_url":"http://dl.example/837",` +
+			`"genre":"HipHop","id":"837","preview_url":"http://pv.example/837",` +
+			`"reddit_title":"stirus - Surviving Minds","reddit_url":"http://r.example/837",` +
+			`"redditor":"sonus","score":"6","title":"Surviving Minds"}]}}`)
+	})
+	n.Register(radio)
+
+	cdn := httpsim.NewServer("cdn.audiopump.example")
+	cdn.HandlePrefix("GET", "/", func(r *httpsim.Request) *httpsim.Response {
+		return httpsim.Binary("MP3STREAMBYTES")
+	})
+	n.Register(cdn)
+	return n
+}

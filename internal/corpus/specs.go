@@ -1,0 +1,211 @@
+package corpus
+
+// Specs returns the 30 generated corpus applications, one per Table 1 row
+// except the four hand-written case-study apps (Diode, radio reddit, TED,
+// Kayak). Each MethodCounts cell carries the paper's triple: for
+// open-source apps {Extractocol, manual fuzzing, source-code analysis};
+// for closed-source apps {Extractocol, manual fuzzing, automatic fuzzing}.
+//
+// Two of the paper's open-source cells report a source-code count *below*
+// what both Extractocol and manual fuzzing found (qBittorrent GET 3/3/2 and
+// POST 13/13/2); that is an artifact of the authors' human source
+// inspection and is not reproducible from a generative corpus, so those
+// cells use the self-consistent value. The deviation is recorded in
+// EXPERIMENTS.md.
+func Specs() []AppSpec {
+	g := func(e, m, a int) MethodCounts { return MethodCounts{E: e, M: m, A: a} }
+
+	return []AppSpec{
+		// ---- open-source (F-Droid) -----------------------------------------
+		{
+			Name: "Adblock Plus", Package: "org.adblockplus.android",
+			Host: "adblockplus.org", OpenSource: true, Protocol: "HTTPS",
+			Counts:      map[string]MethodCounts{"GET": g(2, 2, 2), "POST": g(1, 1, 1)},
+			QueryBodies: 1, XMLBodies: 1, Pairs: 1, Library: "urlconn",
+		},
+		{
+			Name: "AnarXiv", Package: "org.anarxiv",
+			Host: "export.arxiv.org", OpenSource: true, Protocol: "HTTP",
+			Counts:    map[string]MethodCounts{"GET": g(2, 2, 2)},
+			XMLBodies: 2, Pairs: 2, Library: "urlconn",
+		},
+		{
+			Name: "blippex", Package: "com.blippex.app",
+			Host: "api.blippex.org", OpenSource: true, Protocol: "HTTPS",
+			Counts:     map[string]MethodCounts{"GET": g(1, 1, 1)},
+			JSONBodies: 1, Pairs: 1, Library: "apache",
+		},
+		{
+			Name: "Diaspora WebClient", Package: "de.baumann.diaspora",
+			Host: "pod.diaspora.example", OpenSource: true, Protocol: "HTTP",
+			Counts:     map[string]MethodCounts{"GET": g(1, 1, 1)},
+			JSONBodies: 1, Pairs: 1, Library: "apache",
+		},
+		{
+			Name: "iFixIt", Package: "com.dozuki.ifixit",
+			Host: "www.ifixit.example", OpenSource: true, Protocol: "HTTP",
+			Counts:      map[string]MethodCounts{"GET": g(15, 15, 15), "POST": g(7, 7, 7)},
+			QueryBodies: 3, JSONBodies: 14, Pairs: 14, Library: "apache",
+		},
+		{
+			Name: "Lightning", Package: "acr.browser.lightning",
+			Host: "lightning.example", OpenSource: true, Protocol: "HTTP(S)",
+			Counts:    map[string]MethodCounts{"GET": g(2, 2, 2)},
+			XMLBodies: 1, Pairs: 1, Library: "urlconn",
+		},
+		{
+			Name: "qBittorrent", Package: "com.qbittorrent.client",
+			Host: "qbt.local.example", OpenSource: true, Protocol: "HTTP",
+			Counts:      map[string]MethodCounts{"GET": g(3, 3, 3), "POST": g(13, 13, 13)},
+			QueryBodies: 13, JSONBodies: 3, Pairs: 3, Library: "apache",
+		},
+		{
+			Name: "Reddinator", Package: "au.com.wallaceit.reddinator",
+			Host: "www.reddit.example", OpenSource: true, Protocol: "HTTP(S)",
+			Counts:     map[string]MethodCounts{"GET": g(3, 3, 3), "POST": g(3, 3, 3)},
+			JSONBodies: 6, Pairs: 6, Library: "apache",
+		},
+		{
+			Name: "Twister", Package: "com.twister.android",
+			Host: "twister.example", OpenSource: true, Protocol: "HTTP",
+			Counts:      map[string]MethodCounts{"POST": g(11, 11, 11)},
+			QueryBodies: 11, JSONBodies: 8, Pairs: 8, Library: "apache",
+		},
+		{
+			Name: "TZM", Package: "org.tzm.android",
+			Host: "www.thezeitgeistmovement.example", OpenSource: true, Protocol: "HTTPS",
+			Counts:     map[string]MethodCounts{"GET": g(2, 2, 2)},
+			JSONBodies: 1, Pairs: 1, Library: "apache",
+		},
+		{
+			Name: "Wallabag", Package: "fr.gaulupeau.apps.InThePoche",
+			Host: "wallabag.example", OpenSource: true, Protocol: "HTTP",
+			Counts:    map[string]MethodCounts{"GET": g(1, 1, 1)},
+			XMLBodies: 1, Pairs: 1, Library: "apache",
+		},
+
+		// ---- closed-source (Google Play top apps) ---------------------------
+		{
+			Name: "5miles", Package: "com.thirdrock.fivemiles",
+			Host: "api.5milesapp.example", Protocol: "HTTPS", Gated: true,
+			Counts:      map[string]MethodCounts{"GET": g(24, 25, 0), "POST": g(51, 12, 0)},
+			QueryBodies: 16, JSONBodies: 16, Pairs: 71, Library: "okhttp",
+		},
+		{
+			Name: "AC App for Android", Package: "com.acapp.android",
+			Host: "api.acapp.example", Protocol: "HTTP(S)",
+			Counts:      map[string]MethodCounts{"GET": g(9, 9, 7), "POST": g(15, 15, 5)},
+			QueryBodies: 15, JSONBodies: 23, Pairs: 23, Library: "apache",
+		},
+		{
+			Name: "AOL: Mail, News & Video", Package: "com.aol.mobile.aolapp",
+			Host: "api.aol.example", Protocol: "HTTP",
+			Counts:     map[string]MethodCounts{"GET": g(9, 9, 6)},
+			JSONBodies: 9, Pairs: 9, Library: "apache",
+		},
+		{
+			Name: "AccuWeather", Package: "com.accuweather.android",
+			Host: "api.accuweather.example", Protocol: "HTTP", Gated: true,
+			Counts:      map[string]MethodCounts{"GET": g(15, 15, 0), "POST": g(3, 3, 0)},
+			QueryBodies: 3, JSONBodies: 16, Pairs: 16, Library: "urlconn",
+		},
+		{
+			Name: "Buzzfeed", Package: "com.buzzfeed.android",
+			Host: "api.buzzfeed.example", Protocol: "HTTP(S)",
+			Counts:      map[string]MethodCounts{"GET": g(16, 5, 5), "POST": g(12, 5, 1)},
+			QueryBodies: 12, JSONBodies: 6, Pairs: 27, Library: "apache",
+		},
+		{
+			Name: "Flipboard", Package: "flipboard.app",
+			Host: "fbprod.flipboard.example", Protocol: "HTTPS", Gated: true,
+			Counts:      map[string]MethodCounts{"GET": g(23, 24, 0), "POST": g(41, 13, 0)},
+			QueryBodies: 28, JSONBodies: 8, Pairs: 63, Library: "okhttp",
+		},
+		{
+			Name: "GEEK", Package: "com.contextlogic.geek",
+			Host: "api.geek.example", Protocol: "HTTPS",
+			Counts:      map[string]MethodCounts{"GET": g(0, 1, 0), "POST": g(97, 48, 18)},
+			QueryBodies: 41, JSONBodies: 11, Pairs: 97, Library: "apache",
+		},
+		{
+			Name: "Letgo", Package: "com.abtnprojects.ambatana",
+			Host: "api.letgo.example", Protocol: "HTTPS",
+			Counts: map[string]MethodCounts{
+				"GET": g(38, 32, 10), "POST": g(10, 14, 2), "PUT": g(2, 2, 0), "DELETE": g(3, 0, 0),
+			},
+			QueryBodies: 20, JSONBodies: 18, Pairs: 40, Library: "okhttp",
+		},
+		{
+			Name: "LinkedIn", Package: "com.linkedin.android",
+			Host: "api.linkedin.example", Protocol: "HTTPS",
+			Counts: map[string]MethodCounts{
+				"GET": g(38, 42, 16), "POST": g(49, 17, 8), "PUT": g(0, 3, 0),
+			},
+			QueryBodies: 46, JSONBodies: 47, Pairs: 85, Library: "volley",
+		},
+		{
+			Name: "Lucktastic", Package: "com.lucktastic.scratch",
+			Host: "api.lucktastic.example", Protocol: "HTTPS", Gated: true,
+			Counts: map[string]MethodCounts{
+				"GET": g(16, 2, 0), "POST": g(9, 15, 0), "PUT": g(2, 0, 0), "DELETE": g(4, 0, 0),
+			},
+			QueryBodies: 5, JSONBodies: 19, Pairs: 31, Library: "apache",
+		},
+		{
+			Name: "MusicDownloader", Package: "com.musicdownloader.app",
+			Host: "api.musicdl.example", Protocol: "HTTPS", Gated: true,
+			Counts:     map[string]MethodCounts{"GET": g(3, 10, 0), "POST": g(0, 1, 0)},
+			JSONBodies: 4, Pairs: 2, Library: "urlconn",
+		},
+		{
+			Name: "Offerup", Package: "com.offerup",
+			Host: "api.offerup.example", Protocol: "HTTPS", Gated: true,
+			Counts: map[string]MethodCounts{
+				"GET": g(33, 20, 0), "POST": g(23, 21, 0), "PUT": g(8, 1, 0), "DELETE": g(3, 0, 0),
+			},
+			QueryBodies: 12, JSONBodies: 25, Pairs: 63, Library: "okhttp",
+		},
+		{
+			Name: "Pandora Radio", Package: "com.pandora.android",
+			Host: "tuner.pandora.example", Protocol: "HTTP(S)",
+			Counts:      map[string]MethodCounts{"GET": g(7, 0, 0), "POST": g(53, 20, 2)},
+			QueryBodies: 53, JSONBodies: 26, Pairs: 60, Library: "apache",
+		},
+		{
+			Name: "Pinterest", Package: "com.pinterest",
+			Host: "api.pinterest.example", Protocol: "HTTPS",
+			Counts: map[string]MethodCounts{
+				"GET": g(60, 62, 26), "POST": g(36, 19, 16), "PUT": g(32, 8, 3), "DELETE": g(20, 10, 2),
+			},
+			QueryBodies: 88, JSONBodies: 120, Pairs: 148, Library: "volley",
+		},
+		{
+			Name: "Tophatter", Package: "com.tophatter",
+			Host: "api.tophatter.example", Protocol: "HTTPS", Gated: true,
+			Counts: map[string]MethodCounts{
+				"GET": g(33, 24, 0), "POST": g(32, 14, 0), "PUT": g(1, 0, 0), "DELETE": g(4, 1, 0),
+			},
+			QueryBodies: 18, JSONBodies: 32, Pairs: 62, Library: "apache",
+		},
+		{
+			Name: "Tumblr", Package: "com.tumblr",
+			Host: "api.tumblr.example", Protocol: "HTTPS",
+			Counts: map[string]MethodCounts{
+				"GET": g(12, 13, 13), "POST": g(8, 5, 5), "DELETE": g(1, 1, 0),
+			},
+			QueryBodies: 5, JSONBodies: 14, Pairs: 20, Library: "okhttp",
+		},
+		{
+			Name: "WatchESPN", Package: "com.espn.gtv",
+			Host: "espn.go.example", Protocol: "HTTP",
+			Counts:     map[string]MethodCounts{"GET": g(33, 33, 17)},
+			JSONBodies: 32, Pairs: 32, Library: "apache",
+		},
+		{
+			Name: "Wish Local", Package: "com.contextlogic.wishlocal",
+			Host: "api.wishlocal.example", Protocol: "HTTPS",
+			Counts:      map[string]MethodCounts{"GET": g(0, 1, 0), "POST": g(106, 48, 21)},
+			QueryBodies: 15, JSONBodies: 28, Pairs: 106, Library: "apache",
+		},
+	}
+}

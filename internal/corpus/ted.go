@@ -1,0 +1,316 @@
+package corpus
+
+import (
+	"fmt"
+
+	"extractocol/internal/httpsim"
+	"extractocol/internal/ir"
+)
+
+// TED builds the Table 4 / Fig. 1 case study: a media app whose catalog
+// responses feed an SQLite database that later transactions read, and
+// whose advertisement chain (#3 -> #4 -> #5) flows a query URI, then a
+// video URI, into the media player — the prefetching opportunity of Fig. 1.
+//
+//	#1 GET speakers.json?limit=2000&api-key=<res>&filter=...  (JSON -> DB)
+//	#2 POST graph.facebook.example/me/photos                  (sharing)
+//	#3 GET v1/talks/<id>/android_ad.json?api-key=<res>        (JSON: ad URI)
+//	#4 GET (.*) ad query URI from #3                          (XML: video URI)
+//	#5 GET (.*) ad video URI from #4                          (-> MediaPlayer)
+//	#6 GET v1/talk_catalogs/android_v1.json?api-key=...       (JSON -> DB)
+//	#7 GET (.*) thumbnail URI from DB                         (-> ImageView)
+//	#8 GET (.*) audio/video URI from DB                       (-> MediaPlayer)
+//
+// Transaction #6 is triggered by server-initiated content updates, which
+// UI fuzzing cannot reproduce (§5.2: PUMA missed it). Ten generated filler
+// transactions bring the totals to Table 1's 16 GET + 2 POST.
+func TED() *App {
+	spec := AppSpec{
+		Name: "TED", Package: "com.ted.android", Host: "filler-api.ted.example",
+		Protocol: "HTTP(S)", Library: "apache", Handwritten: true,
+		Counts:     map[string]MethodCounts{"GET": {E: 9, M: 10, A: 4}, "POST": {E: 1, M: 1, A: 1}},
+		JSONBodies: 6, Pairs: 5,
+	}
+	txs := planTransactions(spec)
+	prog, baseNet := buildProgram(spec, txs)
+	truth := deriveTruth(spec, txs)
+
+	addTEDCaseStudy(prog)
+	// Hand-written additions: 7 GET (one server-push triggered) + 1 POST.
+	truth.ByMethod["GET"] += 7
+	truth.ByMethod["POST"]++
+	truth.StaticVis["GET"] += 7
+	truth.StaticVis["POST"]++
+	truth.ManualVis["GET"] += 6 // #6 (server push) is unreachable
+	truth.ManualVis["POST"]++
+	truth.AutoVis["GET"] += 6  // create + click handlers
+	truth.AutoVis["POST"] += 0 // sharing sits behind a custom widget
+	truth.JSONBodies += 3
+	truth.XMLBodies++
+	truth.Pairs += 5
+
+	newNet := func() *httpsim.Network {
+		n := baseNet()
+		registerTEDServers(n)
+		return n
+	}
+	return &App{Spec: spec, Prog: prog, NewNetwork: newNet, Truth: truth}
+}
+
+func addTEDCaseStudy(p *ir.Program) {
+	p.Resources["api_key"] = "TED-ANDROID-KEY-2014"
+	cls := p.AddClass(&ir.Class{Name: "com.ted.android.Catalog"})
+
+	emitTEDSpeakers(p, cls)
+	emitTEDFacebookShare(p, cls)
+	emitTEDAdChain(p, cls)
+	emitTEDTalkCatalog(p, cls)
+	emitTEDThumbnail(p, cls)
+	emitTEDPlayback(p, cls)
+	emitBallast(p, cls, 120, newRng("ted/ballast"))
+}
+
+func tedAPIKey(b *ir.B) int {
+	res := b.New("android.content.res.Resources")
+	k := b.ConstStr("api_key")
+	return b.Invoke("android.content.res.Resources.getString", res, k)
+}
+
+// emitTEDSpeakers: transaction #1.
+func emitTEDSpeakers(p *ir.Program, cls *ir.Class) {
+	b := ir.NewMethod(cls, "onSyncSpeakers", false, []string{"java.lang.String"}, "void")
+	updatedAt := b.Param(0)
+	sb := b.New("java.lang.StringBuilder")
+	b.InvokeSpecial("java.lang.StringBuilder.<init>", sb)
+	s1 := b.ConstStr("https://app-api.ted.example/v1/speakers.json?limit=2000&api-key=")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, s1)
+	key := tedAPIKey(b)
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, key)
+	s2 := b.ConstStr("&filter=updated_at:%3E")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, s2)
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, updatedAt)
+	uri := b.Invoke("java.lang.StringBuilder.toString", sb)
+	req := b.New("org.apache.http.client.methods.HttpGet")
+	b.InvokeSpecial("org.apache.http.client.methods.HttpGet.<init>", req, uri)
+	raw := rrExecute(b, req)
+	js := b.InvokeStatic("org.json.JSONObject.parse", raw)
+	kN := b.ConstStr("name")
+	name := b.Invoke("org.json.JSONObject.getString", js, kN)
+	kD := b.ConstStr("description")
+	desc := b.Invoke("org.json.JSONObject.getString", js, kD)
+	cv := b.New("android.content.ContentValues")
+	b.InvokeSpecial("android.content.ContentValues.<init>", cv)
+	c1 := b.ConstStr("name")
+	b.InvokeVoid("android.content.ContentValues.put", cv, c1, name)
+	c2 := b.ConstStr("description")
+	b.InvokeVoid("android.content.ContentValues.put", cv, c2, desc)
+	db := b.New("android.database.sqlite.SQLiteDatabase")
+	tbl := b.ConstStr("speakers")
+	b.InvokeVoid("android.database.sqlite.SQLiteDatabase.insert", db, tbl, cv)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints,
+		ir.EntryPoint{Method: cls.Name + ".onSyncSpeakers", Kind: ir.EventCreate, Label: "speakers"})
+}
+
+// emitTEDFacebookShare: transaction #2.
+func emitTEDFacebookShare(p *ir.Program, cls *ir.Class) {
+	b := ir.NewMethod(cls, "onShare", false, []string{"java.lang.String"}, "void")
+	caption := b.Param(0)
+	u := b.ConstStr("https://graph.facebook.example/me/photos")
+	sb := b.New("java.lang.StringBuilder")
+	b.InvokeSpecial("java.lang.StringBuilder.<init>", sb)
+	s1 := b.ConstStr("caption=")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, s1)
+	enc := b.InvokeStatic("java.net.URLEncoder.encode", caption)
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, enc)
+	body := b.Invoke("java.lang.StringBuilder.toString", sb)
+	ent := b.New("org.apache.http.entity.StringEntity")
+	b.InvokeSpecial("org.apache.http.entity.StringEntity.<init>", ent, body)
+	req := b.New("org.apache.http.client.methods.HttpPost")
+	b.InvokeSpecial("org.apache.http.client.methods.HttpPost.<init>", req, u)
+	b.InvokeVoid("org.apache.http.client.methods.HttpPost.setEntity", req, ent)
+	rrDiscard(b, req)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints,
+		ir.EntryPoint{Method: cls.Name + ".onShare", Kind: ir.EventCustomUI, Label: "share"})
+}
+
+// emitTEDAdChain: transactions #3, #4 and #5 in one click handler — the
+// Fig. 1 prefetching chain.
+func emitTEDAdChain(p *ir.Program, cls *ir.Class) {
+	b := ir.NewMethod(cls, "onOpenTalk", false, []string{"int"}, "void")
+	talkID := b.Param(0)
+	sb := b.New("java.lang.StringBuilder")
+	b.InvokeSpecial("java.lang.StringBuilder.<init>", sb)
+	s1 := b.ConstStr("https://app-api.ted.example/v1/talks/")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, s1)
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, talkID)
+	s2 := b.ConstStr("/android_ad.json?api-key=")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, s2)
+	key := tedAPIKey(b)
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, key)
+	uri := b.Invoke("java.lang.StringBuilder.toString", sb)
+	req := b.New("org.apache.http.client.methods.HttpGet")
+	b.InvokeSpecial("org.apache.http.client.methods.HttpGet.<init>", req, uri)
+	raw := rrExecute(b, req) // #3
+
+	js := b.InvokeStatic("org.json.JSONObject.parse", raw)
+	kComp := b.ConstStr("companions")
+	comp := b.Invoke("org.json.JSONObject.getJSONObject", js, kComp)
+	kPre := b.ConstStr("preroll")
+	pre := b.Invoke("org.json.JSONObject.getJSONObject", comp, kPre)
+	kH := b.ConstStr("height")
+	b.Invoke("org.json.JSONObject.getInt", pre, kH)
+	kW := b.ConstStr("width")
+	b.Invoke("org.json.JSONObject.getInt", pre, kW)
+	kURL := b.ConstStr("url")
+	adQueryURI := b.Invoke("org.json.JSONObject.getString", js, kURL)
+
+	// #4: fetch the ad query URI; XML response carries the video URI.
+	req2 := b.New("org.apache.http.client.methods.HttpGet")
+	b.InvokeSpecial("org.apache.http.client.methods.HttpGet.<init>", req2, adQueryURI)
+	raw2 := rrExecute(b, req2)
+	doc := b.InvokeStatic("android.util.Xml.parse", raw2)
+	tagMedia := b.ConstStr("mediafile")
+	el := b.Invoke("org.w3c.dom.Document.getElementsByTagName", doc, tagMedia)
+	videoURI := b.Invoke("org.w3c.dom.Element.getTextContent", el)
+
+	// #5: stream the advertisement video.
+	mp := b.New("android.media.MediaPlayer")
+	b.InvokeVoid("android.media.MediaPlayer.setDataSource", mp, videoURI)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints,
+		ir.EntryPoint{Method: cls.Name + ".onOpenTalk", Kind: ir.EventClick, Label: "talk"})
+}
+
+// emitTEDTalkCatalog: transaction #6, triggered by server content updates.
+func emitTEDTalkCatalog(p *ir.Program, cls *ir.Class) {
+	b := ir.NewMethod(cls, "onContentUpdate", false, []string{"java.lang.String"}, "void")
+	ids := b.Param(0)
+	sb := b.New("java.lang.StringBuilder")
+	b.InvokeSpecial("java.lang.StringBuilder.<init>", sb)
+	s1 := b.ConstStr("https://app-api.ted.example/v1/talk_catalogs/android_v1.json?api-key=")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, s1)
+	key := tedAPIKey(b)
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, key)
+	s2 := b.ConstStr("&fields=duration_in_seconds&filter=id:")
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, s2)
+	b.InvokeVoid("java.lang.StringBuilder.append", sb, ids)
+	uri := b.Invoke("java.lang.StringBuilder.toString", sb)
+	req := b.New("org.apache.http.client.methods.HttpGet")
+	b.InvokeSpecial("org.apache.http.client.methods.HttpGet.<init>", req, uri)
+	raw := rrExecute(b, req)
+	js := b.InvokeStatic("org.json.JSONObject.parse", raw)
+	kT := b.ConstStr("thumbnail_url")
+	thumb := b.Invoke("org.json.JSONObject.getString", js, kT)
+	kV := b.ConstStr("video_url")
+	video := b.Invoke("org.json.JSONObject.getString", js, kV)
+	cv := b.New("android.content.ContentValues")
+	b.InvokeSpecial("android.content.ContentValues.<init>", cv)
+	c1 := b.ConstStr("thumbnail")
+	b.InvokeVoid("android.content.ContentValues.put", cv, c1, thumb)
+	c2 := b.ConstStr("video")
+	b.InvokeVoid("android.content.ContentValues.put", cv, c2, video)
+	db := b.New("android.database.sqlite.SQLiteDatabase")
+	tbl := b.ConstStr("talks")
+	b.InvokeVoid("android.database.sqlite.SQLiteDatabase.insert", db, tbl, cv)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints,
+		ir.EntryPoint{Method: cls.Name + ".onContentUpdate", Kind: ir.EventServerPush, Label: "catalog"})
+}
+
+// emitTEDThumbnail: transaction #7 — GET (.*) from the DB into the UI.
+func emitTEDThumbnail(p *ir.Program, cls *ir.Class) {
+	b := ir.NewMethod(cls, "onShowThumbnail", false, nil, "void")
+	db := b.New("android.database.sqlite.SQLiteDatabase")
+	tbl := b.ConstStr("talks")
+	col := b.ConstStr("thumbnail")
+	stored := b.Invoke("android.database.sqlite.SQLiteDatabase.query", db, tbl, col)
+	uri := b.Reg()
+	b.MoveTo(uri, stored)
+	b.IfNZ(stored, "haveThumb")
+	def := b.ConstStr("https://cdn.ted.example/thumbs/default.jpg")
+	b.MoveTo(uri, def)
+	b.Label("haveThumb")
+	req := b.New("org.apache.http.client.methods.HttpGet")
+	b.InvokeSpecial("org.apache.http.client.methods.HttpGet.<init>", req, uri)
+	raw := rrExecute(b, req)
+	iv := b.New("android.widget.ImageView")
+	b.InvokeVoid("android.widget.ImageView.setImageBitmap", iv, raw)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints,
+		ir.EntryPoint{Method: cls.Name + ".onShowThumbnail", Kind: ir.EventClick, Label: "thumb"})
+}
+
+// emitTEDPlayback: transaction #8 — GET (.*) from the DB into the player.
+func emitTEDPlayback(p *ir.Program, cls *ir.Class) {
+	b := ir.NewMethod(cls, "onPlay", false, nil, "void")
+	db := b.New("android.database.sqlite.SQLiteDatabase")
+	tbl := b.ConstStr("talks")
+	col := b.ConstStr("video")
+	stored := b.Invoke("android.database.sqlite.SQLiteDatabase.query", db, tbl, col)
+	uri := b.Reg()
+	b.MoveTo(uri, stored)
+	b.IfNZ(stored, "haveVideo")
+	def := b.ConstStr("https://cdn.ted.example/video/intro.mp4")
+	b.MoveTo(uri, def)
+	b.Label("haveVideo")
+	mp := b.New("android.media.MediaPlayer")
+	b.InvokeVoid("android.media.MediaPlayer.setDataSource", mp, uri)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints,
+		ir.EntryPoint{Method: cls.Name + ".onPlay", Kind: ir.EventClick, Label: "play"})
+}
+
+func registerTEDServers(n *httpsim.Network) {
+	api := httpsim.NewServer("app-api.ted.example")
+	api.Handle("GET", "/v1/speakers.json", func(r *httpsim.Request) *httpsim.Response {
+		if r.Query().Get("api-key") == "" {
+			return httpsim.Error(401, "missing api key")
+		}
+		return httpsim.JSON(`{"name":"Speaker A","description":"Researcher"}`)
+	})
+	api.HandlePrefix("GET", "/v1/talks/", func(r *httpsim.Request) *httpsim.Response {
+		return httpsim.JSON(`{"companions":{"on_page":{"height":250,"width":300},` +
+			`"preroll":{"height":360,"width":640}},` +
+			`"url":"https://ads.ted.example/query/preroll"}`)
+	})
+	api.Handle("GET", "/v1/talk_catalogs/android_v1.json", func(r *httpsim.Request) *httpsim.Response {
+		return httpsim.JSON(`{"thumbnail_url":"https://cdn.ted.example/thumbs/42.jpg",` +
+			`"video_url":"https://cdn.ted.example/video/42.mp4","duration_in_seconds":843}`)
+	})
+	n.Register(api)
+
+	ads := httpsim.NewServer("ads.ted.example")
+	ads.HandlePrefix("GET", "/query/", func(r *httpsim.Request) *httpsim.Response {
+		return httpsim.XML(`<vast version="2.0"><ad><mediafile>` +
+			`https://adcdn.ted.example/creative/77.mp4</mediafile></ad></vast>`)
+	})
+	n.Register(ads)
+
+	cdn := httpsim.NewServer("cdn.ted.example")
+	cdn.HandlePrefix("GET", "/thumbs/", func(r *httpsim.Request) *httpsim.Response {
+		return httpsim.Binary(fmt.Sprintf("JPEG:%s", r.Path()))
+	})
+	cdn.HandlePrefix("GET", "/video/", func(r *httpsim.Request) *httpsim.Response {
+		return httpsim.Binary(fmt.Sprintf("H264:%s", r.Path()))
+	})
+	n.Register(cdn)
+	adcdn := httpsim.NewServer("adcdn.ted.example")
+	adcdn.HandlePrefix("GET", "/", func(r *httpsim.Request) *httpsim.Response {
+		return httpsim.Binary(fmt.Sprintf("BYTES:%s", r.Path()))
+	})
+	n.Register(adcdn)
+
+	fb := httpsim.NewServer("graph.facebook.example")
+	fb.Handle("POST", "/me/photos", func(r *httpsim.Request) *httpsim.Response {
+		return httpsim.JSON(`{"id":"photo-1"}`)
+	})
+	n.Register(fb)
+}

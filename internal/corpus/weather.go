@@ -1,0 +1,99 @@
+package corpus
+
+import (
+	"extractocol/internal/httpsim"
+	"extractocol/internal/ir"
+)
+
+// WeatherNotification builds the §3.4 asynchronous-event example: a
+// location-service callback stores a query-string fragment ("q=<city>&
+// units=metric") into a heap field; a later user click reads the field and
+// issues the weather request. With the asynchronous-event heuristic
+// disabled the fragment's keywords are invisible to static analysis; with
+// one hop enabled they are recovered — the ablation the paper runs on the
+// open-source corpus.
+func WeatherNotification() *App {
+	spec := AppSpec{
+		Name: "Weather Notification", Package: "ru.gelin.android.weather.notification",
+		Host: "api.weather.example", OpenSource: true, Protocol: "HTTP",
+		Library: "urlconn", Handwritten: true,
+		Counts:    map[string]MethodCounts{"GET": {E: 1, M: 1, A: 1}},
+		XMLBodies: 1, Pairs: 1,
+	}
+	txs := planTransactions(spec)
+	prog, baseNet := buildProgram(spec, txs)
+	truth := deriveTruth(spec, txs)
+
+	addWeatherAsyncFlow(prog)
+	truth.ByMethod["GET"]++
+	truth.StaticVis["GET"]++
+	truth.ManualVis["GET"]++
+	truth.AutoVis["GET"]++
+	truth.XMLBodies++
+	truth.Pairs++
+
+	newNet := func() *httpsim.Network {
+		n := baseNet()
+		w := httpsim.NewServer("data.weather.example")
+		w.HandlePrefix("GET", "/forecast", func(r *httpsim.Request) *httpsim.Response {
+			return httpsim.XML(`<weather><city>` + r.Query().Get("q") +
+				`</city><temperature unit="C">21</temperature><condition>sunny</condition></weather>`)
+		})
+		n.Register(w)
+		return n
+	}
+	return &App{Spec: spec, Prog: prog, NewNetwork: newNet, Truth: truth}
+}
+
+func addWeatherAsyncFlow(p *ir.Program) {
+	cls := p.AddClass(&ir.Class{
+		Name: "ru.gelin.android.weather.notification.Updater",
+		Fields: []*ir.Field{
+			{Name: "locationQuery", Type: "java.lang.String", Static: true},
+		},
+	})
+
+	// Location-service callback: build the query fragment into the heap.
+	lb := ir.NewMethod(cls, "onLocationChanged", false, []string{"java.lang.String"}, "void")
+	city := lb.Param(0)
+	sb := lb.New("java.lang.StringBuilder")
+	lb.InvokeSpecial("java.lang.StringBuilder.<init>", sb)
+	s1 := lb.ConstStr("q=")
+	lb.InvokeVoid("java.lang.StringBuilder.append", sb, s1)
+	enc := lb.InvokeStatic("java.net.URLEncoder.encode", city)
+	lb.InvokeVoid("java.lang.StringBuilder.append", sb, enc)
+	s2 := lb.ConstStr("&units=metric")
+	lb.InvokeVoid("java.lang.StringBuilder.append", sb, s2)
+	frag := lb.Invoke("java.lang.StringBuilder.toString", sb)
+	lb.StaticPut(cls.Name+".locationQuery", frag)
+	lb.ReturnVoid()
+	lb.Done()
+
+	// A later user click reads the fragment and issues the request.
+	cb := ir.NewMethod(cls, "onRefresh", false, nil, "void")
+	sb2 := cb.New("java.lang.StringBuilder")
+	cb.InvokeSpecial("java.lang.StringBuilder.<init>", sb2)
+	base := cb.ConstStr("http://data.weather.example/forecast?")
+	cb.InvokeVoid("java.lang.StringBuilder.append", sb2, base)
+	stored := cb.StaticGet(cls.Name + ".locationQuery")
+	cb.InvokeVoid("java.lang.StringBuilder.append", sb2, stored)
+	uri := cb.Invoke("java.lang.StringBuilder.toString", sb2)
+	u := cb.New("java.net.URL")
+	cb.InvokeSpecial("java.net.URL.<init>", u, uri)
+	conn := cb.Invoke("java.net.URL.openConnection", u)
+	in := cb.Invoke("java.net.HttpURLConnection.getInputStream", conn)
+	raw := cb.Invoke("java.io.InputStream.readAll", in)
+	doc := cb.InvokeStatic("android.util.Xml.parse", raw)
+	for _, tag := range []string{"temperature", "condition"} {
+		tr := cb.ConstStr(tag)
+		el := cb.Invoke("org.w3c.dom.Document.getElementsByTagName", doc, tr)
+		cb.Invoke("org.w3c.dom.Element.getTextContent", el)
+	}
+	cb.ReturnVoid()
+	cb.Done()
+
+	p.Manifest.EntryPoints = append(p.Manifest.EntryPoints,
+		ir.EntryPoint{Method: cls.Name + ".onLocationChanged", Kind: ir.EventLocation, Label: "gps"},
+		ir.EntryPoint{Method: cls.Name + ".onRefresh", Kind: ir.EventClick, Label: "refresh"},
+	)
+}

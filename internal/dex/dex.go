@@ -1,0 +1,411 @@
+// Package dex serializes ir.Program values into the .apkb binary container
+// and parses them back. The container is the analog of an Android APK/DEX
+// file: it is the *only* input the analyzer consumes, keeping Extractocol's
+// "application binary as sole input" property. The format uses a shared
+// string pool (like DEX), little-endian fixed-width section headers, and a
+// CRC32 checksum over the payload.
+//
+// Layout:
+//
+//	magic "APKB" | u16 version | u32 crc32(payload) | payload
+//
+// The payload is: string pool, manifest, resources, classes. All strings
+// are pool indices; all integers are varint-encoded except the header.
+package dex
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+
+	"extractocol/internal/ir"
+)
+
+// Magic identifies .apkb containers.
+var Magic = [4]byte{'A', 'P', 'K', 'B'}
+
+// Version is the current container format version.
+const Version uint16 = 2
+
+// Errors returned by Decode.
+var (
+	ErrBadMagic    = errors.New("dex: bad magic (not an .apkb container)")
+	ErrBadVersion  = errors.New("dex: unsupported container version")
+	ErrBadChecksum = errors.New("dex: payload checksum mismatch")
+)
+
+// Encode serializes p into the .apkb container format.
+func Encode(p *ir.Program) ([]byte, error) {
+	var pool stringPool
+	var body bytes.Buffer
+	w := &writer{w: &body, pool: &pool}
+
+	// Manifest.
+	w.str(p.Manifest.Package)
+	w.str(p.Manifest.AppName)
+	w.bool(p.Manifest.Obfuscated)
+	w.uvarint(uint64(len(p.Manifest.EntryPoints)))
+	for _, ep := range p.Manifest.EntryPoints {
+		w.str(ep.Method)
+		w.uvarint(uint64(ep.Kind))
+		w.str(ep.Label)
+	}
+
+	// Resources, sorted for determinism.
+	keys := make([]string, 0, len(p.Resources))
+	for k := range p.Resources {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.str(p.Resources[k])
+	}
+
+	// Classes.
+	classes := p.Classes()
+	w.uvarint(uint64(len(classes)))
+	for _, c := range classes {
+		encodeClass(w, c)
+	}
+	if w.err != nil {
+		return nil, w.err
+	}
+
+	// Assemble: header, pool, body.
+	var out bytes.Buffer
+	out.Write(Magic[:])
+	var verBuf [2]byte
+	binary.LittleEndian.PutUint16(verBuf[:], Version)
+	out.Write(verBuf[:])
+
+	var payload bytes.Buffer
+	pw := &writer{w: &payload}
+	pw.uvarint(uint64(len(pool.strs)))
+	for _, s := range pool.strs {
+		pw.rawstr(s)
+	}
+	if pw.err != nil {
+		return nil, pw.err
+	}
+	payload.Write(body.Bytes())
+
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(payload.Bytes()))
+	out.Write(crcBuf[:])
+	out.Write(payload.Bytes())
+	return out.Bytes(), nil
+}
+
+func encodeClass(w *writer, c *ir.Class) {
+	w.str(c.Name)
+	w.str(c.Super)
+	w.bool(c.Library)
+	w.uvarint(uint64(len(c.Interfaces)))
+	for _, i := range c.Interfaces {
+		w.str(i)
+	}
+	w.uvarint(uint64(len(c.Fields)))
+	for _, f := range c.Fields {
+		w.str(f.Name)
+		w.str(f.Type)
+		w.bool(f.Static)
+	}
+	w.uvarint(uint64(len(c.Methods)))
+	for _, m := range c.Methods {
+		encodeMethod(w, m)
+	}
+}
+
+func encodeMethod(w *writer, m *ir.Method) {
+	w.str(m.Name)
+	w.str(m.Return)
+	w.bool(m.Static)
+	w.uvarint(uint64(len(m.Params)))
+	for _, p := range m.Params {
+		w.str(p)
+	}
+	w.uvarint(uint64(m.Registers))
+	w.uvarint(uint64(len(m.Instrs)))
+	for i := range m.Instrs {
+		encodeInstr(w, &m.Instrs[i])
+	}
+}
+
+func encodeInstr(w *writer, in *ir.Instr) {
+	w.uvarint(uint64(in.Op))
+	w.reg(in.Dst)
+	w.reg(in.A)
+	w.reg(in.B)
+	w.uvarint(uint64(len(in.Args)))
+	for _, a := range in.Args {
+		w.reg(a)
+	}
+	w.str(in.Sym)
+	w.str(in.Str)
+	w.varint(in.Int)
+	w.varint(int64(in.Target))
+	w.uvarint(uint64(in.Kind))
+}
+
+// Decode parses an .apkb container produced by Encode. The returned program
+// is validated structurally.
+func Decode(data []byte) (*ir.Program, error) {
+	if len(data) < 10 {
+		return nil, ErrBadMagic
+	}
+	if !bytes.Equal(data[:4], Magic[:]) {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
+		return nil, fmt.Errorf("%w: %d (want %d)", ErrBadVersion, v, Version)
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[6:10])
+	payload := data[10:]
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, ErrBadChecksum
+	}
+
+	r := &reader{data: payload}
+	n := r.uvarint()
+	pool := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		pool = append(pool, r.rawstr())
+	}
+	r.pool = pool
+
+	p := ir.NewProgram("")
+	p.Manifest.Package = r.str()
+	p.Manifest.AppName = r.str()
+	p.Manifest.Obfuscated = r.bool()
+	eps := r.uvarint()
+	for i := uint64(0); i < eps; i++ {
+		ep := ir.EntryPoint{Method: r.str(), Kind: ir.EventKind(r.uvarint()), Label: r.str()}
+		p.Manifest.EntryPoints = append(p.Manifest.EntryPoints, ep)
+	}
+	res := r.uvarint()
+	for i := uint64(0); i < res; i++ {
+		k := r.str()
+		p.Resources[k] = r.str()
+	}
+	nc := r.uvarint()
+	for i := uint64(0); i < nc; i++ {
+		p.AddClass(decodeClass(r))
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("dex: truncated container: %w", r.err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("dex: invalid program: %w", err)
+	}
+	return p, nil
+}
+
+func decodeClass(r *reader) *ir.Class {
+	c := &ir.Class{Name: r.str(), Super: r.str(), Library: r.bool()}
+	ni := r.uvarint()
+	for i := uint64(0); i < ni; i++ {
+		c.Interfaces = append(c.Interfaces, r.str())
+	}
+	nf := r.uvarint()
+	for i := uint64(0); i < nf; i++ {
+		c.Fields = append(c.Fields, &ir.Field{Name: r.str(), Type: r.str(), Static: r.bool()})
+	}
+	nm := r.uvarint()
+	for i := uint64(0); i < nm; i++ {
+		c.AddMethod(decodeMethod(r))
+	}
+	return c
+}
+
+func decodeMethod(r *reader) *ir.Method {
+	m := &ir.Method{Name: r.str(), Return: r.str(), Static: r.bool()}
+	np := r.uvarint()
+	for i := uint64(0); i < np; i++ {
+		m.Params = append(m.Params, r.str())
+	}
+	m.Registers = int(r.uvarint())
+	ni := r.uvarint()
+	m.Instrs = make([]ir.Instr, 0, ni)
+	for i := uint64(0); i < ni; i++ {
+		m.Instrs = append(m.Instrs, decodeInstr(r))
+	}
+	return m
+}
+
+func decodeInstr(r *reader) ir.Instr {
+	var in ir.Instr
+	in.Op = ir.Op(r.uvarint())
+	in.Dst = r.reg()
+	in.A = r.reg()
+	in.B = r.reg()
+	na := r.uvarint()
+	for i := uint64(0); i < na; i++ {
+		in.Args = append(in.Args, r.reg())
+	}
+	in.Sym = r.str()
+	in.Str = r.str()
+	in.Int = r.varint()
+	in.Target = int(r.varint())
+	in.Kind = ir.InvokeKind(r.uvarint())
+	return in
+}
+
+// WriteFile encodes p and writes it to path.
+func WriteFile(path string, p *ir.Program) error {
+	data, err := Encode(p)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile reads and decodes the container at path.
+func ReadFile(path string) (*ir.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// ---- low-level encoding helpers ----
+
+type stringPool struct {
+	strs  []string
+	index map[string]uint64
+}
+
+func (p *stringPool) id(s string) uint64 {
+	if p.index == nil {
+		p.index = map[string]uint64{}
+	}
+	if id, ok := p.index[s]; ok {
+		return id
+	}
+	id := uint64(len(p.strs))
+	p.strs = append(p.strs, s)
+	p.index[s] = id
+	return id
+}
+
+type writer struct {
+	w    io.Writer
+	pool *stringPool
+	err  error
+	buf  [binary.MaxVarintLen64]byte
+}
+
+func (w *writer) write(b []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(b)
+}
+
+func (w *writer) uvarint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+func (w *writer) varint(v int64) {
+	n := binary.PutVarint(w.buf[:], v)
+	w.write(w.buf[:n])
+}
+
+func (w *writer) bool(b bool) {
+	if b {
+		w.uvarint(1)
+	} else {
+		w.uvarint(0)
+	}
+}
+
+// reg encodes a register index, mapping ir.NoReg to 0.
+func (w *writer) reg(r int) {
+	w.varint(int64(r))
+}
+
+// str interns s in the pool and writes its index.
+func (w *writer) str(s string) { w.uvarint(w.pool.id(s)) }
+
+// rawstr writes a length-prefixed string (pool entries only).
+func (w *writer) rawstr(s string) {
+	w.uvarint(uint64(len(s)))
+	w.write([]byte(s))
+}
+
+type reader struct {
+	data []byte
+	off  int
+	pool []string
+	err  error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail(io.ErrUnexpectedEOF)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail(io.ErrUnexpectedEOF)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) bool() bool { return r.uvarint() != 0 }
+
+func (r *reader) reg() int { return int(r.varint()) }
+
+func (r *reader) str() string {
+	id := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if id >= uint64(len(r.pool)) {
+		r.fail(fmt.Errorf("string pool index %d out of range", id))
+		return ""
+	}
+	return r.pool[id]
+}
+
+func (r *reader) rawstr() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if r.off+int(n) > len(r.data) {
+		r.fail(io.ErrUnexpectedEOF)
+		return ""
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}

@@ -1,0 +1,78 @@
+package httpsim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// TCPServer exposes a Network over a real loopback TCP listener using
+// net/http, routing by Host header (the host's port is stripped before
+// lookup). It exists so traces can also be produced through a genuine
+// network stack; the in-process RoundTrip path is the default.
+type TCPServer struct {
+	Addr string // listen address, e.g. "127.0.0.1:43211"
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ListenAndServe starts serving the network on a random loopback port.
+func ListenAndServe(n *Network) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("httpsim: listen: %w", err)
+	}
+	t := &TCPServer{Addr: ln.Addr().String(), ln: ln}
+	t.srv = &http.Server{
+		Handler:           http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { serveHTTP(n, w, r) }),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       30 * time.Second,
+	}
+	go func() {
+		// ErrServerClosed is the expected shutdown signal.
+		_ = t.srv.Serve(ln)
+	}()
+	return t, nil
+}
+
+// Close shuts the server down gracefully.
+func (t *TCPServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return t.srv.Shutdown(ctx)
+}
+
+func serveHTTP(n *Network, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	host := r.Host
+	if i := strings.IndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	u := "http://" + host + r.URL.RequestURI()
+	req := &Request{
+		Method:  r.Method,
+		URL:     u,
+		Headers: map[string]string{},
+		Body:    string(body),
+	}
+	for k := range r.Header {
+		req.Headers[k] = r.Header.Get(k)
+	}
+	resp := n.RoundTrip(req)
+	for k, v := range resp.Headers {
+		w.Header().Set(k, v)
+	}
+	w.Header().Set("X-Route-Id", resp.RouteID)
+	w.WriteHeader(resp.Status)
+	_, _ = io.WriteString(w, resp.Body)
+}

@@ -1,0 +1,432 @@
+package obfuscate
+
+import (
+	"sort"
+	"strings"
+
+	"extractocol/internal/ir"
+	"extractocol/internal/semmodel"
+)
+
+// Deobfuscate recovers a mapping from obfuscated library references back to
+// modeled API references by signature-pattern similarity (§3.4): for each
+// unknown class referenced by the program, the observed call shapes (arity,
+// presence of a result, constructor-ness, constant-argument hints) are
+// compared against every modeled class; the class with the most matching
+// method shapes wins, and its methods are assigned shape-by-shape. The
+// program is rewritten in place; the returned map records obf -> original.
+//
+// As in the paper, an ambiguous shape (e.g. JSONObject.getString versus
+// getInt) may map to the wrong sibling, in which case Extractocol degrades
+// to wildcard signatures rather than failing.
+func Deobfuscate(p *ir.Program, model *semmodel.Model) map[string]string {
+	// Observed shape of each unknown method reference.
+	type shape struct {
+		args     int
+		hasRet   bool
+		isInit   bool
+		isStatic bool
+		uriHint  bool // some call site passes a constant http(s) URI
+	}
+	observed := map[string]*shape{} // obf ref -> shape
+	classOf := map[string][]string{}
+
+	known := func(ref string) bool {
+		if model.Lookup(ref) != nil {
+			return true
+		}
+		cls, name, ok := ir.SplitRef(ref)
+		if !ok {
+			return true
+		}
+		if p.ResolveMethod(cls, name) != nil {
+			return true
+		}
+		// References into declared app/library classes are not candidates.
+		if c := p.Class(cls); c != nil && !c.Library {
+			return true
+		}
+		// Well-known platform namespaces that are simply unmodeled.
+		for _, prefix := range []string{"java.lang.Object", "android.app."} {
+			if strings.HasPrefix(ref, prefix) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, c := range p.AppClasses() {
+		for _, m := range c.Methods {
+			for i := range m.Instrs {
+				in := &m.Instrs[i]
+				if in.Op != ir.OpInvoke || known(in.Sym) {
+					continue
+				}
+				cls, name, _ := ir.SplitRef(in.Sym)
+				s := observed[in.Sym]
+				if s == nil {
+					s = &shape{args: len(in.Args), hasRet: in.Dst != ir.NoReg,
+						isInit: name == "<init>", isStatic: in.Kind == ir.InvokeStatic}
+					observed[in.Sym] = s
+					classOf[cls] = append(classOf[cls], in.Sym)
+				}
+				if in.Dst != ir.NoReg {
+					s.hasRet = true
+				}
+				// Constant URI hint from the preceding definition.
+				for _, a := range in.Args {
+					for j := i - 1; j >= 0 && j > i-8; j-- {
+						d := &m.Instrs[j]
+						if d.Op == ir.OpConstStr && d.Dst == a &&
+							(strings.HasPrefix(d.Str, "http://") || strings.HasPrefix(d.Str, "https://")) {
+							s.uriHint = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(observed) == 0 {
+		return map[string]string{}
+	}
+
+	// Usage flags from allocation-site dataflow: an object passed as the
+	// non-receiver argument of an exec-like call (two args, result) is a
+	// request; the receiver of such a call is a client; an object stored
+	// into a request via a void two-arg call is an entity. These mirror
+	// the paper's "look at the decompiled code" disambiguation step.
+	isReqLike := map[string]bool{}
+	isClientLike := map[string]bool{}
+	isEntityLike := map[string]bool{}
+	entityArgIsString := map[string]bool{}
+	for pass := 0; pass < 2; pass++ {
+		for _, c := range p.AppClasses() {
+			for _, m := range c.Methods {
+				allocCls := map[int]string{} // register -> obf class
+				strReg := map[int]bool{}     // register holds a string
+				for i := range m.Instrs {
+					in := &m.Instrs[i]
+					switch in.Op {
+					case ir.OpNew:
+						if _, isObf := classOf[in.Sym]; isObf || !known(in.Sym+".<init>") {
+							allocCls[in.Dst] = in.Sym
+						}
+					case ir.OpConstStr:
+						strReg[in.Dst] = true
+					case ir.OpInvoke:
+						if in.Dst != ir.NoReg {
+							if mm := model.Lookup(in.Sym); mm != nil &&
+								(mm.Kind == semmodel.KToString || mm.Kind == semmodel.KStringConcat ||
+									mm.Kind == semmodel.KValueOf || mm.Kind == semmodel.KURLEncode) {
+								strReg[in.Dst] = true
+							}
+						}
+						if len(in.Args) == 2 && in.Dst != ir.NoReg && in.Kind != ir.InvokeStatic {
+							// exec-like
+							if cls, ok := allocCls[in.Args[1]]; ok {
+								isReqLike[cls] = true
+							}
+							if cls, ok := allocCls[in.Args[0]]; ok {
+								isClientLike[cls] = true
+							}
+						}
+						if len(in.Args) == 2 && in.Dst == ir.NoReg && in.Kind == ir.InvokeVirtual {
+							// setEntity-like: receiver must be request-like.
+							if rcls, ok := allocCls[in.Args[0]]; ok && isReqLike[rcls] {
+								if ecls, ok2 := allocCls[in.Args[1]]; ok2 {
+									isEntityLike[ecls] = true
+								}
+							}
+						}
+						if _, name, okRef := ir.SplitRef(in.Sym); okRef && name == "<init>" &&
+							len(in.Args) == 2 {
+							if cls, ok := allocCls[in.Args[0]]; ok && strReg[in.Args[1]] {
+								entityArgIsString[cls] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Candidate model classes and their method shapes.
+	type cand struct {
+		ref      string
+		args     int // expected argument count including receiver
+		hasRet   bool
+		isInit   bool
+		staticOK bool
+		uriHint  bool
+	}
+	byClass := map[string][]cand{}
+	for _, mm := range model.Methods() {
+		cls, name, ok := ir.SplitRef(mm.Ref)
+		if !ok {
+			continue
+		}
+		c := cand{ref: mm.Ref, isInit: name == "<init>"}
+		c.args, c.hasRet, c.uriHint = expectedShape(mm)
+		c.staticOK = staticCallable(mm.Kind)
+		byClass[cls] = append(byClass[cls], c)
+	}
+	modelClasses := make([]string, 0, len(byClass))
+	for cls := range byClass {
+		modelClasses = append(modelClasses, cls)
+	}
+	sort.Strings(modelClasses)
+
+	out := map[string]string{}
+	obfClasses := make([]string, 0, len(classOf))
+	for cls := range classOf {
+		obfClasses = append(obfClasses, cls)
+	}
+	sort.Strings(obfClasses)
+
+	match := func(s *shape, c cand) bool {
+		if s.isStatic && !c.staticOK {
+			return false
+		}
+		return shapeMatches(s.args, s.hasRet, s.isInit, s.uriHint, c.args, c.hasRet, c.isInit, c.uriHint)
+	}
+	classScore := func(obfCls, mc string) int {
+		score := 0
+		for _, ref := range classOf[obfCls] {
+			s := observed[ref]
+			for _, c := range byClass[mc] {
+				if match(s, c) {
+					score++
+					break
+				}
+			}
+		}
+		return score
+	}
+
+	// Family coherence: an app links one HTTP stack at a time, so prefer
+	// mapping the whole obfuscated group into the library family that
+	// explains the most observed methods.
+	family := func(cls string) string {
+		parts := strings.SplitN(cls, ".", 3)
+		if len(parts) >= 2 {
+			return parts[0] + "." + parts[1]
+		}
+		return cls
+	}
+	famScore := map[string]int{}
+	for _, obfCls := range obfClasses {
+		bestPerFam := map[string]int{}
+		for _, mc := range modelClasses {
+			if sc := classScore(obfCls, mc); sc > bestPerFam[family(mc)] {
+				bestPerFam[family(mc)] = sc
+			}
+		}
+		for f, sc := range bestPerFam {
+			famScore[f] += sc
+		}
+	}
+	bestFam, bestFamScore := "", -1
+	fams := make([]string, 0, len(famScore))
+	for f := range famScore {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, f := range fams {
+		if famScore[f] > bestFamScore {
+			bestFamScore, bestFam = famScore[f], f
+		}
+	}
+
+	classHasKind := func(mc string, kinds ...semmodel.Kind) bool {
+		for _, c := range byClass[mc] {
+			mm := model.Lookup(c.ref)
+			if mm == nil {
+				continue
+			}
+			for _, k := range kinds {
+				if mm.Kind == k {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	for _, obfCls := range obfClasses {
+		refs := classOf[obfCls]
+		sort.Strings(refs)
+		if isClientLike[obfCls] && !isReqLike[obfCls] {
+			// Client classes (DefaultHttpClient-style) need no mapping:
+			// their constructors are inert; the execute call itself is
+			// mapped through its own (shared) declaring class.
+			onlyInits := true
+			for _, ref := range refs {
+				if !observed[ref].isInit {
+					onlyInits = false
+				}
+			}
+			if onlyInits {
+				continue
+			}
+		}
+		admissible := func(mc string) bool {
+			switch {
+			case isReqLike[obfCls]:
+				return classHasKind(mc, semmodel.KHTTPReqInit, semmodel.KURLInit)
+			case isEntityLike[obfCls]:
+				if entityArgIsString[obfCls] {
+					return classHasKind(mc, semmodel.KStringEntityInit)
+				}
+				return classHasKind(mc, semmodel.KStringEntityInit, semmodel.KFormEntityInit)
+			default:
+				return true
+			}
+		}
+		// Score candidate classes, preferring the coherent family and, on
+		// ties, classes that explain a demarcation point.
+		bestCls, bestScore, bestDP := "", 0, false
+		for _, inFamily := range []bool{true, false} {
+			for _, mc := range modelClasses {
+				if inFamily != (family(mc) == bestFam) {
+					continue
+				}
+				if !admissible(mc) {
+					continue
+				}
+				sc := classScore(obfCls, mc)
+				dp := classHasKind(mc, semmodel.KExecuteDP, semmodel.KEnqueueDP)
+				if sc > bestScore || (sc == bestScore && sc > 0 && dp && !bestDP) {
+					bestScore, bestCls, bestDP = sc, mc, dp
+				}
+			}
+			if bestScore > 0 {
+				break
+			}
+		}
+		if bestScore <= 0 {
+			continue
+		}
+		// Assign methods within the winning class, preferring unused
+		// candidates so siblings spread across distinct targets.
+		used := map[string]bool{}
+		for _, ref := range refs {
+			s := observed[ref]
+			_, name, _ := ir.SplitRef(ref)
+			var pick string
+			for pass := 0; pass < 2 && pick == ""; pass++ {
+				for _, c := range byClass[bestCls] {
+					if pass == 0 && used[c.ref] {
+						continue
+					}
+					_, cname, _ := ir.SplitRef(c.ref)
+					if s.isInit != (cname == "<init>") {
+						continue
+					}
+					if match(s, c) {
+						pick = c.ref
+						break
+					}
+				}
+			}
+			if pick == "" && name == "<init>" {
+				pick = bestCls + ".<init>"
+			}
+			if pick != "" {
+				out[ref] = pick
+				used[pick] = true
+			}
+		}
+	}
+
+	// Rewrite call sites.
+	for _, c := range p.AppClasses() {
+		for _, m := range c.Methods {
+			for i := range m.Instrs {
+				in := &m.Instrs[i]
+				if in.Op == ir.OpInvoke {
+					if orig, ok := out[in.Sym]; ok {
+						in.Sym = orig
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// expectedShape derives the call shape implied by a modeled method's kind.
+func expectedShape(mm *semmodel.Method) (args int, hasRet, uriHint bool) {
+	switch mm.Kind {
+	case semmodel.KHTTPReqInit, semmodel.KURLInit:
+		return 2, false, true
+	case semmodel.KStringBuilderInit, semmodel.KJSONInit, semmodel.KListInit,
+		semmodel.KMapInit, semmodel.KCVInit, semmodel.KOkRequestBuilder:
+		return 1, false, false
+	case semmodel.KAppend, semmodel.KStringConcat:
+		return 2, true, false
+	case semmodel.KToString, semmodel.KJSONToString, semmodel.KRespGetEntity,
+		semmodel.KOpenConnection, semmodel.KConnGetOutput, semmodel.KConnGetInput,
+		semmodel.KRespBody, semmodel.KOkBuild, semmodel.KJSONArrLen:
+		return 1, true, false
+	case semmodel.KExecuteDP:
+		if mm.ReqArg == 0 {
+			return 1, true, false
+		}
+		return 2, true, false
+	case semmodel.KEnqueueDP:
+		return 2, false, false
+	case semmodel.KJSONGetStr, semmodel.KJSONGetInt, semmodel.KJSONGetBool,
+		semmodel.KJSONGetObj, semmodel.KJSONGetArr, semmodel.KJSONArrGet,
+		semmodel.KMapGet, semmodel.KListGet,
+		semmodel.KRespGetHeader, semmodel.KValueOf:
+		return 2, true, false
+	case semmodel.KEntityContent, semmodel.KJSONParse:
+		// EntityUtils.toString(entity) / JSONObject.parse(str): one value
+		// argument, callable statically.
+		return 1, true, false
+	case semmodel.KJSONPut, semmodel.KMapPut, semmodel.KCVPut,
+		semmodel.KHTTPAddHeader, semmodel.KConnSetHeader:
+		return 3, false, false
+	case semmodel.KHTTPSetEntity, semmodel.KStringEntityInit, semmodel.KListAdd,
+		semmodel.KConnSetMethod, semmodel.KStreamWrite, semmodel.KFormEntityInit:
+		return 2, false, false
+	case semmodel.KNVPairInit:
+		return 3, false, false
+	case semmodel.KSocketInit:
+		// new Socket(host, port)
+		return 3, false, false
+	case semmodel.KURLEncode:
+		return 1, true, false
+	default:
+		return 1, false, false
+	}
+}
+
+// staticCallable reports whether methods of this kind appear as static
+// calls in application code.
+func staticCallable(k semmodel.Kind) bool {
+	switch k {
+	case semmodel.KValueOf, semmodel.KURLEncode, semmodel.KEntityContent,
+		semmodel.KJSONParse, semmodel.KXMLParse, semmodel.KOkBodyCreate,
+		semmodel.KStringFormatIdentity:
+		return true
+	}
+	return false
+}
+
+func shapeMatches(args int, hasRet, isInit, uriHint bool,
+	cArgs int, cRet, cInit, cURI bool) bool {
+	if isInit != cInit {
+		return false
+	}
+	if args != cArgs {
+		return false
+	}
+	if hasRet && !cRet {
+		return false
+	}
+	if uriHint && !cURI && isInit {
+		return false
+	}
+	return true
+}

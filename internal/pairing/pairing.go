@@ -1,0 +1,171 @@
+// Package pairing reconstructs complete HTTP transactions by pairing each
+// request with its corresponding response (§3.3). Transactions are already
+// separated per context by the slicer; this package performs the paper's
+// disjoint-sub-slice analysis to validate the pairing when multiple
+// requests share a demarcation point through code reuse (Fig. 5), and
+// detects shared response handlers where pairing is legitimately
+// many-to-one.
+package pairing
+
+import (
+	"sort"
+
+	"extractocol/internal/callgraph"
+	"extractocol/internal/ir"
+	"extractocol/internal/semmodel"
+	"extractocol/internal/slice"
+	"extractocol/internal/taint"
+)
+
+// Pair describes the pairing quality of one transaction.
+type Pair struct {
+	Tx *slice.Transaction
+	// HasResponse reports whether a response slice exists at all.
+	HasResponse bool
+	// OneToOne is true when the transaction's response slice contains
+	// statements disjoint from every other transaction sharing its
+	// demarcation point — the Fig. 5 condition for unambiguous pairing.
+	OneToOne bool
+	// SharedHandler is true when another transaction processes its
+	// response with the exact same statement set (a common response
+	// handler, where pairing may not be one-to-one).
+	SharedHandler bool
+	// DisjointRequest and DisjointResponse are the statements unique to
+	// this transaction among all same-DP transactions.
+	DisjointRequest  map[taint.StmtID]bool
+	DisjointResponse map[taint.StmtID]bool
+	// FlowConfirmed is set by VerifyFlow when information-flow analysis
+	// from the disjoint request segment reaches the response slice — the
+	// paper's Fig. 5 pairing check.
+	FlowConfirmed bool
+}
+
+// Analyze computes pairing facts for every transaction.
+func Analyze(txs []*slice.Transaction) []Pair {
+	byDP := map[taint.StmtID][]*slice.Transaction{}
+	for _, tx := range txs {
+		byDP[tx.DP] = append(byDP[tx.DP], tx)
+	}
+	out := make([]Pair, 0, len(txs))
+	for _, tx := range txs {
+		group := byDP[tx.DP]
+		p := Pair{
+			Tx:               tx,
+			HasResponse:      tx.Response != nil && tx.Response.Size() > 0,
+			DisjointRequest:  disjoint(tx.Request, requestsOf(group, tx)),
+			DisjointResponse: disjoint(tx.Response, responsesOf(group, tx)),
+		}
+		p.OneToOne = p.HasResponse && (len(group) == 1 || len(p.DisjointResponse) > 0)
+		if p.HasResponse && len(group) > 1 && len(p.DisjointResponse) == 0 {
+			p.SharedHandler = sameStmtsAsAnother(tx, group)
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tx.ID < out[j].Tx.ID })
+	return out
+}
+
+func requestsOf(group []*slice.Transaction, skip *slice.Transaction) []*taint.Result {
+	var rs []*taint.Result
+	for _, t := range group {
+		if t != skip && t.Request != nil {
+			rs = append(rs, t.Request)
+		}
+	}
+	return rs
+}
+
+func responsesOf(group []*slice.Transaction, skip *slice.Transaction) []*taint.Result {
+	var rs []*taint.Result
+	for _, t := range group {
+		if t != skip && t.Response != nil {
+			rs = append(rs, t.Response)
+		}
+	}
+	return rs
+}
+
+// disjoint returns the statements of r not present in any other slice.
+func disjoint(r *taint.Result, others []*taint.Result) map[taint.StmtID]bool {
+	out := map[taint.StmtID]bool{}
+	if r == nil {
+		return out
+	}
+	for s := range r.Stmts {
+		shared := false
+		for _, o := range others {
+			if o.Stmts[s] {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			out[s] = true
+		}
+	}
+	return out
+}
+
+func sameStmtsAsAnother(tx *slice.Transaction, group []*slice.Transaction) bool {
+	for _, o := range group {
+		if o == tx || o.Response == nil || tx.Response == nil {
+			continue
+		}
+		if equalStmts(tx.Response.Stmts, o.Response.Stmts) {
+			return true
+		}
+	}
+	return false
+}
+
+// VerifyFlow runs the paper's information-flow pairing check: the disjoint
+// request segment of each transaction is used as taint source; the pairing
+// is confirmed when propagation reaches the transaction's own response
+// slice. With the disjoint-sub-slice preprocessing this is one-to-one even
+// under code reuse (Fig. 5).
+func VerifyFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, pairs []Pair) {
+	for i := range pairs {
+		pr := &pairs[i]
+		if !pr.HasResponse {
+			continue
+		}
+		eng := taint.NewEngine(p, model, cg)
+		eng.MaxAsyncHops = 1
+		seeds := map[taint.StmtID]int{}
+		src := pr.DisjointRequest
+		if len(src) == 0 {
+			src = pr.Tx.Request.Stmts
+		}
+		for s := range src {
+			m := p.Method(s.Method)
+			if m == nil || s.Index >= len(m.Instrs) {
+				continue
+			}
+			if d := m.Instrs[s.Index].Def(); d != ir.NoReg {
+				seeds[s] = d
+			}
+		}
+		if len(seeds) == 0 {
+			continue
+		}
+		flow := eng.ForwardFacts(seeds)
+		for s := range pr.Tx.Response.Stmts {
+			if flow.Stmts[s] {
+				pr.FlowConfirmed = true
+				break
+			}
+		}
+	}
+}
+
+func equalStmts(a, b map[taint.StmtID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for s := range a {
+		if !b[s] {
+			return false
+		}
+	}
+	return true
+}

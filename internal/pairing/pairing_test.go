@@ -1,0 +1,95 @@
+package pairing
+
+import (
+	"testing"
+
+	"extractocol/internal/ir"
+	"extractocol/internal/slice"
+	"extractocol/internal/taint"
+)
+
+func res(stmts ...taint.StmtID) *taint.Result {
+	r := &taint.Result{Stmts: map[taint.StmtID]bool{}}
+	for _, s := range stmts {
+		r.Stmts[s] = true
+	}
+	return r
+}
+
+func s(m string, i int) taint.StmtID { return taint.StmtID{Method: m, Index: i} }
+
+func TestSingleTransactionIsOneToOne(t *testing.T) {
+	tx := &slice.Transaction{
+		ID: 1, DP: s("a.M.go", 5),
+		Request:  res(s("a.M.go", 1), s("a.M.go", 5)),
+		Response: res(s("a.M.go", 5), s("a.M.go", 7)),
+	}
+	pairs := Analyze([]*slice.Transaction{tx})
+	if len(pairs) != 1 || !pairs[0].OneToOne || !pairs[0].HasResponse {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+}
+
+// Fig. 5: two transactions share the demarcation point in common code but
+// keep disjoint request and response segments.
+func TestSharedDPDisjointSegments(t *testing.T) {
+	dp := s("a.Common.exec", 9)
+	shared := s("a.Common.exec", 3)
+	a := &slice.Transaction{
+		ID: 1, DP: dp, Entry: ir.EntryPoint{Method: "a.A.run"},
+		Request:  res(s("a.A.run", 1), shared, dp),
+		Response: res(dp, s("a.A.run", 8)),
+	}
+	b := &slice.Transaction{
+		ID: 2, DP: dp, Entry: ir.EntryPoint{Method: "a.B.run"},
+		Request:  res(s("a.B.run", 1), shared, dp),
+		Response: res(dp, s("a.B.run", 8)),
+	}
+	pairs := Analyze([]*slice.Transaction{a, b})
+	for _, p := range pairs {
+		if !p.OneToOne {
+			t.Errorf("tx %d not one-to-one", p.Tx.ID)
+		}
+		if p.SharedHandler {
+			t.Errorf("tx %d wrongly flagged shared handler", p.Tx.ID)
+		}
+		// The disjoint request segment must exclude the shared statements.
+		if p.DisjointRequest[shared] || p.DisjointRequest[dp] {
+			t.Errorf("tx %d disjoint segment contains shared code", p.Tx.ID)
+		}
+		if len(p.DisjointRequest) == 0 {
+			t.Errorf("tx %d has no disjoint request segment", p.Tx.ID)
+		}
+	}
+}
+
+func TestCommonResponseHandlerDetected(t *testing.T) {
+	dp := s("a.C.exec", 9)
+	handler := res(dp, s("a.Handler.on", 2))
+	a := &slice.Transaction{ID: 1, DP: dp,
+		Request:  res(s("a.A.run", 1), dp),
+		Response: handler,
+	}
+	b := &slice.Transaction{ID: 2, DP: dp,
+		Request:  res(s("a.B.run", 1), dp),
+		Response: res(dp, s("a.Handler.on", 2)),
+	}
+	pairs := Analyze([]*slice.Transaction{a, b})
+	for _, p := range pairs {
+		if p.OneToOne {
+			t.Errorf("tx %d should not be one-to-one (common handler)", p.Tx.ID)
+		}
+		if !p.SharedHandler {
+			t.Errorf("tx %d should be flagged as shared handler", p.Tx.ID)
+		}
+	}
+}
+
+func TestNoResponse(t *testing.T) {
+	tx := &slice.Transaction{ID: 1, DP: s("a.M.play", 2),
+		Request: res(s("a.M.play", 0), s("a.M.play", 2))}
+	pairs := Analyze([]*slice.Transaction{tx})
+	if pairs[0].HasResponse || pairs[0].OneToOne {
+		t.Fatalf("pairs = %+v", pairs)
+	}
+}

@@ -1,0 +1,286 @@
+// Package report renders analysis results for human and machine
+// consumption: a text summary of every reconstructed transaction (the CLI
+// default), machine-readable JSON, and a Graphviz DOT rendering of the
+// inter-transaction dependency graph like the figures in Tables 3 and 4.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"extractocol/internal/core"
+	"extractocol/internal/siglang"
+	"extractocol/internal/txdep"
+)
+
+// Text renders the full report as human-readable text.
+func Text(r *core.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extractocol report for %s (%s)\n", r.AppName, r.Package)
+	fmt.Fprintf(&b, "  transactions: %d   pairs: %d   dependencies: %d\n",
+		len(r.Transactions), r.PairCount(), len(r.Deps))
+	fmt.Fprintf(&b, "  slice fraction: %.1f%%   analysis time: %s\n\n",
+		r.SliceFraction*100, r.Duration.Round(1000000))
+
+	for _, tx := range r.Transactions {
+		fmt.Fprintf(&b, "#%d %s %s\n", tx.ID, tx.Request.Method, siglang.RegexBody(tx.Request.URI))
+		if len(tx.Request.Headers) > 0 {
+			for _, h := range tx.Request.Headers {
+				fmt.Fprintf(&b, "    header %s: %s\n", h.Key, siglang.RegexBody(h.Val))
+			}
+		}
+		if tx.Request.BodyKind != "" {
+			fmt.Fprintf(&b, "    body (%s): %s\n", tx.Request.BodyKind, bodyText(tx.Request.Body))
+		}
+		if tx.Response != nil && tx.Response.HasBody() {
+			fmt.Fprintf(&b, "    response (%s): %s\n", tx.Response.BodyKind, respText(tx))
+			switch {
+			case tx.SharedHandler:
+				b.WriteString("    pairing: shared response handler (many-to-one)\n")
+			case tx.OneToOne && tx.FlowConfirmed:
+				b.WriteString("    pairing: one-to-one (flow-confirmed)\n")
+			case tx.OneToOne:
+				b.WriteString("    pairing: one-to-one\n")
+			}
+		}
+		if len(tx.Sinks) > 0 {
+			fmt.Fprintf(&b, "    response goes to: %s\n", strings.Join(tx.Sinks, ", "))
+		}
+		if len(tx.Sources) > 0 {
+			fmt.Fprintf(&b, "    request data from: %s\n", strings.Join(tx.Sources, ", "))
+		}
+		seen := map[string]bool{}
+		for _, d := range depsFor(r, tx.ID) {
+			line := fmt.Sprintf("    uses tx #%d's %s for %s\n", d.From, field(d.FromField), d.ToPart)
+			if seen[line] {
+				continue
+			}
+			seen[line] = true
+			b.WriteString(line)
+		}
+	}
+	return b.String()
+}
+
+func field(f string) string {
+	if f == "" {
+		return "response"
+	}
+	return "response field " + f
+}
+
+func bodyText(s siglang.Sig) string {
+	if j, ok := s.(*siglang.JSON); ok {
+		return siglang.JSONSchema(j)
+	}
+	return siglang.RegexBody(s)
+}
+
+func respText(tx *core.Transaction) string {
+	switch tx.Response.BodyKind {
+	case "json":
+		return "keys " + strings.Join(siglang.Keywords(&siglang.JSON{Root: tx.Response.JSON}), ", ")
+	case "xml":
+		return "tags " + strings.Join(siglang.Keywords(&siglang.XML{Root: tx.Response.XML}), ", ")
+	default:
+		return "raw"
+	}
+}
+
+func depsFor(r *core.Report, id int) []txdep.Dep {
+	var out []txdep.Dep
+	for _, d := range r.Deps {
+		if d.To == id {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// jsonTx is the machine-readable transaction shape.
+type jsonTx struct {
+	ID         int               `json:"id"`
+	Method     string            `json:"method"`
+	URIRegex   string            `json:"uri_regex"`
+	Headers    map[string]string `json:"headers,omitempty"`
+	BodyKind   string            `json:"body_kind,omitempty"`
+	BodyRegex  string            `json:"body_regex,omitempty"`
+	BodySchema string            `json:"body_schema,omitempty"`
+	RespKind   string            `json:"resp_kind,omitempty"`
+	RespKeys   []string          `json:"resp_keys,omitempty"`
+	RespSchema string            `json:"resp_schema,omitempty"`
+	RespDTD    string            `json:"resp_dtd,omitempty"`
+	Paired     bool              `json:"paired"`
+	Sinks      []string          `json:"sinks,omitempty"`
+	Sources    []string          `json:"sources,omitempty"`
+	DP         string            `json:"demarcation_point"`
+}
+
+type jsonDep struct {
+	From      int    `json:"from"`
+	To        int    `json:"to"`
+	FromField string `json:"from_field,omitempty"`
+	ToPart    string `json:"to_part"`
+	Via       string `json:"via"`
+}
+
+type jsonReport struct {
+	Package       string    `json:"package"`
+	App           string    `json:"app"`
+	Transactions  []jsonTx  `json:"transactions"`
+	Deps          []jsonDep `json:"dependencies,omitempty"`
+	Pairs         int       `json:"pairs"`
+	SliceFraction float64   `json:"slice_fraction"`
+	DurationMS    int64     `json:"duration_ms"`
+}
+
+// JSON renders the report as indented JSON.
+func JSON(r *core.Report) ([]byte, error) {
+	out := jsonReport{
+		Package:       r.Package,
+		App:           r.AppName,
+		Pairs:         r.PairCount(),
+		SliceFraction: r.SliceFraction,
+		DurationMS:    r.Duration.Milliseconds(),
+	}
+	for _, tx := range r.Transactions {
+		jt := jsonTx{
+			ID:       tx.ID,
+			Method:   tx.Request.Method,
+			URIRegex: tx.URIRegex(),
+			BodyKind: tx.Request.BodyKind,
+			Paired:   tx.Paired,
+			Sinks:    tx.Sinks,
+			Sources:  tx.Sources,
+			DP:       tx.DP,
+		}
+		if len(tx.Request.Headers) > 0 {
+			jt.Headers = map[string]string{}
+			for _, h := range tx.Request.Headers {
+				jt.Headers[h.Key] = siglang.RegexBody(h.Val)
+			}
+		}
+		switch tx.Request.BodyKind {
+		case "json":
+			jt.BodySchema = siglang.JSONSchema(tx.Request.Body)
+		case "":
+		default:
+			jt.BodyRegex = siglang.Regex(tx.Request.Body)
+		}
+		if tx.Response != nil && tx.Response.HasBody() {
+			jt.RespKind = tx.Response.BodyKind
+			switch tx.Response.BodyKind {
+			case "json":
+				jt.RespKeys = siglang.Keywords(&siglang.JSON{Root: tx.Response.JSON})
+				jt.RespSchema = siglang.JSONSchema(&siglang.JSON{Root: tx.Response.JSON})
+			case "xml":
+				jt.RespKeys = siglang.Keywords(&siglang.XML{Root: tx.Response.XML})
+				jt.RespDTD = siglang.DTD(&siglang.XML{Root: tx.Response.XML})
+			}
+		}
+		out.Transactions = append(out.Transactions, jt)
+	}
+	for _, d := range r.Deps {
+		out.Deps = append(out.Deps, jsonDep(d))
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// DOT renders the inter-transaction dependency graph in Graphviz format,
+// the textual analog of the dependency figures in Tables 3 and 4.
+func DOT(r *core.Report) string {
+	var b strings.Builder
+	b.WriteString("digraph transactions {\n  rankdir=LR;\n  node [shape=box];\n")
+	for _, tx := range r.Transactions {
+		label := fmt.Sprintf("#%d %s %s", tx.ID, tx.Request.Method, truncate(siglang.RegexBody(tx.Request.URI), 48))
+		fmt.Fprintf(&b, "  t%d [label=%q];\n", tx.ID, label)
+		for _, sink := range tx.Sinks {
+			fmt.Fprintf(&b, "  t%d -> %q [style=dotted];\n", tx.ID, sink)
+		}
+	}
+	edges := map[string]bool{}
+	for _, d := range r.Deps {
+		key := fmt.Sprintf("t%d->t%d:%s", d.From, d.To, d.ToPart)
+		if edges[key] {
+			continue
+		}
+		edges[key] = true
+		fmt.Fprintf(&b, "  t%d -> t%d [label=%q];\n", d.From, d.To,
+			truncate(d.FromField+" -> "+d.ToPart, 40))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+// SummaryByPrefix groups transactions by URI prefix, reproducing the Kayak
+// category table (Table 5): category prefix -> method -> count.
+type PrefixGroup struct {
+	Method string
+	Prefix string
+	Count  int
+	Hosts  []string
+}
+
+// GroupByPrefix buckets transactions by the first two path segments of
+// their URI literals.
+func GroupByPrefix(r *core.Report) []PrefixGroup {
+	type key struct{ method, prefix string }
+	counts := map[key]int{}
+	hosts := map[key]map[string]bool{}
+	for _, tx := range r.Transactions {
+		host, prefix := uriPrefix(siglang.RegexBody(tx.Request.URI))
+		k := key{tx.Request.Method, prefix}
+		counts[k]++
+		if hosts[k] == nil {
+			hosts[k] = map[string]bool{}
+		}
+		hosts[k][host] = true
+	}
+	var out []PrefixGroup
+	for k, c := range counts {
+		g := PrefixGroup{Method: k.method, Prefix: k.prefix, Count: c}
+		for h := range hosts[k] {
+			g.Hosts = append(g.Hosts, h)
+		}
+		sort.Strings(g.Hosts)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Prefix != out[j].Prefix {
+			return out[i].Prefix < out[j].Prefix
+		}
+		return out[i].Method < out[j].Method
+	})
+	return out
+}
+
+// uriPrefix extracts host and the first two path segments from a regex
+// fragment (unescaping regex quoting first).
+func uriPrefix(re string) (host, prefix string) {
+	s := strings.NewReplacer(`\.`, ".", `\?`, "?", `\/`, "/").Replace(re)
+	s = strings.TrimPrefix(strings.TrimPrefix(s, "https://"), "http://")
+	if i := strings.IndexAny(s, "?("); i >= 0 {
+		s = s[:i]
+	}
+	parts := strings.SplitN(s, "/", 4)
+	host = parts[0]
+	if len(parts) >= 3 {
+		return host, "/" + parts[1] + "/" + parts[2]
+	}
+	if len(parts) == 2 {
+		return host, "/" + parts[1]
+	}
+	return host, "/"
+}

@@ -1,0 +1,794 @@
+package runtime
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+
+	"extractocol/internal/httpsim"
+
+	"extractocol/internal/semmodel"
+)
+
+// model is shared by all VMs; the semantic table is immutable.
+var model = semmodel.Default()
+
+// builtin executes a modeled library call concretely. handled is false when
+// the method is not part of the semantic model.
+func (vm *VM) builtin(sym string, args []value) (handled bool, ret value, err error) {
+	mm := model.Lookup(sym)
+	if mm == nil {
+		return false, nil, nil
+	}
+	obj := func(i int) *object {
+		if i < len(args) {
+			if o, ok := args[i].(*object); ok {
+				return o
+			}
+		}
+		return nil
+	}
+	recv := obj(0)
+
+	switch mm.Kind {
+	// ---- Strings ---------------------------------------------------------
+	case semmodel.KStringBuilderInit:
+		if recv != nil {
+			recv.sb = &strings.Builder{}
+			if len(args) > 1 {
+				recv.sb.WriteString(str(args[1]))
+			}
+		}
+		return true, nil, nil
+	case semmodel.KAppend:
+		if recv != nil && recv.sb != nil && len(args) > 1 {
+			recv.sb.WriteString(str(args[1]))
+		}
+		return true, args[0], nil
+	case semmodel.KToString:
+		if recv != nil {
+			return true, str(recv), nil
+		}
+		return true, str(args[0]), nil
+	case semmodel.KStringConcat:
+		return true, str(args[0]) + str(args[1]), nil
+	case semmodel.KValueOf:
+		return true, str(args[len(args)-1]), nil
+	case semmodel.KURLEncode:
+		return true, url.QueryEscape(str(args[0])), nil
+	case semmodel.KPassThrough, semmodel.KStringFormatIdentity:
+		v := args[0]
+		switch {
+		case strings.HasSuffix(sym, ".trim"):
+			return true, strings.TrimSpace(str(v)), nil
+		case strings.HasSuffix(sym, ".toLowerCase"):
+			return true, strings.ToLower(str(v)), nil
+		case strings.HasSuffix(sym, ".toUpperCase"):
+			return true, strings.ToUpper(str(v)), nil
+		}
+		return true, v, nil
+	case semmodel.KStringEquals:
+		return true, str(args[0]) == str(args[1]), nil
+
+	// ---- HTTP request construction -----------------------------------------
+	case semmodel.KHTTPReqInit:
+		if recv == nil {
+			return true, nil, nil
+		}
+		recv.req = &reqState{method: mm.HTTPMethod, headers: map[string]string{}}
+		if recv.req.method == "" {
+			recv.req.method = "GET"
+		}
+		for _, a := range args[1:] {
+			switch t := a.(type) {
+			case string:
+				if recv.req.uri == "" {
+					recv.req.uri = t
+				}
+			case int64:
+				switch t {
+				case 0:
+					recv.req.method = "GET"
+				case 1:
+					recv.req.method = "POST"
+				case 2:
+					recv.req.method = "PUT"
+				case 3:
+					recv.req.method = "DELETE"
+				}
+			case *object:
+				if t.jsonMap != nil {
+					recv.req.body = jsonSerialize(t)
+					if recv.req.method == "GET" {
+						recv.req.method = "POST"
+					}
+				}
+			}
+		}
+		return true, nil, nil
+	case semmodel.KHTTPSetEntity:
+		if recv != nil && recv.req != nil {
+			if e := obj(1); e != nil && e.entity != nil {
+				recv.req.body = e.entity.body
+			}
+		}
+		return true, nil, nil
+	case semmodel.KHTTPAddHeader, semmodel.KConnSetHeader:
+		if recv != nil && recv.req != nil && len(args) > 2 {
+			k := str(args[1])
+			if _, dup := recv.req.headers[k]; !dup {
+				recv.req.hdrOrd = append(recv.req.hdrOrd, k)
+			}
+			recv.req.headers[k] = str(args[2])
+		}
+		return true, nil, nil
+	case semmodel.KStringEntityInit:
+		if recv != nil && len(args) > 1 {
+			recv.entity = &entityState{body: str(args[1])}
+		}
+		return true, nil, nil
+	case semmodel.KFormEntityInit:
+		if recv != nil {
+			if l := obj(1); l != nil {
+				var parts []string
+				for _, el := range l.list {
+					if po, ok := el.(*object); ok {
+						parts = append(parts, url.QueryEscape(str(po.pair[0]))+"="+url.QueryEscape(str(po.pair[1])))
+					}
+				}
+				recv.entity = &entityState{body: strings.Join(parts, "&")}
+			}
+		}
+		return true, nil, nil
+	case semmodel.KNVPairInit:
+		if recv != nil && len(args) > 2 {
+			recv.pair = [2]value{args[1], args[2]}
+		}
+		return true, nil, nil
+
+	// ---- Raw TCP sockets -------------------------------------------------------
+	case semmodel.KSocketInit:
+		if recv != nil && len(args) > 2 {
+			recv.req = &reqState{method: "TCP",
+				uri:     "tcp://" + str(args[1]) + ":" + str(args[2]),
+				headers: map[string]string{}}
+		}
+		return true, nil, nil
+
+	// ---- java.net URL / connection ------------------------------------------
+	case semmodel.KURLInit:
+		if recv != nil && len(args) > 1 {
+			recv.req = &reqState{method: "GET", uri: str(args[1]), headers: map[string]string{}}
+		}
+		return true, nil, nil
+	case semmodel.KOpenConnection:
+		conn := vm.newObject("java.net.HttpURLConnection")
+		if recv != nil && recv.req != nil {
+			conn.req = &reqState{method: "GET", uri: recv.req.uri, headers: map[string]string{}}
+		} else {
+			conn.req = &reqState{method: "GET", headers: map[string]string{}}
+		}
+		return true, conn, nil
+	case semmodel.KConnSetMethod:
+		if recv != nil && recv.req != nil && len(args) > 1 {
+			recv.req.method = str(args[1])
+		}
+		return true, nil, nil
+	case semmodel.KConnGetOutput:
+		if recv != nil && recv.req != nil {
+			if recv.req.method == "GET" {
+				recv.req.method = "POST"
+			}
+			s := vm.newObject("java.io.OutputStream")
+			s.stream = recv.req
+			return true, s, nil
+		}
+		return true, nil, nil
+	case semmodel.KStreamWrite:
+		if recv != nil && recv.stream != nil && len(args) > 1 {
+			recv.stream.body += str(args[1])
+		}
+		return true, nil, nil
+	case semmodel.KConnGetInput:
+		// Demarcation point: perform the exchange.
+		if recv != nil && recv.req != nil {
+			resp := vm.roundTrip(recv.req)
+			s := vm.newObject("java.io.InputStream")
+			s.resp = resp
+			return true, s, nil
+		}
+		return true, nil, nil
+	case semmodel.KReadStream:
+		if recv != nil && recv.resp != nil {
+			return true, recv.resp.Body, nil
+		}
+		return true, "", nil
+
+	// ---- okhttp ---------------------------------------------------------------
+	case semmodel.KOkRequestBuilder:
+		if recv != nil {
+			recv.req = &reqState{method: "GET", headers: map[string]string{}}
+		}
+		return true, nil, nil
+	case semmodel.KOkURL:
+		if recv != nil && recv.req != nil && len(args) > 1 {
+			recv.req.uri = str(args[1])
+		}
+		return true, args[0], nil
+	case semmodel.KOkPost:
+		if recv != nil && recv.req != nil {
+			recv.req.method = "POST"
+			if e := obj(1); e != nil && e.entity != nil {
+				recv.req.body = e.entity.body
+			}
+		}
+		return true, args[0], nil
+	case semmodel.KOkHeader:
+		if recv != nil && recv.req != nil && len(args) > 2 {
+			k := str(args[1])
+			if _, dup := recv.req.headers[k]; !dup {
+				recv.req.hdrOrd = append(recv.req.hdrOrd, k)
+			}
+			recv.req.headers[k] = str(args[2])
+		}
+		return true, args[0], nil
+	case semmodel.KOkBuild:
+		return true, args[0], nil
+	case semmodel.KOkNewCall:
+		call := vm.newObject("okhttp3.Call")
+		if r := obj(1); r != nil {
+			call.req = r.req
+		}
+		return true, call, nil
+	case semmodel.KOkBodyCreate:
+		e := vm.newObject("okhttp3.RequestBody")
+		e.entity = &entityState{body: str(args[len(args)-1])}
+		return true, e, nil
+
+	// ---- Demarcation points ------------------------------------------------------
+	case semmodel.KExecuteDP:
+		var rq *reqState
+		if mm.ReqArg < len(args) {
+			if o := obj(mm.ReqArg); o != nil {
+				rq = o.req
+			}
+		}
+		if rq == nil {
+			return true, nil, fmt.Errorf("runtime: %s with no request", sym)
+		}
+		resp := vm.roundTrip(rq)
+		ro := vm.newObject("org.apache.http.HttpResponse")
+		ro.resp = resp
+		return true, ro, nil
+	case semmodel.KEnqueueDP:
+		// Asynchronous exchange: perform it synchronously and deliver the
+		// response through the callback.
+		var reqObj *object
+		if mm.ReqArg < len(args) {
+			reqObj = obj(mm.ReqArg)
+		}
+		if reqObj == nil || reqObj.req == nil {
+			return true, nil, fmt.Errorf("runtime: %s with no request", sym)
+		}
+		resp := vm.roundTrip(reqObj.req)
+		var cb *object
+		if mm.CallbackArg < len(args) {
+			cb = obj(mm.CallbackArg)
+		}
+		if cb != nil {
+			if target := vm.Prog.ResolveMethod(cb.class, mm.CallbackMethod); target != nil {
+				var respVal value
+				if resp.Type == "json" {
+					respVal = jsonParse(resp.Body)
+				} else {
+					ro := vm.newObject("okhttp3.Response")
+					ro.resp = resp
+					respVal = ro
+				}
+				if _, err := vm.call(target, []value{cb, respVal}); err != nil {
+					return true, nil, err
+				}
+			}
+		}
+		return true, nil, nil
+	case semmodel.KRespGetEntity, semmodel.KRespBody:
+		if recv != nil && recv.resp != nil {
+			e := vm.newObject("org.apache.http.HttpEntity")
+			e.resp = recv.resp
+			return true, e, nil
+		}
+		return true, nil, nil
+	case semmodel.KEntityContent:
+		src := recv
+		if src == nil || src.resp == nil {
+			src = obj(len(args) - 1)
+		}
+		if src != nil && src.resp != nil {
+			return true, src.resp.Body, nil
+		}
+		return true, "", nil
+	case semmodel.KRespGetHeader:
+		if recv != nil && recv.resp != nil && len(args) > 1 {
+			return true, recv.resp.Headers[str(args[1])], nil
+		}
+		return true, "", nil
+
+	// ---- JSON -----------------------------------------------------------------------
+	case semmodel.KJSONInit:
+		if recv != nil {
+			recv.jsonMap = map[string]any{}
+		}
+		return true, nil, nil
+	case semmodel.KJSONParse:
+		src := args[len(args)-1]
+		return true, jsonParse(str(src)), nil
+	case semmodel.KJSONPut:
+		if recv != nil && recv.jsonMap != nil && len(args) > 2 {
+			k := str(args[1])
+			if _, dup := recv.jsonMap[k]; !dup {
+				recv.jsonOrd = append(recv.jsonOrd, k)
+			}
+			recv.jsonMap[k] = toJSONValue(args[2])
+		}
+		return true, args[0], nil
+	case semmodel.KJSONGetStr:
+		return true, jsonGetString(recv, str(args[1])), nil
+	case semmodel.KJSONGetInt:
+		if recv != nil && recv.jsonMap != nil {
+			if f, ok := recv.jsonMap[str(args[1])].(float64); ok {
+				return true, int64(f), nil
+			}
+		}
+		return true, int64(0), nil
+	case semmodel.KJSONGetBool:
+		if recv != nil && recv.jsonMap != nil {
+			if b, ok := recv.jsonMap[str(args[1])].(bool); ok {
+				return true, b, nil
+			}
+		}
+		return true, false, nil
+	case semmodel.KJSONGetObj:
+		if recv != nil && recv.jsonMap != nil {
+			if m, ok := recv.jsonMap[str(args[1])].(map[string]any); ok {
+				return true, wrapJSON(m), nil
+			}
+		}
+		return true, vm.newObject("org.json.JSONObject"), nil
+	case semmodel.KJSONGetArr:
+		if recv != nil && recv.jsonMap != nil {
+			if a, ok := recv.jsonMap[str(args[1])].([]any); ok {
+				o := vm.newObject("org.json.JSONArray")
+				o.jsonArr = a
+				return true, o, nil
+			}
+		}
+		return true, vm.newObject("org.json.JSONArray"), nil
+	case semmodel.KJSONArrGet:
+		if recv != nil && recv.jsonArr != nil {
+			i, _ := toInt(args[1])
+			if i >= 0 && int(i) < len(recv.jsonArr) {
+				if m, ok := recv.jsonArr[i].(map[string]any); ok {
+					return true, wrapJSON(m), nil
+				}
+				return true, jsonAnyToValue(recv.jsonArr[i]), nil
+			}
+		}
+		return true, nil, nil
+	case semmodel.KJSONArrLen:
+		if recv != nil {
+			return true, int64(len(recv.jsonArr)), nil
+		}
+		return true, int64(0), nil
+	case semmodel.KJSONToString:
+		if recv != nil && recv.jsonMap != nil {
+			return true, jsonSerialize(recv), nil
+		}
+		return true, "null", nil
+
+	// ---- gson / jackson ---------------------------------------------------------------
+	case semmodel.KGsonFromJSON:
+		if len(args) > 2 {
+			return true, vm.gsonFromJSON(str(args[1]), str(args[2])), nil
+		}
+		return true, nil, nil
+	case semmodel.KGsonToJSON:
+		if len(args) > 1 {
+			if o := obj(1); o != nil {
+				return true, vm.gsonToJSON(o), nil
+			}
+		}
+		return true, "null", nil
+
+	// ---- XML ----------------------------------------------------------------------------
+	case semmodel.KXMLParse:
+		src := args[len(args)-1]
+		n, perr := parseXMLDoc(str(src))
+		if perr != nil {
+			return true, nil, nil
+		}
+		o := vm.newObject("org.w3c.dom.Document")
+		o.xml = n
+		return true, o, nil
+	case semmodel.KXMLGetTag:
+		if recv != nil && recv.xml != nil && len(args) > 1 {
+			if found := recv.xml.find(str(args[1])); found != nil {
+				o := vm.newObject("org.w3c.dom.Element")
+				o.xml = found
+				return true, o, nil
+			}
+		}
+		return true, nil, nil
+	case semmodel.KXMLGetAttr:
+		if recv != nil && recv.xml != nil && len(args) > 1 {
+			return true, recv.xml.attrs[str(args[1])], nil
+		}
+		return true, "", nil
+	case semmodel.KXMLGetText:
+		if recv != nil && recv.xml != nil {
+			return true, strings.TrimSpace(recv.xml.text), nil
+		}
+		return true, "", nil
+
+	// ---- Containers --------------------------------------------------------------------
+	case semmodel.KListInit:
+		if recv != nil {
+			recv.list = []value{}
+		}
+		return true, nil, nil
+	case semmodel.KListAdd:
+		if recv != nil && len(args) > 1 {
+			recv.list = append(recv.list, args[1])
+		}
+		return true, true, nil
+	case semmodel.KListGet:
+		if recv != nil {
+			i, _ := toInt(args[1])
+			if i >= 0 && int(i) < len(recv.list) {
+				return true, recv.list[i], nil
+			}
+		}
+		return true, nil, nil
+	case semmodel.KMapInit, semmodel.KCVInit:
+		if recv != nil {
+			recv.kv = map[string]value{}
+		}
+		return true, nil, nil
+	case semmodel.KMapPut, semmodel.KCVPut:
+		if recv != nil && recv.kv != nil && len(args) > 2 {
+			k := str(args[1])
+			if _, dup := recv.kv[k]; !dup {
+				recv.kvOrd = append(recv.kvOrd, k)
+			}
+			recv.kv[k] = args[2]
+		}
+		return true, nil, nil
+	case semmodel.KMapGet:
+		if recv != nil && recv.kv != nil && len(args) > 1 {
+			return true, recv.kv[str(args[1])], nil
+		}
+		return true, nil, nil
+
+	// ---- Android: resources / database ---------------------------------------------------
+	case semmodel.KResGetString:
+		if len(args) > 1 {
+			return true, vm.Prog.Resources[str(args[1])], nil
+		}
+		return true, "", nil
+	case semmodel.KDBInsert, semmodel.KDBUpdate:
+		if len(args) > 2 {
+			table := str(args[1])
+			if cv := obj(2); cv != nil && cv.kv != nil {
+				for _, col := range cv.kvOrd {
+					vm.DB[table+"."+col] = cv.kv[col]
+				}
+			}
+		}
+		return true, int64(1), nil
+	case semmodel.KDBQuery:
+		if len(args) > 2 {
+			return true, vm.DB[str(args[1])+"."+str(args[2])], nil
+		}
+		return true, nil, nil
+
+	// ---- Sinks / sources ------------------------------------------------------------------
+	case semmodel.KMediaSetSource:
+		// Streaming sink: fetch the URI, count the consumption.
+		if len(args) > 1 {
+			rq := &reqState{method: "GET", uri: str(args[1]), headers: map[string]string{}}
+			vm.roundTrip(rq)
+			vm.Consumed[mm.Sink]++
+		}
+		return true, nil, nil
+	case semmodel.KFileWrite, semmodel.KUIDisplay:
+		vm.Consumed[mm.Sink]++
+		return true, nil, nil
+	case semmodel.KMicRead:
+		return true, "mic-bytes", nil
+	case semmodel.KCameraRead:
+		return true, "jpeg-bytes", nil
+	case semmodel.KLocationGet:
+		return true, "37.57", nil
+	case semmodel.KDeviceID:
+		return true, "IMEI-000111222333", nil
+
+	// ---- Implicit control flow ---------------------------------------------------------------
+	case semmodel.KAsyncExecute:
+		if recv != nil {
+			if dib := vm.Prog.ResolveMethod(recv.class, "doInBackground"); dib != nil {
+				ret, err := vm.call(dib, args)
+				if err != nil {
+					return true, nil, err
+				}
+				if post := vm.Prog.ResolveMethod(recv.class, "onPostExecute"); post != nil {
+					if _, err := vm.call(post, []value{recv, ret}); err != nil {
+						return true, nil, err
+					}
+				}
+			}
+		}
+		return true, nil, nil
+	case semmodel.KThreadStart:
+		if recv != nil {
+			if run := vm.Prog.ResolveMethod(recv.class, "run"); run != nil {
+				if _, err := vm.call(run, []value{recv}); err != nil {
+					return true, nil, err
+				}
+			}
+		}
+		return true, nil, nil
+	case semmodel.KTimerSchedule, semmodel.KHandlerPost, semmodel.KFutureSubmit, semmodel.KRxSubscribe:
+		if mm.CallbackArg < len(args) {
+			if task := obj(mm.CallbackArg); task != nil {
+				if run := vm.Prog.ResolveMethod(task.class, mm.CallbackMethod); run != nil {
+					if _, err := vm.call(run, []value{task}); err != nil {
+						return true, nil, err
+					}
+				}
+			}
+		}
+		return true, nil, nil
+	case semmodel.KIntentSend:
+		// Intents are delivered by the event loop (fuzz drivers fire the
+		// receiving entry point directly); sending is a no-op here.
+		return true, nil, nil
+	}
+	return false, nil, nil
+}
+
+// roundTrip sends a constructed request through the network.
+func (vm *VM) roundTrip(rq *reqState) *httpsim.Response {
+	headers := map[string]string{}
+	for k, v := range rq.headers {
+		headers[k] = v
+	}
+	req := &httpsim.Request{Method: rq.method, URL: rq.uri, Headers: headers, Body: rq.body}
+	rq.sent = true
+	return vm.Net.RoundTrip(req)
+}
+
+// ---- JSON helpers ----
+
+func jsonSerialize(o *object) string {
+	var b strings.Builder
+	b.WriteString("{")
+	for i, k := range o.jsonOrd {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		kb, _ := json.Marshal(k)
+		b.Write(kb)
+		b.WriteString(":")
+		vb, _ := json.Marshal(o.jsonMap[k])
+		b.Write(vb)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func jsonParse(s string) *object {
+	var m map[string]any
+	o := &object{class: "org.json.JSONObject", fields: map[string]value{}}
+	if err := json.Unmarshal([]byte(s), &m); err == nil {
+		o.jsonMap = m
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		o.jsonOrd = keys
+	} else {
+		o.jsonMap = map[string]any{}
+	}
+	return o
+}
+
+func wrapJSON(m map[string]any) *object {
+	o := &object{class: "org.json.JSONObject", fields: map[string]value{}, jsonMap: m}
+	for k := range m {
+		o.jsonOrd = append(o.jsonOrd, k)
+	}
+	sort.Strings(o.jsonOrd)
+	return o
+}
+
+func jsonGetString(o *object, key string) string {
+	if o == nil || o.jsonMap == nil {
+		return ""
+	}
+	switch t := o.jsonMap[key].(type) {
+	case string:
+		return t
+	case float64:
+		return strings.TrimSuffix(strings.TrimSuffix(fmt.Sprintf("%f", t), "000000"), ".")
+	case bool:
+		return fmt.Sprintf("%v", t)
+	default:
+		return ""
+	}
+}
+
+func toJSONValue(v value) any {
+	switch t := v.(type) {
+	case *object:
+		if t.jsonMap != nil {
+			var m map[string]any
+			_ = json.Unmarshal([]byte(jsonSerialize(t)), &m)
+			return m
+		}
+		if t.list != nil {
+			var arr []any
+			for _, el := range t.list {
+				arr = append(arr, toJSONValue(el))
+			}
+			return arr
+		}
+		return str(t)
+	case int64:
+		return float64(t)
+	default:
+		return t
+	}
+}
+
+func jsonAnyToValue(v any) value {
+	switch t := v.(type) {
+	case string:
+		return t
+	case float64:
+		return int64(t)
+	case bool:
+		return t
+	case map[string]any:
+		return wrapJSON(t)
+	default:
+		return nil
+	}
+}
+
+// gsonFromJSON deserializes into a typed app object using class fields.
+func (vm *VM) gsonFromJSON(body, class string) *object {
+	var m map[string]any
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		return vm.newObject(class)
+	}
+	return vm.bindFields(m, class)
+}
+
+func (vm *VM) bindFields(m map[string]any, class string) *object {
+	o := vm.newObject(class)
+	c := vm.Prog.Class(class)
+	if c == nil {
+		return o
+	}
+	for _, f := range c.Fields {
+		raw, present := m[f.Name]
+		if !present {
+			continue
+		}
+		if sub, isMap := raw.(map[string]any); isMap {
+			if fc := vm.Prog.Class(f.Type); fc != nil && !fc.Library {
+				o.fields[f.Name] = vm.bindFields(sub, f.Type)
+				continue
+			}
+		}
+		o.fields[f.Name] = jsonAnyToValue(raw)
+	}
+	return o
+}
+
+// gsonToJSON serializes a typed app object using its class declaration.
+func (vm *VM) gsonToJSON(o *object) string {
+	var b strings.Builder
+	vm.writeGson(o, &b, 0)
+	return b.String()
+}
+
+func (vm *VM) writeGson(o *object, b *strings.Builder, depth int) {
+	b.WriteString("{")
+	c := vm.Prog.Class(o.class)
+	first := true
+	if c != nil && depth < 6 {
+		for _, f := range c.Fields {
+			if f.Static {
+				continue
+			}
+			if !first {
+				b.WriteString(",")
+			}
+			first = false
+			kb, _ := json.Marshal(f.Name)
+			b.Write(kb)
+			b.WriteString(":")
+			v := o.fields[f.Name]
+			if so, isObj := v.(*object); isObj {
+				vm.writeGson(so, b, depth+1)
+				continue
+			}
+			vb, _ := json.Marshal(toJSONValue(v))
+			b.Write(vb)
+		}
+	}
+	b.WriteString("}")
+}
+
+// ---- XML helpers ----
+
+type xmlNode struct {
+	tag      string
+	attrs    map[string]string
+	children []*xmlNode
+	text     string
+}
+
+func (n *xmlNode) find(tag string) *xmlNode {
+	if n.tag == tag {
+		return n
+	}
+	for _, c := range n.children {
+		if f := c.find(tag); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+func parseXMLDoc(s string) (*xmlNode, error) {
+	dec := xml.NewDecoder(strings.NewReader(s))
+	var stack []*xmlNode
+	var root *xmlNode
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &xmlNode{tag: t.Name.Local, attrs: map[string]string{}}
+			for _, a := range t.Attr {
+				n.attrs[a.Name.Local] = a.Value
+			}
+			if len(stack) > 0 {
+				p := stack[len(stack)-1]
+				p.children = append(p.children, n)
+			} else {
+				root = n
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].text += string(t)
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("runtime: not XML")
+	}
+	return root, nil
+}

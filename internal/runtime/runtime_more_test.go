@@ -1,0 +1,330 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"extractocol/internal/httpsim"
+	"extractocol/internal/ir"
+)
+
+func TestOkhttpBuilderRoundTrip(t *testing.T) {
+	p := ir.NewProgram("t.okr")
+	c := p.AddClass(&ir.Class{Name: "t.okr.K"})
+	b := ir.NewMethod(c, "send", false, nil, "void")
+	payload := b.ConstStr(`{"ping":1}`)
+	body := b.InvokeStatic("okhttp3.RequestBody.create", payload)
+	rb := b.New("okhttp3.Request$Builder")
+	b.InvokeSpecial("okhttp3.Request$Builder.<init>", rb)
+	u := b.ConstStr("https://api.test.com/login")
+	b.InvokeVoid("okhttp3.Request$Builder.url", rb, u)
+	b.InvokeVoid("okhttp3.Request$Builder.post", rb, body)
+	hk := b.ConstStr("X-Id")
+	hv := b.ConstStr("77")
+	b.InvokeVoid("okhttp3.Request$Builder.header", rb, hk, hv)
+	req := b.Invoke("okhttp3.Request$Builder.build", rb)
+	cl := b.New("okhttp3.OkHttpClient")
+	b.InvokeSpecial("okhttp3.OkHttpClient.<init>", cl)
+	call := b.Invoke("okhttp3.OkHttpClient.newCall", cl, req)
+	resp := b.Invoke("okhttp3.Call.execute", call)
+	rbody := b.Invoke("okhttp3.Response.body", resp)
+	raw := b.Invoke("okhttp3.ResponseBody.string", rbody)
+	b.StaticPut("t.okr.K.raw", raw)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.okr.K.send", Kind: ir.EventClick}}
+
+	n := httpsim.NewNetwork()
+	s := httpsim.NewServer("api.test.com")
+	s.Handle("POST", "/login", func(r *httpsim.Request) *httpsim.Response {
+		if r.Headers["X-Id"] != "77" || !strings.Contains(r.Body, "ping") {
+			return httpsim.Error(400, "bad request")
+		}
+		return httpsim.JSON(`{"session":"S1"}`)
+	})
+	n.Register(s)
+	vm := New(p, n)
+	if err := vm.Fire(p.Manifest.EntryPoints[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.Statics["t.okr.K.raw"]; got != `{"session":"S1"}` {
+		t.Fatalf("raw = %v", got)
+	}
+}
+
+func TestXMLParsingBuiltins(t *testing.T) {
+	p := ir.NewProgram("t.xmlr")
+	c := p.AddClass(&ir.Class{Name: "t.xmlr.X"})
+	b := ir.NewMethod(c, "go", false, nil, "void")
+	src := b.ConstStr(`<feed version="3"><entry><title>hello</title></entry></feed>`)
+	doc := b.InvokeStatic("android.util.Xml.parse", src)
+	tagT := b.ConstStr("title")
+	el := b.Invoke("org.w3c.dom.Document.getElementsByTagName", doc, tagT)
+	txt := b.Invoke("org.w3c.dom.Element.getTextContent", el)
+	b.StaticPut("t.xmlr.X.title", txt)
+	tagF := b.ConstStr("feed")
+	feed := b.Invoke("org.w3c.dom.Document.getElementsByTagName", doc, tagF)
+	attrV := b.ConstStr("version")
+	ver := b.Invoke("org.w3c.dom.Element.getAttribute", feed, attrV)
+	b.StaticPut("t.xmlr.X.version", ver)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.xmlr.X.go", Kind: ir.EventCreate}}
+
+	vm := New(p, httpsim.NewNetwork())
+	if err := vm.Fire(p.Manifest.EntryPoints[0]); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Statics["t.xmlr.X.title"] != "hello" {
+		t.Errorf("title = %v", vm.Statics["t.xmlr.X.title"])
+	}
+	if vm.Statics["t.xmlr.X.version"] != "3" {
+		t.Errorf("version = %v", vm.Statics["t.xmlr.X.version"])
+	}
+}
+
+func TestJSONArrayAndNestedObjects(t *testing.T) {
+	p := ir.NewProgram("t.ja")
+	c := p.AddClass(&ir.Class{Name: "t.ja.J"})
+	b := ir.NewMethod(c, "go", false, nil, "void")
+	src := b.ConstStr(`{"outer":{"items":[{"name":"first"},{"name":"second"}]},"n":5,"ok":true}`)
+	js := b.InvokeStatic("org.json.JSONObject.parse", src)
+	kOuter := b.ConstStr("outer")
+	outer := b.Invoke("org.json.JSONObject.getJSONObject", js, kOuter)
+	kItems := b.ConstStr("items")
+	arr := b.Invoke("org.json.JSONObject.getJSONArray", outer, kItems)
+	ln := b.Invoke("org.json.JSONArray.length", arr)
+	b.StaticPut("t.ja.J.len", ln)
+	one := b.ConstInt(1)
+	second := b.Invoke("org.json.JSONArray.getJSONObject", arr, one)
+	kName := b.ConstStr("name")
+	name := b.Invoke("org.json.JSONObject.getString", second, kName)
+	b.StaticPut("t.ja.J.name", name)
+	kN := b.ConstStr("n")
+	nv := b.Invoke("org.json.JSONObject.getInt", js, kN)
+	b.StaticPut("t.ja.J.n", nv)
+	kOK := b.ConstStr("ok")
+	okv := b.Invoke("org.json.JSONObject.getBoolean", js, kOK)
+	b.StaticPut("t.ja.J.ok", okv)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.ja.J.go", Kind: ir.EventCreate}}
+
+	vm := New(p, httpsim.NewNetwork())
+	if err := vm.Fire(p.Manifest.EntryPoints[0]); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Statics["t.ja.J.len"] != int64(2) {
+		t.Errorf("len = %v", vm.Statics["t.ja.J.len"])
+	}
+	if vm.Statics["t.ja.J.name"] != "second" {
+		t.Errorf("name = %v", vm.Statics["t.ja.J.name"])
+	}
+	if vm.Statics["t.ja.J.n"] != int64(5) {
+		t.Errorf("n = %v", vm.Statics["t.ja.J.n"])
+	}
+	if vm.Statics["t.ja.J.ok"] != true {
+		t.Errorf("ok = %v", vm.Statics["t.ja.J.ok"])
+	}
+}
+
+func TestTimerAndHandlerCallbacks(t *testing.T) {
+	p := ir.NewProgram("t.tm")
+	task := p.AddClass(&ir.Class{Name: "t.tm.Task"})
+	run := ir.NewMethod(task, "run", false, nil, "void")
+	v := run.ConstStr("ran")
+	run.StaticPut("t.tm.Task.state", v)
+	run.ReturnVoid()
+	run.Done()
+
+	main := p.AddClass(&ir.Class{Name: "t.tm.Main"})
+	b := ir.NewMethod(main, "onCreate", false, nil, "void")
+	tk := b.New("t.tm.Task")
+	b.InvokeSpecial("t.tm.Task.<init>", tk)
+	timer := b.New("java.util.Timer")
+	b.InvokeSpecial("java.util.Timer.<init>", timer)
+	delay := b.ConstInt(1000)
+	b.InvokeVoid("java.util.Timer.schedule", timer, tk, delay)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.tm.Main.onCreate", Kind: ir.EventCreate}}
+
+	vm := New(p, httpsim.NewNetwork())
+	if err := vm.Fire(p.Manifest.EntryPoints[0]); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Statics["t.tm.Task.state"] != "ran" {
+		t.Fatalf("timer task did not run: %v", vm.Statics["t.tm.Task.state"])
+	}
+}
+
+func TestResponseHeaderBuiltin(t *testing.T) {
+	p := ir.NewProgram("t.rh")
+	c := p.AddClass(&ir.Class{Name: "t.rh.R"})
+	b := ir.NewMethod(c, "go", false, nil, "void")
+	u := b.ConstStr("https://api.test.com/items?id=1")
+	req := b.New("org.apache.http.client.methods.HttpGet")
+	b.InvokeSpecial(getInit, req, u)
+	cl := b.New("org.apache.http.impl.client.DefaultHttpClient")
+	b.InvokeSpecial(clInit, cl)
+	resp := b.Invoke(execRef, cl, req)
+	hk := b.ConstStr("Content-Type")
+	ct := b.Invoke("org.apache.http.HttpResponse.getFirstHeader", resp, hk)
+	b.StaticPut("t.rh.R.ct", ct)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.rh.R.go", Kind: ir.EventClick}}
+
+	vm := New(p, testNet())
+	if err := vm.Fire(p.Manifest.EntryPoints[0]); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Statics["t.rh.R.ct"] != "application/json" {
+		t.Fatalf("content type = %v", vm.Statics["t.rh.R.ct"])
+	}
+}
+
+func TestStringTransforms(t *testing.T) {
+	p := ir.NewProgram("t.st")
+	c := p.AddClass(&ir.Class{Name: "t.st.S"})
+	b := ir.NewMethod(c, "go", false, nil, "void")
+	raw := b.ConstStr("  MiXeD  ")
+	tr := b.Invoke("java.lang.String.trim", raw)
+	lo := b.Invoke("java.lang.String.toLowerCase", tr)
+	up := b.Invoke("java.lang.String.toUpperCase", tr)
+	cc := b.Invoke("java.lang.String.concat", lo, up)
+	b.StaticPut("t.st.S.out", cc)
+	n := b.ConstInt(42)
+	ns := b.InvokeStatic("java.lang.String.valueOf", n)
+	b.StaticPut("t.st.S.n", ns)
+	a := b.ConstStr("x")
+	bb := b.ConstStr("x")
+	eq := b.Invoke("java.lang.String.equals", a, bb)
+	b.StaticPut("t.st.S.eq", eq)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.st.S.go", Kind: ir.EventCreate}}
+
+	vm := New(p, httpsim.NewNetwork())
+	if err := vm.Fire(p.Manifest.EntryPoints[0]); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Statics["t.st.S.out"] != "mixedMIXED" {
+		t.Errorf("out = %v", vm.Statics["t.st.S.out"])
+	}
+	if vm.Statics["t.st.S.n"] != "42" {
+		t.Errorf("n = %v", vm.Statics["t.st.S.n"])
+	}
+	if vm.Statics["t.st.S.eq"] != true {
+		t.Errorf("eq = %v", vm.Statics["t.st.S.eq"])
+	}
+}
+
+func TestMapBuiltins(t *testing.T) {
+	p := ir.NewProgram("t.mp")
+	c := p.AddClass(&ir.Class{Name: "t.mp.M"})
+	b := ir.NewMethod(c, "go", false, nil, "void")
+	m := b.New("java.util.HashMap")
+	b.InvokeSpecial("java.util.HashMap.<init>", m)
+	k := b.ConstStr("lang")
+	v := b.ConstStr("en")
+	b.InvokeVoid("java.util.HashMap.put", m, k, v)
+	k2 := b.ConstStr("lang")
+	got := b.Invoke("java.util.HashMap.get", m, k2)
+	b.StaticPut("t.mp.M.v", got)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.mp.M.go", Kind: ir.EventCreate}}
+
+	vm := New(p, httpsim.NewNetwork())
+	if err := vm.Fire(p.Manifest.EntryPoints[0]); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Statics["t.mp.M.v"] != "en" {
+		t.Fatalf("map get = %v", vm.Statics["t.mp.M.v"])
+	}
+}
+
+func TestSocketBuiltins(t *testing.T) {
+	p := ir.NewProgram("t.skr")
+	c := p.AddClass(&ir.Class{Name: "t.skr.S"})
+	b := ir.NewMethod(c, "go", false, nil, "void")
+	host := b.ConstStr("tcp.test.com")
+	port := b.ConstInt(9000)
+	sock := b.New("java.net.Socket")
+	b.InvokeSpecial("java.net.Socket.<init>", sock, host, port)
+	out := b.Invoke("java.net.Socket.getOutputStream", sock)
+	msg := b.ConstStr("PING\n")
+	b.InvokeVoid("java.io.OutputStream.write", out, msg)
+	in := b.Invoke("java.net.Socket.getInputStream", sock)
+	resp := b.Invoke("java.io.InputStream.readAll", in)
+	b.StaticPut("t.skr.S.resp", resp)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.skr.S.go", Kind: ir.EventClick}}
+
+	n := httpsim.NewNetwork()
+	s := httpsim.NewServer("tcp.test.com:9000")
+	s.HandlePrefix("TCP", "", func(r *httpsim.Request) *httpsim.Response {
+		if r.Body != "PING\n" {
+			return httpsim.Error(400, "bad")
+		}
+		return httpsim.Text("PONG")
+	})
+	n.Register(s)
+	vm := New(p, n)
+	if err := vm.Fire(p.Manifest.EntryPoints[0]); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Statics["t.skr.S.resp"] != "PONG" {
+		t.Fatalf("socket resp = %v", vm.Statics["t.skr.S.resp"])
+	}
+	if tr := n.Trace(); len(tr) != 1 || tr[0].Request.Method != "TCP" {
+		t.Fatalf("trace = %+v", n.Trace())
+	}
+}
+
+func TestIntentSendIsInert(t *testing.T) {
+	p := ir.NewProgram("t.it")
+	c := p.AddClass(&ir.Class{Name: "t.it.I"})
+	b := ir.NewMethod(c, "go", false, nil, "void")
+	ctx := b.New("android.content.Context")
+	intent := b.New("android.content.Intent")
+	b.InvokeVoid("android.content.Context.startActivity", ctx, intent)
+	marker := b.ConstStr("after")
+	b.StaticPut("t.it.I.m", marker)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.it.I.go", Kind: ir.EventCreate}}
+
+	vm := New(p, httpsim.NewNetwork())
+	if err := vm.Fire(p.Manifest.EntryPoints[0]); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Statics["t.it.I.m"] != "after" {
+		t.Fatal("execution did not continue past the intent send")
+	}
+}
+
+func TestSourcesReturnPlaceholders(t *testing.T) {
+	p := ir.NewProgram("t.src")
+	c := p.AddClass(&ir.Class{Name: "t.src.S"})
+	b := ir.NewMethod(c, "go", false, nil, "void")
+	tm := b.New("android.telephony.TelephonyManager")
+	id := b.Invoke("android.telephony.TelephonyManager.getDeviceId", tm)
+	b.StaticPut("t.src.S.id", id)
+	loc := b.New("android.location.Location")
+	lat := b.Invoke("android.location.Location.getLatitude", loc)
+	b.StaticPut("t.src.S.lat", lat)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.src.S.go", Kind: ir.EventCreate}}
+
+	vm := New(p, httpsim.NewNetwork())
+	if err := vm.Fire(p.Manifest.EntryPoints[0]); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Statics["t.src.S.id"] == nil || vm.Statics["t.src.S.lat"] == nil {
+		t.Fatal("source builtins returned nil")
+	}
+}

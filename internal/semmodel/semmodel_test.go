@@ -1,0 +1,110 @@
+package semmodel
+
+import "testing"
+
+func TestDefaultModelCoversCoreAPIs(t *testing.T) {
+	m := Default()
+	refs := []struct {
+		ref  string
+		kind Kind
+	}{
+		{"java.lang.StringBuilder.append", KAppend},
+		{"java.lang.StringBuilder.toString", KToString},
+		{"org.apache.http.client.HttpClient.execute", KExecuteDP},
+		{"org.json.JSONObject.getString", KJSONGetStr},
+		{"com.google.gson.Gson.fromJson", KGsonFromJSON},
+		{"android.content.res.Resources.getString", KResGetString},
+		{"android.media.MediaPlayer.setDataSource", KMediaSetSource},
+		{"android.os.AsyncTask.execute", KAsyncExecute},
+		{"java.net.URLEncoder.encode", KURLEncode},
+	}
+	for _, tt := range refs {
+		e := m.Lookup(tt.ref)
+		if e == nil {
+			t.Errorf("model missing %s", tt.ref)
+			continue
+		}
+		if e.Kind != tt.kind {
+			t.Errorf("%s kind = %v, want %v", tt.ref, e.Kind, tt.kind)
+		}
+	}
+}
+
+func TestDemarcationPointInventoryMatchesPaper(t *testing.T) {
+	m := Default()
+	dps := m.DemarcationPoints()
+	// The paper's implementation uses 39 demarcation points from 16
+	// classes (§4). Our model must be in that ballpark and include the
+	// canonical execute() DP.
+	if len(dps) < 15 || len(dps) > 45 {
+		t.Fatalf("demarcation points = %d, want roughly the paper's 39", len(dps))
+	}
+	if got := m.ClassCount(); got < 10 {
+		t.Fatalf("DP classes = %d, want >= 10 (paper: 16)", got)
+	}
+	if !m.IsDP("org.apache.http.client.HttpClient.execute") {
+		t.Fatal("HttpClient.execute must be a DP")
+	}
+	if m.IsDP("java.lang.StringBuilder.append") {
+		t.Fatal("StringBuilder.append must not be a DP")
+	}
+}
+
+func TestDPRolesAreConsistent(t *testing.T) {
+	m := Default()
+	for _, dp := range m.DemarcationPoints() {
+		if dp.ReqArg < 0 && dp.CallbackMethod == "" && !dp.RespRet {
+			t.Errorf("DP %s has neither request arg, callback, nor response", dp.Ref)
+		}
+		if dp.Kind == KEnqueueDP && dp.CallbackMethod == "" {
+			t.Errorf("async DP %s lacks a callback method", dp.Ref)
+		}
+	}
+}
+
+func TestAsyncRegistrationsCarryCallbacks(t *testing.T) {
+	m := Default()
+	for _, ref := range []string{
+		"android.os.AsyncTask.execute",
+		"java.lang.Thread.start",
+		"java.util.Timer.schedule",
+	} {
+		e := m.Lookup(ref)
+		if e == nil || e.CallbackMethod == "" {
+			t.Errorf("%s must carry an implicit callback method", ref)
+		}
+	}
+}
+
+func TestRegisterPluginOverrides(t *testing.T) {
+	m := Default()
+	m.Register(&Method{Ref: "com.custom.Client.call", Kind: KExecuteDP, DP: true, ReqArg: 1, RespRet: true})
+	if !m.IsDP("com.custom.Client.call") {
+		t.Fatal("registered plugin DP not visible")
+	}
+}
+
+func TestLookupUnknownReturnsNil(t *testing.T) {
+	if Default().Lookup("com.unknown.Foo.bar") != nil {
+		t.Fatal("unknown method should be unmodeled")
+	}
+}
+
+func TestMethodsSortedAndUnique(t *testing.T) {
+	ms := Default().Methods()
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1].Ref >= ms[i].Ref {
+			t.Fatalf("methods not strictly sorted at %d: %s >= %s", i, ms[i-1].Ref, ms[i].Ref)
+		}
+	}
+}
+
+func TestSinksAndSources(t *testing.T) {
+	m := Default()
+	if e := m.Lookup("android.media.MediaPlayer.setDataSource"); e == nil || e.Sink != "media" {
+		t.Fatal("MediaPlayer.setDataSource must be a media sink")
+	}
+	if e := m.Lookup("android.media.AudioRecord.read"); e == nil || e.Source != "microphone" {
+		t.Fatal("AudioRecord.read must be a microphone source")
+	}
+}

@@ -1,0 +1,267 @@
+package sigbuild
+
+import (
+	"strings"
+	"testing"
+
+	"extractocol/internal/ir"
+	"extractocol/internal/siglang"
+)
+
+func TestOkhttpBuilderFlow(t *testing.T) {
+	p, c := newApp("t.ok", "t.ok.K")
+	b := ir.NewMethod(c, "send", false, []string{"java.lang.String"}, "void")
+	payload := b.Param(0)
+	body := b.InvokeStatic("okhttp3.RequestBody.create", payload)
+	rb := b.New("okhttp3.Request$Builder")
+	b.InvokeSpecial("okhttp3.Request$Builder.<init>", rb)
+	u := b.ConstStr("https://ok.example.com/v2/submit")
+	b.InvokeVoid("okhttp3.Request$Builder.url", rb, u)
+	b.InvokeVoid("okhttp3.Request$Builder.post", rb, body)
+	hk := b.ConstStr("X-Api")
+	hv := b.ConstStr("v2")
+	b.InvokeVoid("okhttp3.Request$Builder.header", rb, hk, hv)
+	req := b.Invoke("okhttp3.Request$Builder.build", rb)
+	cl := b.New("okhttp3.OkHttpClient")
+	b.InvokeSpecial("okhttp3.OkHttpClient.<init>", cl)
+	call := b.Invoke("okhttp3.OkHttpClient.newCall", cl, req)
+	resp := b.Invoke("okhttp3.Call.execute", call)
+	rbody := b.Invoke("okhttp3.Response.body", resp)
+	raw := b.Invoke("okhttp3.ResponseBody.string", rbody)
+	js := b.InvokeStatic("org.json.JSONObject.parse", raw)
+	k := b.ConstStr("accepted")
+	b.Invoke("org.json.JSONObject.getBoolean", js, k)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.ok.K.send", Kind: ir.EventClick}}
+
+	reqs, resps := analyzeBoth(t, p)
+	rq := reqs[0]
+	if rq.Method != "POST" {
+		t.Errorf("method = %s", rq.Method)
+	}
+	if got := siglang.RegexBody(rq.URI); got != `https://ok\.example\.com/v2/submit` {
+		t.Errorf("URI = %s", got)
+	}
+	if len(rq.Headers) != 1 || rq.Headers[0].Key != "X-Api" {
+		t.Errorf("headers = %+v", rq.Headers)
+	}
+	if resps[0] == nil || resps[0].BodyKind != "json" {
+		t.Fatalf("response = %+v", resps[0])
+	}
+	kw := siglang.Keywords(&siglang.JSON{Root: resps[0].JSON})
+	if strings.Join(kw, ",") != "accepted" {
+		t.Errorf("response keys = %v", kw)
+	}
+}
+
+func TestURLConnectionFlow(t *testing.T) {
+	p, c := newApp("t.uc2", "t.uc2.U")
+	b := ir.NewMethod(c, "push", false, []string{"java.lang.String"}, "void")
+	val := b.Param(0)
+	us := b.ConstStr("https://uc.example.com/ingest")
+	u := b.New("java.net.URL")
+	b.InvokeSpecial("java.net.URL.<init>", u, us)
+	conn := b.Invoke("java.net.URL.openConnection", u)
+	m := b.ConstStr("PUT")
+	b.InvokeVoid("java.net.HttpURLConnection.setRequestMethod", conn, m)
+	hk := b.ConstStr("X-Token")
+	b.InvokeVoid("java.net.HttpURLConnection.setRequestProperty", conn, hk, val)
+	out := b.Invoke("java.net.HttpURLConnection.getOutputStream", conn)
+	pre := b.ConstStr("v=")
+	b.InvokeVoid("java.io.OutputStream.write", out, pre)
+	b.InvokeVoid("java.io.OutputStream.write", out, val)
+	in := b.Invoke("java.net.HttpURLConnection.getInputStream", conn)
+	b.Invoke("java.io.InputStream.readAll", in)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.uc2.U.push", Kind: ir.EventClick}}
+
+	rq := analyze(t, p)[0]
+	if rq.Method != "PUT" {
+		t.Errorf("method = %s", rq.Method)
+	}
+	if rq.BodyKind != "query" && rq.BodyKind != "text" {
+		t.Errorf("bodyKind = %s", rq.BodyKind)
+	}
+	body := siglang.RegexBody(rq.Body)
+	if !strings.HasPrefix(body, "v=") {
+		t.Errorf("body = %q", body)
+	}
+	if len(rq.Headers) != 1 || rq.Headers[0].Key != "X-Token" {
+		t.Errorf("headers = %+v", rq.Headers)
+	}
+}
+
+func TestGsonSerializedRequestBody(t *testing.T) {
+	p, c := newApp("t.gsr", "t.gsr.G")
+	p.AddClass(&ir.Class{Name: "t.gsr.Login", Fields: []*ir.Field{
+		{Name: "user", Type: "java.lang.String"},
+		{Name: "device", Type: "t.gsr.Device"},
+	}})
+	p.AddClass(&ir.Class{Name: "t.gsr.Device", Fields: []*ir.Field{
+		{Name: "model", Type: "java.lang.String"},
+		{Name: "sdk", Type: "int"},
+	}})
+	b := ir.NewMethod(c, "login", false, []string{"java.lang.String"}, "void")
+	user := b.Param(0)
+	login := b.New("t.gsr.Login")
+	b.InvokeSpecial("t.gsr.Login.<init>", login)
+	b.FieldPut(login, "user", user)
+	dev := b.New("t.gsr.Device")
+	b.InvokeSpecial("t.gsr.Device.<init>", dev)
+	model := b.ConstStr("Pixel")
+	b.FieldPut(dev, "model", model)
+	b.FieldPut(login, "device", dev)
+	gson := b.New("com.google.gson.Gson")
+	raw := b.Invoke("com.google.gson.Gson.toJson", gson, login)
+	ent := b.New("org.apache.http.entity.StringEntity")
+	b.InvokeSpecial(seInit, ent, raw)
+	u := b.ConstStr("https://gsr.example.com/login")
+	req := b.New("org.apache.http.client.methods.HttpPost")
+	b.InvokeSpecial(postInit, req, u)
+	b.InvokeVoid(setEnt, req, ent)
+	execute(b, req)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.gsr.G.login", Kind: ir.EventLogin}}
+
+	rq := analyze(t, p)[0]
+	if rq.BodyKind != "json" {
+		t.Fatalf("bodyKind = %s (%s)", rq.BodyKind, siglang.Canon(rq.Body))
+	}
+	kw := siglang.Keywords(rq.Body)
+	want := "device,model,sdk,user"
+	if strings.Join(kw, ",") != want {
+		t.Fatalf("gson body keys = %v, want %s", kw, want)
+	}
+	// The model constant must survive serialization.
+	j := rq.Body.(*siglang.JSON)
+	devTree, _ := j.Root.(*siglang.Obj).Get("device").(*siglang.Obj)
+	if devTree == nil {
+		t.Fatal("nested device tree missing")
+	}
+	if l, ok := devTree.Get("model").(*siglang.Lit); !ok || l.Val != "Pixel" {
+		t.Fatalf("device.model = %s", siglang.Canon(devTree.Get("model")))
+	}
+}
+
+func TestMapBackedQueryValues(t *testing.T) {
+	p, c := newApp("t.map", "t.map.M")
+	b := ir.NewMethod(c, "go", false, nil, "void")
+	cfg := b.New("java.util.HashMap")
+	b.InvokeSpecial("java.util.HashMap.<init>", cfg)
+	k := b.ConstStr("region")
+	v := b.ConstStr("eu-west")
+	b.InvokeVoid("java.util.HashMap.put", cfg, k, v)
+	sb := b.New("java.lang.StringBuilder")
+	b.InvokeSpecial(sbInit, sb)
+	base := b.ConstStr("https://m.example.com/cfg?region=")
+	b.InvokeVoid(sbApp, sb, base)
+	k2 := b.ConstStr("region")
+	got := b.Invoke("java.util.HashMap.get", cfg, k2)
+	b.InvokeVoid(sbApp, sb, got)
+	uri := b.Invoke(sbStr, sb)
+	req := b.New("org.apache.http.client.methods.HttpGet")
+	b.InvokeSpecial(getInit, req, uri)
+	execute(b, req)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.map.M.go", Kind: ir.EventCreate}}
+
+	rq := analyze(t, p)[0]
+	lit, ok := rq.URI.(*siglang.Lit)
+	if !ok || lit.Val != "https://m.example.com/cfg?region=eu-west" {
+		t.Fatalf("URI = %s", siglang.Canon(rq.URI))
+	}
+}
+
+func TestResponseHeaderDependency(t *testing.T) {
+	p, c := newApp("t.rh", "t.rh.R")
+	b := ir.NewMethod(c, "go", false, nil, "void")
+	u := b.ConstStr("https://rh.example.com/token")
+	req := b.New("org.apache.http.client.methods.HttpGet")
+	b.InvokeSpecial(getInit, req, u)
+	resp := execute(b, req)
+	hk := b.ConstStr("X-Next")
+	next := b.Invoke("org.apache.http.HttpResponse.getFirstHeader", resp, hk)
+	req2 := b.New("org.apache.http.client.methods.HttpGet")
+	b.InvokeSpecial(getInit, req2, next)
+	execute(b, req2)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.rh.R.go", Kind: ir.EventClick}}
+
+	reqs := analyze(t, p)
+	if len(reqs) != 2 {
+		t.Fatalf("requests = %d", len(reqs))
+	}
+	var dyn *RequestSig
+	for _, rq := range reqs {
+		if _, isLit := rq.URI.(*siglang.Lit); !isLit {
+			dyn = rq
+		}
+	}
+	if dyn == nil {
+		t.Fatal("dynamic follow-up request missing")
+	}
+	foundHdr := false
+	for _, d := range dyn.URIDeps {
+		if strings.Contains(d, "header:X-Next") {
+			foundHdr = true
+		}
+	}
+	if !foundHdr {
+		t.Fatalf("URIDeps = %v, want header:X-Next provenance", dyn.URIDeps)
+	}
+}
+
+func TestValueOfAndConcatChain(t *testing.T) {
+	p, c := newApp("t.vc", "t.vc.V")
+	b := ir.NewMethod(c, "go", false, []string{"int"}, "void")
+	n := b.Param(0)
+	ns := b.InvokeStatic("java.lang.String.valueOf", n)
+	base := b.ConstStr("https://vc.example.com/item/")
+	uri := b.Invoke("java.lang.String.concat", base, ns)
+	req := b.New("org.apache.http.client.methods.HttpGet")
+	b.InvokeSpecial(getInit, req, uri)
+	execute(b, req)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.vc.V.go", Kind: ir.EventClick}}
+
+	rq := analyze(t, p)[0]
+	re := siglang.Regex(rq.URI)
+	if re != `^https://vc\.example\.com/item/[0-9]+$` {
+		t.Fatalf("URI regex = %s", re)
+	}
+}
+
+func TestListGetMergesElements(t *testing.T) {
+	p, c := newApp("t.lg", "t.lg.L")
+	b := ir.NewMethod(c, "go", false, nil, "void")
+	list := b.New("java.util.ArrayList")
+	b.InvokeSpecial("java.util.ArrayList.<init>", list)
+	a1 := b.ConstStr("https://lg.example.com/a")
+	b.InvokeVoid("java.util.ArrayList.add", list, a1)
+	a2 := b.ConstStr("https://lg.example.com/b")
+	b.InvokeVoid("java.util.ArrayList.add", list, a2)
+	idx := b.ConstInt(0)
+	uri := b.Invoke("java.util.ArrayList.get", list, idx)
+	req := b.New("org.apache.http.client.methods.HttpGet")
+	b.InvokeSpecial(getInit, req, uri)
+	execute(b, req)
+	b.ReturnVoid()
+	b.Done()
+	p.Manifest.EntryPoints = []ir.EntryPoint{{Method: "t.lg.L.go", Kind: ir.EventCreate}}
+
+	rq := analyze(t, p)[0]
+	re, err := siglang.Compile(rq.URI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conservative: either element may be requested.
+	if !re.MatchString("https://lg.example.com/a") || !re.MatchString("https://lg.example.com/b") {
+		t.Fatalf("URI = %s", siglang.Regex(rq.URI))
+	}
+}

@@ -1,0 +1,443 @@
+package siglang
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"strings"
+)
+
+// ByteStats accounts matched bytes of a traffic payload against a
+// signature, the measurement behind Table 2 of the paper:
+//
+//	Key   (Rk): bytes matched by constant keywords of the signature
+//	Value (Rv): bytes of values whose key the signature identified
+//	None  (Rn): bytes in regions where both key and value are wildcards
+type ByteStats struct {
+	Key, Value, None int
+}
+
+// Total returns the number of accounted bytes.
+func (s ByteStats) Total() int { return s.Key + s.Value + s.None }
+
+// Add accumulates o into s.
+func (s *ByteStats) Add(o ByteStats) {
+	s.Key += o.Key
+	s.Value += o.Value
+	s.None += o.None
+}
+
+// Fractions returns (Rk, Rv, Rn) as fractions of the total, or zeros for an
+// empty payload.
+func (s ByteStats) Fractions() (rk, rv, rn float64) {
+	t := float64(s.Total())
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return float64(s.Key) / t, float64(s.Value) / t, float64(s.None) / t
+}
+
+// MatchText reports whether the text payload matches the signature's
+// regular expression, and how many payload bytes fall on literal versus
+// wildcard parts. The literal accounting uses the signature's constant
+// fragments greedily in order, which is exact for the anchored signatures
+// the builder produces.
+func MatchText(s Sig, payload string) (bool, ByteStats) {
+	re, err := Compile(s)
+	if err != nil || !re.MatchString(payload) {
+		return false, ByteStats{}
+	}
+	lits := literalFragments(s)
+	var st ByteStats
+	rest := payload
+	for _, lit := range lits {
+		if lit == "" {
+			continue
+		}
+		i := strings.Index(rest, lit)
+		if i < 0 {
+			break
+		}
+		st.None += 0
+		st.Value += i // wildcard-covered span before the literal
+		st.Key += len(lit)
+		rest = rest[i+len(lit):]
+	}
+	st.Value += len(rest)
+	return true, st
+}
+
+func literalFragments(s Sig) []string {
+	var out []string
+	var walk func(Sig)
+	walk = func(s Sig) {
+		switch v := s.(type) {
+		case *Lit:
+			out = append(out, v.Val)
+		case *Concat:
+			for _, p := range v.Parts {
+				walk(p)
+			}
+		case *Rep:
+			// repetition contents may appear 0 times; skip
+		case *Or:
+			// alternatives are ambiguous; skip
+		}
+	}
+	walk(s)
+	return out
+}
+
+// MatchQuery matches a query string or form body ("k=v&k2=v2") against a
+// signature, returning whether every pair with a signature-known key
+// matched and byte statistics. Keys the signature knows contribute their
+// bytes to Key and their values to Value; unknown pairs land in None.
+func MatchQuery(s Sig, query string) (bool, ByteStats) {
+	known := map[string]bool{}
+	for _, k := range Keywords(s) {
+		known[k] = true
+	}
+	var st ByteStats
+	if query == "" {
+		return true, st
+	}
+	pairs := strings.Split(query, "&")
+	for i, p := range pairs {
+		sep := 0
+		if i > 0 {
+			sep = 1 // the '&'
+		}
+		k, v, found := strings.Cut(p, "=")
+		if !found {
+			st.None += len(p) + sep
+			continue
+		}
+		if known[k] {
+			st.Key += len(k) + 1 + sep // key, '=', '&'
+			st.Value += len(v)
+		} else {
+			st.None += len(p) + sep
+		}
+	}
+	return st.None == 0 || len(known) > 0, st
+}
+
+// MatchJSON matches a JSON payload against a JSON/Obj signature.
+// ok is true when every constant key in the signature appears in the
+// payload (the signature is a valid description of what the app reads or
+// writes). Bytes of payload keys known to the signature count as Key,
+// their values as Value, and subtrees the signature does not describe as
+// None.
+func MatchJSON(s Sig, payload []byte) (bool, ByteStats, error) {
+	var v any
+	if err := json.Unmarshal(payload, &v); err != nil {
+		return false, ByteStats{}, fmt.Errorf("siglang: payload is not JSON: %w", err)
+	}
+	root := s
+	if j, isJSON := s.(*JSON); isJSON {
+		root = j.Root
+	}
+	var st ByteStats
+	ok := matchJSONValue(root, v, &st)
+	return ok, st, nil
+}
+
+func matchJSONValue(s Sig, v any, st *ByteStats) bool {
+	switch sv := s.(type) {
+	case nil:
+		st.None += jsonSize(v)
+		return true
+	case *Obj:
+		m, isMap := v.(map[string]any)
+		if !isMap {
+			st.None += jsonSize(v)
+			return false
+		}
+		ok := true
+		// Every sig key must be present.
+		for _, kv := range sv.Pairs {
+			if kv.Dyn {
+				continue
+			}
+			if _, present := m[kv.Key]; !present {
+				ok = false
+			}
+		}
+		var dynVal Sig
+		hasDyn := false
+		for _, kv := range sv.Pairs {
+			if kv.Dyn {
+				hasDyn, dynVal = true, kv.Val
+			}
+		}
+		for k, val := range m {
+			if sigVal := sv.Get(k); sigVal != nil || containsKey(sv, k) {
+				st.Key += len(k) + 3 // quotes + colon
+				if !matchLeafOrRecurse(sigVal, val, st) {
+					ok = false
+				}
+			} else if hasDyn {
+				// Dynamically generated keys: value structure may still be known.
+				st.Value += len(k) + 3
+				if !matchLeafOrRecurse(dynVal, val, st) {
+					ok = false
+				}
+			} else {
+				st.None += len(k) + 3 + jsonSize(val)
+			}
+		}
+		return ok
+	case *Arr:
+		arr, isArr := v.([]any)
+		if !isArr {
+			st.None += jsonSize(v)
+			return false
+		}
+		var item Sig
+		for _, e := range sv.Elems {
+			item = Merge(item, e)
+		}
+		ok := true
+		for _, el := range arr {
+			if !matchLeafOrRecurse(item, el, st) {
+				ok = false
+			}
+		}
+		return ok
+	case *JSON:
+		return matchJSONValue(sv.Root, v, st)
+	case *Or:
+		// Accept if any alternative accepts; account bytes per best effort
+		// using the first matching alternative.
+		for _, alt := range sv.Alts {
+			var tmp ByteStats
+			if matchJSONValue(alt, v, &tmp) {
+				st.Add(tmp)
+				return true
+			}
+		}
+		st.None += jsonSize(v)
+		return false
+	case *Lit:
+		st.Value += jsonSize(v)
+		return literalMatches(sv, v)
+	case *Unknown:
+		st.Value += jsonSize(v)
+		return true
+	default: // Concat/Rep describing a string-typed leaf
+		st.Value += jsonSize(v)
+		str, isStr := v.(string)
+		if !isStr {
+			return true
+		}
+		re, err := Compile(s)
+		return err == nil && re.MatchString(str)
+	}
+}
+
+func containsKey(o *Obj, k string) bool {
+	for _, kv := range o.Pairs {
+		if !kv.Dyn && kv.Key == k {
+			return true
+		}
+	}
+	return false
+}
+
+func matchLeafOrRecurse(sigVal Sig, val any, st *ByteStats) bool {
+	if sigVal == nil {
+		st.Value += jsonSize(val)
+		return true
+	}
+	return matchJSONValue(sigVal, val, st)
+}
+
+func literalMatches(l *Lit, v any) bool {
+	switch tv := v.(type) {
+	case string:
+		return tv == l.Val
+	case float64:
+		return l.Num && fmt.Sprintf("%v", tv) == l.Val
+	case bool:
+		return fmt.Sprintf("%v", tv) == l.Val
+	default:
+		return false
+	}
+}
+
+// jsonSize returns the serialized size of a decoded JSON value.
+func jsonSize(v any) int {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// MatchXML matches an XML payload against an XML signature: every tag and
+// attribute named by the signature must occur in the payload. Byte
+// accounting mirrors MatchJSON at element granularity.
+func MatchXML(s *XML, payload []byte) (bool, ByteStats, error) {
+	root, err := parseXML(payload)
+	if err != nil {
+		return false, ByteStats{}, err
+	}
+	var st ByteStats
+	if s == nil || s.Root == nil {
+		st.None = len(payload)
+		return true, st, nil
+	}
+	ok := matchElem(s.Root, root, &st)
+	return ok, st, nil
+}
+
+type xmlNode struct {
+	tag      string
+	attrs    map[string]string
+	children []*xmlNode
+	text     string
+}
+
+func parseXML(data []byte) (*xmlNode, error) {
+	dec := xml.NewDecoder(strings.NewReader(string(data)))
+	var stack []*xmlNode
+	var root *xmlNode
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &xmlNode{tag: t.Name.Local, attrs: map[string]string{}}
+			for _, a := range t.Attr {
+				n.attrs[a.Name.Local] = a.Value
+			}
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1]
+				parent.children = append(parent.children, n)
+			} else {
+				root = n
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].text += string(t)
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("siglang: payload is not XML")
+	}
+	return root, nil
+}
+
+func matchElem(sig *Elem, node *xmlNode, st *ByteStats) bool {
+	if sig == nil || node == nil {
+		return sig == nil
+	}
+	if sig.Tag == "*" {
+		// Wildcard root (the parser's document node): every named child of
+		// the signature must occur somewhere in the payload tree.
+		ok := true
+		for _, sc := range sig.Children {
+			found := findNode(node, sc.Tag)
+			if found == nil {
+				ok = false
+				continue
+			}
+			if !matchElem(sc, found, st) {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if sig.Tag != node.tag {
+		return false
+	}
+	st.Key += len(node.tag)*2 + 5 // open+close tags
+	ok := true
+	for _, a := range sig.Attrs {
+		if v, present := node.attrs[a.Key]; present {
+			st.Key += len(a.Key) + 3
+			st.Value += len(v)
+		} else {
+			ok = false
+		}
+	}
+	for k, v := range node.attrs {
+		if !elemHasAttr(sig, k) {
+			st.None += len(k) + 3 + len(v)
+		}
+	}
+	for _, sc := range sig.Children {
+		found := false
+		for _, nc := range node.children {
+			if nc.tag == sc.Tag {
+				if matchElem(sc, nc, st) {
+					found = true
+				}
+				break
+			}
+		}
+		if !found {
+			ok = false
+		}
+	}
+	for _, nc := range node.children {
+		if !elemHasChild(sig, nc.tag) {
+			st.None += xmlSize(nc)
+		}
+	}
+	if sig.Text != nil {
+		st.Value += len(strings.TrimSpace(node.text))
+	} else {
+		st.None += len(strings.TrimSpace(node.text))
+	}
+	return ok
+}
+
+func findNode(n *xmlNode, tag string) *xmlNode {
+	if n.tag == tag {
+		return n
+	}
+	for _, c := range n.children {
+		if f := findNode(c, tag); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+func elemHasAttr(e *Elem, k string) bool {
+	for _, a := range e.Attrs {
+		if a.Key == k {
+			return true
+		}
+	}
+	return false
+}
+
+func elemHasChild(e *Elem, tag string) bool {
+	for _, c := range e.Children {
+		if c.Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func xmlSize(n *xmlNode) int {
+	size := len(n.tag)*2 + 5 + len(strings.TrimSpace(n.text))
+	for k, v := range n.attrs {
+		size += len(k) + 3 + len(v)
+	}
+	for _, c := range n.children {
+		size += xmlSize(c)
+	}
+	return size
+}

@@ -1,0 +1,135 @@
+package siglang
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Merge is idempotent under canonical form.
+func TestMergeIdempotent(t *testing.T) {
+	f := func(lits []string, useInt bool) bool {
+		parts := make([]Sig, 0, len(lits)+1)
+		for _, l := range lits {
+			parts = append(parts, Str(l))
+		}
+		if useInt {
+			parts = append(parts, AnyInt())
+		} else {
+			parts = append(parts, AnyString())
+		}
+		s := Cat(parts...)
+		return Canon(Merge(s, s)) == Canon(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatchQuery accounts every byte of the query exactly once.
+func TestMatchQueryAccountsAllBytes(t *testing.T) {
+	f := func(keys []string, vals []string) bool {
+		// Build a query from sanitized keys and values.
+		var sigParts []Sig
+		query := ""
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		if n == 0 {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			k := sanitizeKey(keys[i])
+			v := sanitizeVal(vals[i])
+			if k == "" {
+				continue
+			}
+			if query != "" {
+				query += "&"
+				sigParts = append(sigParts, Str("&"))
+			}
+			query += k + "=" + v
+			sigParts = append(sigParts, Str(k+"="), AnyString())
+		}
+		if query == "" {
+			return true
+		}
+		_, st := MatchQuery(Cat(sigParts...), query)
+		return st.Total() == len(query)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeKey(s string) string {
+	out := ""
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			out += string(r)
+		}
+	}
+	if len(out) > 8 {
+		out = out[:8]
+	}
+	return out
+}
+
+func sanitizeVal(s string) string {
+	out := ""
+	for _, r := range s {
+		if r != '&' && r != '=' && r < 128 {
+			out += string(r)
+		}
+	}
+	return out
+}
+
+// Property: Disjoin produces a regex accepting everything its alternatives
+// accept.
+func TestDisjoinAcceptsAllAlternatives(t *testing.T) {
+	f := func(a, b string) bool {
+		s := Disjoin(Str(a), Str(b))
+		re, err := Compile(s)
+		if err != nil {
+			return false
+		}
+		return re.MatchString(a) && re.MatchString(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVTypeStrings(t *testing.T) {
+	cases := map[VType]string{VAny: "any", VString: "string", VInt: "int", VBool: "bool"}
+	for v, want := range cases {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+func TestRepeatCollapsesNested(t *testing.T) {
+	r := Repeat(Repeat(Str("x")))
+	if _, ok := r.(*Rep); !ok {
+		t.Fatalf("Repeat = %T", r)
+	}
+	if Canon(r) != Canon(Repeat(Str("x"))) {
+		t.Fatal("nested repeat not collapsed")
+	}
+}
+
+func TestObjPutDynAndKeys(t *testing.T) {
+	o := &Obj{}
+	o.Put("a", AnyInt())
+	o.PutDyn(AnyString())
+	o.Put("b", AnyString())
+	keys := o.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if o.Get("missing") != nil {
+		t.Fatal("Get(missing) != nil")
+	}
+}

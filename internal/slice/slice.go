@@ -1,0 +1,269 @@
+// Package slice enumerates HTTP transactions and extracts their program
+// slices (§3.1). For every demarcation point reachable from a non-intent
+// entry point it creates a transaction context, computes the backward
+// (request) and forward (response) slices with the taint engine, and
+// performs object-aware slice augmentation so each slice is self-contained
+// for signature building.
+//
+// Transactions are separated per (entry point, demarcation-point site):
+// this is the disjoint-sub-slice preprocessing of §3.3 — when multiple
+// requests share a demarcation point through code reuse, their slices are
+// distinguished by the disjoint code segments belonging to each context,
+// restoring one-to-one request/response pairing.
+package slice
+
+import (
+	"fmt"
+	"sort"
+
+	"extractocol/internal/callgraph"
+	"extractocol/internal/ir"
+	"extractocol/internal/semmodel"
+	"extractocol/internal/taint"
+)
+
+// Transaction is one HTTP interaction context: a demarcation point reached
+// from a specific entry point, with its request and response slices.
+type Transaction struct {
+	ID    int
+	DP    taint.StmtID  // demarcation point statement
+	DPRef string        // modeled method reference of the DP
+	Entry ir.EntryPoint // triggering entry point (the transaction context)
+
+	ReqReg   int           // register holding the request object at the DP
+	Request  *taint.Result // backward slice
+	Response *taint.Result // forward slice, nil when the DP has no response flow
+
+	RespRoot    taint.StmtID // statement where response propagation begins
+	RespRootReg int
+	// RespConsumed reports whether forward propagation found any statement
+	// beyond the demarcation point itself, before augmentation inflated the
+	// slice with initialization context.
+	RespConsumed bool
+
+	// Sink set for "how is the response consumed" (§2): media, file, ui.
+	Sinks map[string]bool
+	// Sources observed while constructing the request (microphone, ...).
+	Sources map[string]bool
+}
+
+// Key returns a stable identity for deduplication across entry points.
+func (t *Transaction) Key() string {
+	return fmt.Sprintf("%s@%d/%s", t.DP.Method, t.DP.Index, t.Entry.Method)
+}
+
+// Options configures transaction extraction.
+type Options struct {
+	// MaxAsyncHops bounds asynchronous-boundary crossings (§3.4):
+	// 0 disables the heuristic, 1 is the paper's default for
+	// closed-source apps.
+	MaxAsyncHops int
+	// IncludeIntents treats intent-triggered entry points as analysis
+	// roots. The paper's system does not model intents (§4) — this is the
+	// extension it proposes ("intents can be handled by modeling the
+	// implicit control flow"), off by default.
+	IncludeIntents bool
+}
+
+// Find enumerates all transactions of the program.
+func Find(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, opts Options) []*Transaction {
+	var out []*Transaction
+	for _, ep := range p.Manifest.EntryPoints {
+		if ep.Kind == ir.EventIntent && !opts.IncludeIntents {
+			continue
+		}
+		universe := cg.Reachable([]string{ep.Method})
+		methods := make([]string, 0, len(universe))
+		for m := range universe {
+			methods = append(methods, m)
+		}
+		sort.Strings(methods)
+		for _, ref := range methods {
+			m := p.Method(ref)
+			if m == nil {
+				continue
+			}
+			for i := range m.Instrs {
+				in := &m.Instrs[i]
+				if in.Op != ir.OpInvoke {
+					continue
+				}
+				mm := model.Lookup(in.Sym)
+				if mm == nil || !mm.DP {
+					continue
+				}
+				tx := buildTransaction(p, model, cg, opts, ep, universe, m, i, in, mm)
+				if tx != nil {
+					tx.ID = len(out) + 1
+					out = append(out, tx)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func buildTransaction(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
+	opts Options, ep ir.EntryPoint, universe map[string]bool,
+	m *ir.Method, site int, in *ir.Instr, mm *semmodel.Method) *Transaction {
+
+	tx := &Transaction{
+		DP:    taint.StmtID{Method: m.Ref(), Index: site},
+		DPRef: mm.Ref,
+		Entry: ep,
+	}
+
+	eng := taint.NewEngine(p, model, cg)
+	eng.MaxAsyncHops = opts.MaxAsyncHops
+	eng.Universe = universe
+
+	// Request side.
+	if mm.ReqArg >= 0 && mm.ReqArg < len(in.Args) {
+		tx.ReqReg = in.Args[mm.ReqArg]
+		tx.Request = eng.Backward(tx.DP, tx.ReqReg)
+	} else {
+		return nil
+	}
+
+	// Response side.
+	switch {
+	case mm.RespRet && in.Dst != ir.NoReg:
+		tx.RespRoot = tx.DP
+		tx.RespRootReg = in.Dst
+		tx.Response = eng.Forward(tx.RespRoot, tx.RespRootReg)
+	case mm.CallbackMethod != "":
+		if root, reg, ok := resolveCallback(p, cg, m, site, in, mm); ok {
+			tx.RespRoot = root
+			tx.RespRootReg = reg
+			tx.Response = eng.Forward(root, reg)
+		}
+	}
+
+	if tx.Response != nil {
+		tx.RespConsumed = tx.Response.Size() > 1
+	}
+
+	// Object-aware augmentation: make slices self-contained (§3.1).
+	if tx.Response != nil {
+		Augment(p, model, tx.Response)
+	}
+	Augment(p, model, tx.Request)
+
+	tx.Sinks = map[string]bool{}
+	tx.Sources = map[string]bool{}
+	if mm.Sink != "" {
+		tx.Sinks[mm.Sink] = true
+	}
+	if tx.Response != nil {
+		for s := range tx.Response.Sinks {
+			tx.Sinks[s] = true
+		}
+	}
+	for s := range tx.Request.Sources {
+		tx.Sources[s] = true
+	}
+	return tx
+}
+
+// resolveCallback locates the implicit response entry for asynchronous
+// demarcation points: the onResponse-style method of the callback object's
+// inferred type, with the response as its first declared parameter.
+func resolveCallback(p *ir.Program, cg *callgraph.Graph, m *ir.Method, site int,
+	in *ir.Instr, mm *semmodel.Method) (taint.StmtID, int, bool) {
+
+	if mm.CallbackArg >= len(in.Args) {
+		return taint.StmtID{}, 0, false
+	}
+	types := callgraph.InferTypes(p, m)
+	reg := in.Args[mm.CallbackArg]
+	if reg == ir.NoReg || reg >= len(types) || types[reg] == "" {
+		return taint.StmtID{}, 0, false
+	}
+	target := p.ResolveMethod(types[reg], mm.CallbackMethod)
+	if target == nil || len(target.Params) == 0 {
+		return taint.StmtID{}, 0, false
+	}
+	// The response parameter is the first declared parameter (register 1
+	// for instance methods).
+	root := taint.StmtID{Method: target.Ref(), Index: 0}
+	respReg := 1
+	if target.Static {
+		respReg = 0
+	}
+	return root, respReg, true
+}
+
+// Augment closes a slice over the defining statements of every register its
+// statements use, restricted to pure context operations (constants, moves,
+// allocations, field/static/resource reads). This reproduces the paper's
+// object-aware slice augmentation: a forward slice that uses an object
+// initialized before the demarcation point gains the initialization
+// context it needs for signature building.
+func Augment(p *ir.Program, model *semmodel.Model, res *taint.Result) {
+	for changed := true; changed; {
+		changed = false
+		// Group slice statements per method.
+		perMethod := map[string][]int{}
+		for s := range res.Stmts {
+			perMethod[s.Method] = append(perMethod[s.Method], s.Index)
+		}
+		for ref, idxs := range perMethod {
+			m := p.Method(ref)
+			if m == nil {
+				continue
+			}
+			used := map[int]bool{}
+			for _, i := range idxs {
+				for _, u := range m.Instrs[i].Uses() {
+					used[u] = true
+				}
+			}
+			for i := range m.Instrs {
+				in := &m.Instrs[i]
+				if res.Stmts[taint.StmtID{Method: ref, Index: i}] {
+					continue
+				}
+				d := in.Def()
+				if d == ir.NoReg || !used[d] {
+					// Constructors mutate without defining; include the
+					// <init> of used allocations.
+					if in.Op == ir.OpInvoke && in.Kind == ir.InvokeSpecial &&
+						len(in.Args) > 0 && used[in.Args[0]] && isInitRef(in.Sym) {
+						res.Stmts[taint.StmtID{Method: ref, Index: i}] = true
+						changed = true
+					}
+					continue
+				}
+				if isContextOp(model, in) {
+					res.Stmts[taint.StmtID{Method: ref, Index: i}] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func isInitRef(sym string) bool {
+	_, name, ok := ir.SplitRef(sym)
+	return ok && name == "<init>"
+}
+
+// isContextOp reports whether an instruction may be pulled into a slice as
+// pure initialization context.
+func isContextOp(model *semmodel.Model, in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpConstStr, ir.OpConstInt, ir.OpConstNull, ir.OpMove, ir.OpNew,
+		ir.OpStaticGet, ir.OpFieldGet, ir.OpBinop:
+		return true
+	case ir.OpInvoke:
+		if mm := model.Lookup(in.Sym); mm != nil {
+			switch mm.Kind {
+			case semmodel.KResGetString, semmodel.KStringBuilderInit,
+				semmodel.KValueOf, semmodel.KPassThrough, semmodel.KToString:
+				return true
+			}
+		}
+		return isInitRef(in.Sym)
+	}
+	return false
+}

@@ -1,0 +1,314 @@
+package taint
+
+import (
+	"extractocol/internal/ir"
+	"extractocol/internal/semmodel"
+)
+
+// Backward computes the request slice: all statements contributing to the
+// value of register reg at the demarcation point dp, following inverted
+// taint-propagation rules (tainted LHS taints RHS; callee parameters taint
+// caller arguments; taint is consumed at definitions).
+func (e *Engine) Backward(dp StmtID, reg int) *Result {
+	res := newResult()
+	w := &worklist{seen: map[fact]bool{}}
+	res.Stmts[dp] = true
+	w.push(fact{kind: factLocal, method: dp.Method, reg: reg})
+	for {
+		f, ok := w.pop()
+		if !ok {
+			break
+		}
+		switch f.kind {
+		case factLocal:
+			e.backwardLocal(f, res, w)
+		case factHeap:
+			e.backwardHeap(f, res, w)
+		}
+	}
+	return res
+}
+
+func (e *Engine) backwardLocal(f fact, res *Result, w *worklist) {
+	m := e.Prog.Method(f.method)
+	if m == nil {
+		return
+	}
+	for i := range m.Instrs {
+		in := &m.Instrs[i]
+		if in.Def() == f.reg {
+			e.backwardDef(m, i, in, f, res, w)
+		}
+		e.backwardMutation(m, i, in, f, res, w)
+	}
+	// Parameter registers propagate to every caller's argument.
+	if f.reg < m.NumParamRegs() {
+		e.backwardToCallers(m, f, res, w)
+	}
+}
+
+// backwardDef handles a statement that defines the tainted register: the
+// statement joins the slice and its operands become tainted.
+func (e *Engine) backwardDef(m *ir.Method, idx int, in *ir.Instr, f fact, res *Result, w *worklist) {
+	e.include(m, idx, in, res)
+	switch in.Op {
+	case ir.OpConstStr, ir.OpConstInt, ir.OpConstNull, ir.OpNew:
+		// Constant or allocation: taint is consumed here.
+	case ir.OpMove:
+		w.push(fact{kind: factLocal, method: f.method, reg: in.A, hops: f.hops})
+	case ir.OpBinop:
+		w.push(fact{kind: factLocal, method: f.method, reg: in.A, hops: f.hops})
+		w.push(fact{kind: factLocal, method: f.method, reg: in.B, hops: f.hops})
+	case ir.OpFieldGet:
+		loc := e.heapLoc(m, in)
+		res.HeapReads[loc] = true
+		w.push(fact{kind: factHeap, loc: loc, hops: f.hops})
+		w.push(fact{kind: factLocal, method: f.method, reg: in.A, hops: f.hops})
+	case ir.OpStaticGet:
+		loc := "s:" + in.Sym
+		res.HeapReads[loc] = true
+		w.push(fact{kind: factHeap, loc: loc, hops: f.hops})
+	case ir.OpInvoke:
+		e.backwardInvokeDef(m, idx, in, f, res, w)
+	}
+}
+
+func (e *Engine) backwardInvokeDef(m *ir.Method, idx int, in *ir.Instr, f fact, res *Result, w *worklist) {
+	pushArg := func(pos int) {
+		if pos < len(in.Args) && in.Args[pos] != ir.NoReg {
+			w.push(fact{kind: factLocal, method: f.method, reg: in.Args[pos], hops: f.hops})
+		}
+	}
+	pushAll := func(from int) {
+		for p := from; p < len(in.Args); p++ {
+			pushArg(p)
+		}
+	}
+	if mm := e.Model.Lookup(in.Sym); mm != nil {
+		switch mm.Kind {
+		case semmodel.KGsonToJSON:
+			// gson.toJson(obj): the serialized object, not the Gson
+			// instance, carries the payload.
+			pushArg(1)
+		case semmodel.KToString, semmodel.KJSONToString,
+			semmodel.KEntityContent, semmodel.KReadStream, semmodel.KRespGetEntity,
+			semmodel.KRespBody, semmodel.KRespGetHeader, semmodel.KPassThrough,
+			semmodel.KListGet, semmodel.KMapGet, semmodel.KJSONGetStr,
+			semmodel.KJSONGetInt, semmodel.KJSONGetBool, semmodel.KJSONGetObj,
+			semmodel.KJSONGetArr, semmodel.KJSONArrGet, semmodel.KJSONArrLen,
+			semmodel.KOpenConnection, semmodel.KConnGetOutput, semmodel.KConnGetInput,
+			semmodel.KXMLGetTag, semmodel.KXMLGetAttr, semmodel.KXMLGetText:
+			pushArg(0)
+		case semmodel.KValueOf, semmodel.KURLEncode, semmodel.KJSONParse,
+			semmodel.KXMLParse, semmodel.KStringFormatIdentity:
+			pushAll(0)
+		case semmodel.KStringConcat, semmodel.KAppend:
+			pushAll(0)
+		case semmodel.KGsonFromJSON:
+			pushArg(1)
+		case semmodel.KOkBuild:
+			pushArg(0)
+		case semmodel.KOkNewCall:
+			pushArg(1)
+		case semmodel.KOkURL, semmodel.KOkPost, semmodel.KOkHeader:
+			pushAll(0)
+		case semmodel.KResGetString:
+			if len(in.Args) >= 2 {
+				if key, ok := e.constString(m, idx, in.Args[1]); ok {
+					res.HeapReads["res:"+key] = true
+				}
+			}
+		case semmodel.KDBQuery:
+			for _, loc := range e.dbLocs(m, idx, in) {
+				res.HeapReads[loc] = true
+			}
+		case semmodel.KExecuteDP:
+			// The result of another transaction's DP feeding this value:
+			// recorded as an execute statement; inter-transaction analysis
+			// pairs the flows.
+		default:
+			pushAll(0)
+		}
+		return
+	}
+	// Application callee: taint its return registers.
+	edges := e.appCallees(m, idx)
+	if len(edges) == 0 {
+		pushAll(0) // unknown method: conservative
+		return
+	}
+	for _, edge := range edges {
+		callee := e.Prog.Method(edge.Callee)
+		if callee == nil || (!e.inUniverse(edge.Callee) && f.hops == 0) {
+			continue
+		}
+		for j := range callee.Instrs {
+			ret := &callee.Instrs[j]
+			if ret.Op == ir.OpReturn && ret.A != ir.NoReg {
+				w.push(fact{kind: factLocal, method: edge.Callee, reg: ret.A, hops: f.hops})
+			}
+		}
+	}
+}
+
+// backwardMutation adds statements that mutate the tainted object: calls
+// with the object as receiver of a modeled mutator, field stores into it,
+// and app calls the object escapes into.
+func (e *Engine) backwardMutation(m *ir.Method, idx int, in *ir.Instr, f fact, res *Result, w *worklist) {
+	switch in.Op {
+	case ir.OpFieldPut:
+		if in.A == f.reg {
+			e.include(m, idx, in, res)
+			w.push(fact{kind: factLocal, method: f.method, reg: in.B, hops: f.hops})
+		}
+	case ir.OpInvoke:
+		argPos := -1
+		for p, a := range in.Args {
+			if a == f.reg {
+				argPos = p
+				break
+			}
+		}
+		if argPos < 0 {
+			return
+		}
+		if mm := e.Model.Lookup(in.Sym); mm != nil {
+			if argPos == 0 && isMutator(mm.Kind) {
+				e.include(m, idx, in, res)
+				for p := 1; p < len(in.Args); p++ {
+					w.push(fact{kind: factLocal, method: f.method, reg: in.Args[p], hops: f.hops})
+				}
+			}
+			if argPos == 0 && mm.Kind == semmodel.KConnGetOutput && in.Dst != ir.NoReg {
+				// The output stream writes into the connection: track it.
+				e.include(m, idx, in, res)
+				w.push(fact{kind: factLocal, method: f.method, reg: in.Dst, hops: f.hops})
+			}
+			return
+		}
+		if in.Kind == ir.InvokeSpecial && argPos == 0 {
+			// Constructor of an app or unknown class: arguments flow in.
+			e.include(m, idx, in, res)
+			for p := 1; p < len(in.Args); p++ {
+				w.push(fact{kind: factLocal, method: f.method, reg: in.Args[p], hops: f.hops})
+			}
+			return
+		}
+		// Object escapes into an app callee: follow its parameter there so
+		// mutations inside the callee join the slice.
+		for _, edge := range e.appCallees(m, idx) {
+			callee := e.Prog.Method(edge.Callee)
+			if callee == nil || (!e.inUniverse(edge.Callee) && f.hops == 0) {
+				continue
+			}
+			if pr := paramReg(callee, argPos); pr != ir.NoReg {
+				e.include(m, idx, in, res)
+				w.push(fact{kind: factLocal, method: edge.Callee, reg: pr, hops: f.hops})
+			}
+		}
+	}
+}
+
+// isMutator reports whether calls of this kind change the receiver's
+// logical value.
+func isMutator(k semmodel.Kind) bool {
+	switch k {
+	case semmodel.KAppend, semmodel.KHTTPSetEntity, semmodel.KHTTPAddHeader,
+		semmodel.KJSONPut, semmodel.KCVPut, semmodel.KListAdd, semmodel.KMapPut,
+		semmodel.KConnSetMethod, semmodel.KConnSetHeader, semmodel.KOkURL,
+		semmodel.KOkPost, semmodel.KOkHeader, semmodel.KStreamWrite,
+		semmodel.KStringBuilderInit, semmodel.KHTTPReqInit, semmodel.KStringEntityInit,
+		semmodel.KFormEntityInit, semmodel.KNVPairInit, semmodel.KURLInit:
+		return true
+	}
+	return false
+}
+
+// backwardToCallers propagates a tainted parameter to the corresponding
+// argument at every call site, including implicit (async) edges.
+func (e *Engine) backwardToCallers(m *ir.Method, f fact, res *Result, w *worklist) {
+	for _, edge := range e.CG.Callers(m.Ref()) {
+		caller := e.Prog.Method(edge.Caller)
+		if caller == nil {
+			continue
+		}
+		// Call edges never cross the transaction context: only heap facts
+		// may escape it (as asynchronous hops). Facts that already escaped
+		// continue to propagate in their writer's context.
+		if !e.inUniverse(edge.Caller) && f.hops == 0 {
+			continue
+		}
+		hops := f.hops
+		if edge.Site < 0 {
+			// Synthetic chain edge (doInBackground -> onPostExecute):
+			// the callee's data parameter is the caller's return value.
+			if f.reg == 1 {
+				for j := range caller.Instrs {
+					ret := &caller.Instrs[j]
+					if ret.Op == ir.OpReturn && ret.A != ir.NoReg {
+						e.include(caller, j, ret, res)
+						w.push(fact{kind: factLocal, method: edge.Caller, reg: ret.A, hops: hops})
+					}
+				}
+			}
+			continue
+		}
+		in := &caller.Instrs[edge.Site]
+		base := 0
+		if mm := e.Model.Lookup(in.Sym); mm != nil && mm.CallbackMethod != "" {
+			base = mm.CallbackArg
+		}
+		pos := base + f.reg
+		if pos < len(in.Args) && in.Args[pos] != ir.NoReg {
+			e.include(caller, edge.Site, in, res)
+			w.push(fact{kind: factLocal, method: edge.Caller, reg: in.Args[pos], hops: hops})
+		}
+	}
+}
+
+// backwardHeap propagates a heap fact to every statement writing that
+// location, crossing asynchronous event boundaries at the cost of a hop.
+func (e *Engine) backwardHeap(f fact, res *Result, w *worklist) {
+	for _, c := range e.Prog.AppClasses() {
+		for _, m := range c.Methods {
+			inU := e.inUniverse(m.Ref())
+			hops := f.hops
+			if !inU {
+				hops = f.hops + 1
+				if hops > e.MaxAsyncHops {
+					continue
+				}
+			}
+			for i := range m.Instrs {
+				in := &m.Instrs[i]
+				switch in.Op {
+				case ir.OpFieldPut:
+					if e.heapLoc(m, in) == f.loc {
+						e.include(m, i, in, res)
+						w.push(fact{kind: factLocal, method: m.Ref(), reg: in.B, hops: hops})
+					}
+				case ir.OpStaticPut:
+					if "s:"+in.Sym == f.loc {
+						e.include(m, i, in, res)
+						w.push(fact{kind: factLocal, method: m.Ref(), reg: in.B, hops: hops})
+					}
+				}
+			}
+		}
+	}
+}
+
+// include records a statement in the slice and tracks sources/sinks.
+func (e *Engine) include(m *ir.Method, idx int, in *ir.Instr, res *Result) {
+	res.Stmts[StmtID{m.Ref(), idx}] = true
+	if in.Op == ir.OpInvoke {
+		if mm := e.Model.Lookup(in.Sym); mm != nil {
+			if mm.Source != "" {
+				res.Sources[mm.Source] = true
+			}
+			if mm.Sink != "" {
+				res.Sinks[mm.Sink] = true
+			}
+		}
+	}
+}

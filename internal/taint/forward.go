@@ -1,0 +1,260 @@
+package taint
+
+import (
+	"extractocol/internal/ir"
+	"extractocol/internal/semmodel"
+)
+
+// Forward computes the response slice: all statements deriving data from
+// register reg defined at statement origin (the demarcation point's
+// response object, or an async callback's response parameter). Standard
+// forward propagation rules apply; heap writes record response-originated
+// objects for inter-transaction dependency analysis.
+func (e *Engine) Forward(origin StmtID, reg int) *Result {
+	res := newResult()
+	w := &worklist{seen: map[fact]bool{}}
+	res.Stmts[origin] = true
+	w.push(fact{kind: factLocal, method: origin.Method, reg: reg})
+	for {
+		f, ok := w.pop()
+		if !ok {
+			break
+		}
+		switch f.kind {
+		case factLocal:
+			e.forwardLocal(f, res, w)
+		case factHeap:
+			e.forwardHeap(f, res, w)
+		}
+	}
+	return res
+}
+
+// ForwardFacts runs forward propagation from a prepared set of local facts
+// given as (method, register) pairs; used by the pairing analysis, which
+// taints URI slices and checks reachability into response slices.
+func (e *Engine) ForwardFacts(seeds map[StmtID]int) *Result {
+	res := newResult()
+	w := &worklist{seen: map[fact]bool{}}
+	for s, reg := range seeds {
+		res.Stmts[s] = true
+		w.push(fact{kind: factLocal, method: s.Method, reg: reg})
+	}
+	for {
+		f, ok := w.pop()
+		if !ok {
+			break
+		}
+		switch f.kind {
+		case factLocal:
+			e.forwardLocal(f, res, w)
+		case factHeap:
+			e.forwardHeap(f, res, w)
+		}
+	}
+	return res
+}
+
+func (e *Engine) forwardLocal(f fact, res *Result, w *worklist) {
+	m := e.Prog.Method(f.method)
+	if m == nil {
+		return
+	}
+	for i := range m.Instrs {
+		in := &m.Instrs[i]
+		uses := false
+		for _, u := range in.Uses() {
+			if u == f.reg {
+				uses = true
+				break
+			}
+		}
+		if !uses {
+			continue
+		}
+		switch in.Op {
+		case ir.OpMove:
+			e.include(m, i, in, res)
+			w.push(fact{kind: factLocal, method: f.method, reg: in.Dst, hops: f.hops})
+		case ir.OpBinop:
+			e.include(m, i, in, res)
+			w.push(fact{kind: factLocal, method: f.method, reg: in.Dst, hops: f.hops})
+		case ir.OpFieldPut:
+			if in.B == f.reg {
+				loc := e.heapLoc(m, in)
+				e.include(m, i, in, res)
+				res.HeapWrites[loc] = true
+				w.push(fact{kind: factHeap, loc: loc, hops: f.hops})
+			}
+		case ir.OpStaticPut:
+			if in.B == f.reg {
+				loc := "s:" + in.Sym
+				e.include(m, i, in, res)
+				res.HeapWrites[loc] = true
+				w.push(fact{kind: factHeap, loc: loc, hops: f.hops})
+			}
+		case ir.OpFieldGet:
+			// Reading a field of a tainted object yields tainted data.
+			e.include(m, i, in, res)
+			w.push(fact{kind: factLocal, method: f.method, reg: in.Dst, hops: f.hops})
+		case ir.OpReturn:
+			e.include(m, i, in, res)
+			e.forwardToCallers(m, f, res, w)
+		case ir.OpInvoke:
+			e.forwardInvoke(m, i, in, f, res, w)
+		}
+	}
+}
+
+func (e *Engine) forwardInvoke(m *ir.Method, idx int, in *ir.Instr, f fact, res *Result, w *worklist) {
+	pushDst := func() {
+		if in.Dst != ir.NoReg {
+			w.push(fact{kind: factLocal, method: f.method, reg: in.Dst, hops: f.hops})
+		}
+	}
+	argPos := -1
+	for p, a := range in.Args {
+		if a == f.reg {
+			argPos = p
+			break
+		}
+	}
+	if mm := e.Model.Lookup(in.Sym); mm != nil {
+		switch mm.Kind {
+		case semmodel.KAppend:
+			// Receiver accumulates; result aliases receiver.
+			e.include(m, idx, in, res)
+			if len(in.Args) > 0 {
+				w.push(fact{kind: factLocal, method: f.method, reg: in.Args[0], hops: f.hops})
+			}
+			pushDst()
+		case semmodel.KJSONPut, semmodel.KListAdd, semmodel.KMapPut, semmodel.KCVPut,
+			semmodel.KHTTPSetEntity, semmodel.KHTTPAddHeader,
+			semmodel.KOkURL, semmodel.KOkPost, semmodel.KOkHeader,
+			semmodel.KStreamWrite,
+			semmodel.KHTTPReqInit, semmodel.KStringEntityInit, semmodel.KFormEntityInit,
+			semmodel.KNVPairInit, semmodel.KURLInit, semmodel.KSocketInit,
+			semmodel.KStringBuilderInit:
+			// Value flows into the receiver object.
+			e.include(m, idx, in, res)
+			if argPos > 0 && len(in.Args) > 0 {
+				w.push(fact{kind: factLocal, method: f.method, reg: in.Args[0], hops: f.hops})
+			}
+			pushDst()
+		case semmodel.KDBInsert, semmodel.KDBUpdate:
+			e.include(m, idx, in, res)
+			for _, loc := range e.dbLocs(m, idx, in) {
+				res.HeapWrites[loc] = true
+			}
+		case semmodel.KMediaSetSource:
+			e.include(m, idx, in, res)
+			res.Sinks[mm.Sink] = true
+		case semmodel.KFileWrite, semmodel.KUIDisplay:
+			e.include(m, idx, in, res)
+			res.Sinks[mm.Sink] = true
+		case semmodel.KExecuteDP, semmodel.KEnqueueDP:
+			// Tainted data feeding another request: recorded for
+			// inter-transaction dependency analysis.
+			e.include(m, idx, in, res)
+		case semmodel.KStringEquals, semmodel.KJSONArrLen:
+			// Predicates/lengths: control data, not payload content.
+			e.include(m, idx, in, res)
+		default:
+			e.include(m, idx, in, res)
+			pushDst()
+		}
+		return
+	}
+	// Application callee.
+	edges := e.appCallees(m, idx)
+	if len(edges) == 0 {
+		e.include(m, idx, in, res)
+		pushDst()
+		return
+	}
+	for _, edge := range edges {
+		callee := e.Prog.Method(edge.Callee)
+		if callee == nil {
+			continue
+		}
+		if !e.inUniverse(edge.Callee) && f.hops == 0 {
+			continue
+		}
+		hops := f.hops
+		base := 0
+		if mmReg := e.Model.Lookup(in.Sym); mmReg != nil && mmReg.CallbackMethod != "" {
+			base = mmReg.CallbackArg
+		}
+		pos := argPos - base
+		if pr := paramReg(callee, pos); pr != ir.NoReg {
+			e.include(m, idx, in, res)
+			w.push(fact{kind: factLocal, method: edge.Callee, reg: pr, hops: hops})
+		}
+	}
+}
+
+// forwardToCallers propagates a tainted return value into each caller's
+// destination register, and along synthetic async chains.
+func (e *Engine) forwardToCallers(m *ir.Method, f fact, res *Result, w *worklist) {
+	for _, edge := range e.CG.Callees(m.Ref()) {
+		if edge.Site == -1 && edge.Implicit {
+			// doInBackground -> onPostExecute: return value becomes the
+			// first parameter.
+			callee := e.Prog.Method(edge.Callee)
+			if callee == nil {
+				continue
+			}
+			if pr := paramReg(callee, 1); pr != ir.NoReg {
+				w.push(fact{kind: factLocal, method: edge.Callee, reg: pr, hops: f.hops})
+			}
+		}
+	}
+	for _, edge := range e.CG.Callers(m.Ref()) {
+		if edge.Site < 0 {
+			continue
+		}
+		caller := e.Prog.Method(edge.Caller)
+		if caller == nil {
+			continue
+		}
+		if !e.inUniverse(edge.Caller) && f.hops == 0 {
+			continue
+		}
+		hops := f.hops
+		in := &caller.Instrs[edge.Site]
+		if in.Dst != ir.NoReg && !edge.Implicit {
+			e.include(caller, edge.Site, in, res)
+			w.push(fact{kind: factLocal, method: edge.Caller, reg: in.Dst, hops: hops})
+		}
+	}
+}
+
+// forwardHeap propagates a heap fact to every reader of the location.
+func (e *Engine) forwardHeap(f fact, res *Result, w *worklist) {
+	for _, c := range e.Prog.AppClasses() {
+		for _, m := range c.Methods {
+			hops := f.hops
+			if !e.inUniverse(m.Ref()) {
+				hops = f.hops + 1
+				if hops > e.MaxAsyncHops {
+					continue
+				}
+			}
+			for i := range m.Instrs {
+				in := &m.Instrs[i]
+				switch in.Op {
+				case ir.OpFieldGet:
+					if e.heapLoc(m, in) == f.loc {
+						e.include(m, i, in, res)
+						w.push(fact{kind: factLocal, method: m.Ref(), reg: in.Dst, hops: hops})
+					}
+				case ir.OpStaticGet:
+					if "s:"+in.Sym == f.loc {
+						e.include(m, i, in, res)
+						w.push(fact{kind: factLocal, method: m.Ref(), reg: in.Dst, hops: hops})
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package taint implements the bi-directional static taint propagation at
+// the heart of Extractocol (§3.1). Starting from demarcation points, the
+// engine tracks every operation on network-I/O-bound objects:
+//
+//   - backward propagation collects the statements that construct a request
+//     (URI, method, headers, body) — inverted propagation rules over the
+//     reversed control flow, with taint killed at definitions;
+//   - forward propagation collects the statements that process a response;
+//   - heap facts (instance fields, static fields, SQLite rows, Android
+//     resources) bridge asynchronous events: a request fragment built in a
+//     location callback and consumed by a click handler is connected by
+//     backward-propagating from the setter statements (§3.4). The number of
+//     asynchronous hops crossed is bounded by MaxAsyncHops, reproducing the
+//     paper's single-hop limitation.
+//
+// Unlike classic taint analysis, which only decides reachability from
+// source to sink, this engine records *all* statements touching tainted
+// objects — omitting even one would corrupt the reconstructed signature.
+package taint
+
+import (
+	"sort"
+
+	"extractocol/internal/callgraph"
+	"extractocol/internal/ir"
+	"extractocol/internal/semmodel"
+)
+
+// StmtID identifies one instruction in the program.
+type StmtID struct {
+	Method string
+	Index  int
+}
+
+// Result is a program slice: the statement set plus the heap locations and
+// data endpoints touched while tainted.
+type Result struct {
+	Stmts map[StmtID]bool
+	// HeapReads are heap locations whose value flows into the slice
+	// (request-originating objects, for backward slices).
+	HeapReads map[string]bool
+	// HeapWrites are heap locations written from tainted data
+	// (response-originated objects, for forward slices).
+	HeapWrites map[string]bool
+	// Sinks are data consumption endpoints reached ("media", "file", "ui").
+	Sinks map[string]bool
+	// Sources are data origins observed in the slice ("microphone", ...).
+	Sources map[string]bool
+}
+
+func newResult() *Result {
+	return &Result{
+		Stmts:      map[StmtID]bool{},
+		HeapReads:  map[string]bool{},
+		HeapWrites: map[string]bool{},
+		Sinks:      map[string]bool{},
+		Sources:    map[string]bool{},
+	}
+}
+
+// Methods returns the sorted set of methods contributing statements.
+func (r *Result) Methods() []string {
+	set := map[string]bool{}
+	for s := range r.Stmts {
+		set[s.Method] = true
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Contains reports whether the statement is part of the slice.
+func (r *Result) Contains(method string, index int) bool {
+	return r.Stmts[StmtID{method, index}]
+}
+
+// Size returns the number of statements in the slice.
+func (r *Result) Size() int { return len(r.Stmts) }
+
+// Merge unions o into r.
+func (r *Result) Merge(o *Result) {
+	for k := range o.Stmts {
+		r.Stmts[k] = true
+	}
+	for k := range o.HeapReads {
+		r.HeapReads[k] = true
+	}
+	for k := range o.HeapWrites {
+		r.HeapWrites[k] = true
+	}
+	for k := range o.Sinks {
+		r.Sinks[k] = true
+	}
+	for k := range o.Sources {
+		r.Sources[k] = true
+	}
+}
+
+// Engine performs taint propagation over one program.
+type Engine struct {
+	Prog  *ir.Program
+	Model *semmodel.Model
+	CG    *callgraph.Graph
+
+	// MaxAsyncHops bounds how many asynchronous event boundaries a heap
+	// fact may cross: 0 disables the §3.4 heuristic (the paper's setting
+	// for open-source apps), 1 is the paper's closed-source setting.
+	MaxAsyncHops int
+
+	// Universe, when non-nil, restricts propagation to the given methods
+	// (the per-entry-point context used for transaction separation). Heap
+	// facts may escape the universe at the cost of one async hop.
+	Universe map[string]bool
+
+	typesCache map[string][]string
+}
+
+// NewEngine creates an engine with the given configuration.
+func NewEngine(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph) *Engine {
+	return &Engine{Prog: p, Model: model, CG: cg, MaxAsyncHops: 1,
+		typesCache: map[string][]string{}}
+}
+
+func (e *Engine) types(m *ir.Method) []string {
+	if t, ok := e.typesCache[m.Ref()]; ok {
+		return t
+	}
+	t := callgraph.InferTypes(e.Prog, m)
+	e.typesCache[m.Ref()] = t
+	return t
+}
+
+func (e *Engine) inUniverse(method string) bool {
+	return e.Universe == nil || e.Universe[method]
+}
+
+type factKind uint8
+
+const (
+	factLocal factKind = iota
+	factHeap
+)
+
+type fact struct {
+	kind   factKind
+	method string // local facts: owning method
+	reg    int    // local facts: register
+	loc    string // heap facts: location id
+	hops   int    // async hops consumed so far
+}
+
+type worklist struct {
+	items []fact
+	seen  map[fact]bool
+}
+
+func (w *worklist) push(f fact) {
+	// Deduplicate ignoring hops: keep the lowest-hop visit.
+	key := f
+	key.hops = 0
+	if w.seen[key] {
+		return
+	}
+	w.seen[key] = true
+	w.items = append(w.items, f)
+}
+
+func (w *worklist) pop() (fact, bool) {
+	if len(w.items) == 0 {
+		return fact{}, false
+	}
+	f := w.items[len(w.items)-1]
+	w.items = w.items[:len(w.items)-1]
+	return f, true
+}
+
+// heapLoc computes the heap location id for a field access: the inferred
+// class of the base object joined with the field name.
+func (e *Engine) heapLoc(m *ir.Method, in *ir.Instr) string {
+	types := e.types(m)
+	base := m.Class.Name
+	if in.A >= 0 && in.A < len(types) && types[in.A] != "" {
+		base = types[in.A]
+	}
+	return "f:" + base + "." + in.Sym
+}
+
+// constString resolves the constant string feeding register reg at
+// instruction site, by scanning backward for its most recent definition.
+// It follows one move and resolves APK resources. ok is false when the
+// value is not a compile-time constant.
+func (e *Engine) constString(m *ir.Method, site, reg int) (string, bool) {
+	for i := site - 1; i >= 0; i-- {
+		in := &m.Instrs[i]
+		if in.Def() != reg {
+			continue
+		}
+		switch in.Op {
+		case ir.OpConstStr:
+			return in.Str, true
+		case ir.OpMove:
+			return e.constString(m, i, in.A)
+		case ir.OpInvoke:
+			if mm := e.Model.Lookup(in.Sym); mm != nil && mm.Kind == semmodel.KResGetString && len(in.Args) >= 2 {
+				if key, ok := e.constString(m, i, in.Args[1]); ok {
+					if v, present := e.Prog.Resources[key]; present {
+						return v, true
+					}
+					return "", false
+				}
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
+	return "", false
+}
+
+// dbLocs derives SQLite heap locations for a DB call: one per constant
+// column name put into the ContentValues argument (writes) or per constant
+// column argument (reads).
+func (e *Engine) dbLocs(m *ir.Method, site int, in *ir.Instr) []string {
+	mm := e.Model.Lookup(in.Sym)
+	if mm == nil || len(in.Args) < 2 {
+		return nil
+	}
+	table, ok := e.constString(m, site, in.Args[1])
+	if !ok {
+		table = "*"
+	}
+	switch mm.Kind {
+	case semmodel.KDBQuery:
+		if len(in.Args) >= 3 {
+			if col, ok := e.constString(m, site, in.Args[2]); ok {
+				return []string{"db:" + table + "." + col}
+			}
+		}
+		return []string{"db:" + table + ".*"}
+	case semmodel.KDBInsert, semmodel.KDBUpdate:
+		if len(in.Args) < 3 {
+			return nil
+		}
+		valuesReg := in.Args[2]
+		var locs []string
+		for i := 0; i < site; i++ {
+			put := &m.Instrs[i]
+			if put.Op != ir.OpInvoke || len(put.Args) < 3 || put.Args[0] != valuesReg {
+				continue
+			}
+			pm := e.Model.Lookup(put.Sym)
+			if pm == nil || pm.Kind != semmodel.KCVPut {
+				continue
+			}
+			if col, ok := e.constString(m, i, put.Args[1]); ok {
+				locs = append(locs, "db:"+table+"."+col)
+			}
+		}
+		if len(locs) == 0 {
+			locs = []string{"db:" + table + ".*"}
+		}
+		return locs
+	}
+	return nil
+}
+
+// paramReg maps a parameter position (receiver = 0 for instance methods,
+// then declared parameters) to a register of m, or NoReg.
+func paramReg(m *ir.Method, pos int) int {
+	if pos < 0 || pos >= m.NumParamRegs() {
+		return ir.NoReg
+	}
+	return pos
+}
+
+// appCallees returns the app methods the call at (m, site) may invoke.
+func (e *Engine) appCallees(m *ir.Method, site int) []callgraph.Edge {
+	return e.CG.CalleesAt(m.Ref(), site)
+}

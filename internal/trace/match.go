@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"regexp"
+	"strings"
+
+	"extractocol/internal/core"
+	"extractocol/internal/siglang"
+)
+
+// MatchResult aggregates signature-versus-traffic validation (§5.1
+// "signature validity" and Table 2 byte accounting).
+type MatchResult struct {
+	// TraceEntries is the number of successful trace exchanges considered.
+	TraceEntries int
+	// MatchedEntries is how many were matched by some signature.
+	MatchedEntries int
+	// Unmatched lists route IDs of trace entries no signature covered.
+	Unmatched []string
+
+	// SigsWithTraffic counts signatures for which traffic was observed;
+	// SigsValid counts those whose every observed exchange matched.
+	SigsWithTraffic int
+	SigsValid       int
+
+	// URIStats, ReqStats and RespStats accumulate matched-byte statistics
+	// over URIs, request bodies/query strings, and response bodies.
+	URIStats  siglang.ByteStats
+	ReqStats  siglang.ByteStats
+	RespStats siglang.ByteStats
+}
+
+// MatchReport validates an analysis report against a traffic trace.
+func MatchReport(rep *core.Report, entries []Entry) *MatchResult {
+	type compiled struct {
+		tx *core.Transaction
+		re *regexp.Regexp
+	}
+	var sigs []compiled
+	for _, tx := range rep.Transactions {
+		re, err := siglang.Compile(tx.Request.URI)
+		if err != nil {
+			continue
+		}
+		sigs = append(sigs, compiled{tx: tx, re: re})
+	}
+
+	res := &MatchResult{}
+	sigMatched := map[int]bool{}
+	sigFailed := map[int]bool{}
+
+	for _, e := range entries {
+		if e.Status >= 400 {
+			continue
+		}
+		res.TraceEntries++
+		var best *compiled
+		for i := range sigs {
+			s := &sigs[i]
+			if s.tx.Request.Method != e.Method {
+				continue
+			}
+			if !s.re.MatchString(e.URL) {
+				continue
+			}
+			// Prefer the most specific match (longest literal regex).
+			if best == nil || len(s.re.String()) > len(best.re.String()) {
+				best = s
+			}
+		}
+		if best == nil {
+			res.Unmatched = append(res.Unmatched, e.RouteID)
+			continue
+		}
+		res.MatchedEntries++
+		sigMatched[best.tx.ID] = true
+		ok := true
+
+		if _, st := siglang.MatchText(best.tx.Request.URI, e.URL); st.Total() > 0 {
+			res.URIStats.Add(st)
+		}
+		if !matchRequestBody(best.tx, e, &res.ReqStats) {
+			ok = false
+		}
+		if !matchResponseBody(best.tx, e, &res.RespStats) {
+			ok = false
+		}
+		if !ok {
+			sigFailed[best.tx.ID] = true
+		}
+	}
+	res.SigsWithTraffic = len(sigMatched)
+	for id := range sigMatched {
+		if !sigFailed[id] {
+			res.SigsValid++
+		}
+	}
+	return res
+}
+
+func matchRequestBody(tx *core.Transaction, e Entry, agg *siglang.ByteStats) bool {
+	if e.ReqBody == "" {
+		return true
+	}
+	switch tx.Request.BodyKind {
+	case "query":
+		ok, st := siglang.MatchQuery(tx.Request.Body, e.ReqBody)
+		agg.Add(st)
+		return ok
+	case "json":
+		ok, st, err := siglang.MatchJSON(tx.Request.Body, []byte(e.ReqBody))
+		if err != nil {
+			return false
+		}
+		agg.Add(st)
+		return ok
+	case "text":
+		ok, st := matchTextOrQuery(tx.Request.Body, e.ReqBody)
+		agg.Add(st)
+		return ok
+	default:
+		// Signature has no body model: all bytes unaccounted.
+		agg.Add(siglang.ByteStats{None: len(e.ReqBody)})
+		return true
+	}
+}
+
+// matchTextOrQuery matches text bodies; bodies shaped like query strings
+// get key/value accounting.
+func matchTextOrQuery(sig siglang.Sig, body string) (bool, siglang.ByteStats) {
+	if strings.Contains(body, "=") && !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		return siglang.MatchQuery(sig, body)
+	}
+	return siglang.MatchText(sig, body)
+}
+
+func matchResponseBody(tx *core.Transaction, e Entry, agg *siglang.ByteStats) bool {
+	if tx.Response == nil || e.RespBody == "" {
+		return true
+	}
+	switch {
+	case tx.Response.BodyKind == "json" && e.RespType == "json":
+		ok, st, err := siglang.MatchJSON(&siglang.JSON{Root: tx.Response.JSON}, []byte(e.RespBody))
+		if err != nil {
+			return false
+		}
+		agg.Add(st)
+		return ok
+	case tx.Response.BodyKind == "xml" && e.RespType == "xml":
+		ok, st, err := siglang.MatchXML(&siglang.XML{Root: tx.Response.XML}, []byte(e.RespBody))
+		if err != nil {
+			return false
+		}
+		agg.Add(st)
+		return ok
+	default:
+		agg.Add(siglang.ByteStats{None: len(e.RespBody)})
+		return true
+	}
+}
