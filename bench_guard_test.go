@@ -1,0 +1,129 @@
+// Performance regression guard. TestBenchRegressionGuard measures one
+// representative end-to-end analysis (per-phase wall time plus allocations)
+// and compares it against the committed baseline in BENCH_baseline.json.
+// Thresholds are deliberately generous — the guard exists to catch
+// order-of-magnitude regressions (an accidentally quadratic loop, a
+// per-statement allocation in a hot path), not scheduler noise.
+//
+// Regenerate the baseline after an intentional performance change with:
+//
+//	EXTRACTOCOL_BENCH_BASELINE=write go test -run TestBenchRegressionGuard .
+package extractocol
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"extractocol/internal/core"
+	"extractocol/internal/corpus"
+	"extractocol/internal/obs"
+)
+
+const baselinePath = "BENCH_baseline.json"
+
+// Multipliers a measurement may grow by before the guard fails. Wall time
+// gets the larger factor because CI machines vary wildly; allocation counts
+// are nearly deterministic, so a small factor already means a real change.
+const (
+	nsSlack     = 20
+	allocsSlack = 3
+)
+
+type benchBaseline struct {
+	App         string           `json:"app"`
+	NsPerOp     int64            `json:"ns_per_op"`
+	AllocsPerOp int64            `json:"allocs_per_op"`
+	PhaseNS     map[string]int64 `json:"phase_ns"`
+}
+
+// guardApp is the corpus app the guard analyzes: the paper's running
+// example, big enough to exercise every pipeline phase.
+const guardApp = "radio reddit"
+
+func measureBaseline(t *testing.T) benchBaseline {
+	t.Helper()
+	app, err := corpus.ByName(guardApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var prof *obs.Profile
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := core.Analyze(app.Prog, core.NewOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			prof = rep.Profile
+		}
+	})
+
+	bl := benchBaseline{
+		App:         guardApp,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		PhaseNS:     map[string]int64{},
+	}
+	for _, ph := range prof.Phases {
+		bl.PhaseNS[ph.Name] = ph.DurationNS
+	}
+	return bl
+}
+
+func TestBenchRegressionGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews timing and allocation counts")
+	}
+
+	cur := measureBaseline(t)
+
+	data, err := os.ReadFile(baselinePath)
+	if os.IsNotExist(err) || os.Getenv("EXTRACTOCOL_BENCH_BASELINE") == "write" {
+		out, merr := json.MarshalIndent(cur, "", "  ")
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if werr := os.WriteFile(baselinePath, append(out, '\n'), 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		t.Logf("wrote %s: %s", baselinePath, out)
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("corrupt %s: %v", baselinePath, err)
+	}
+	if base.App != cur.App {
+		t.Fatalf("baseline measures %q, guard measures %q; regenerate the baseline", base.App, cur.App)
+	}
+
+	if cur.NsPerOp > base.NsPerOp*nsSlack {
+		t.Errorf("analysis takes %d ns/op, baseline %d (limit %dx): investigate or regenerate %s",
+			cur.NsPerOp, base.NsPerOp, nsSlack, baselinePath)
+	}
+	if cur.AllocsPerOp > base.AllocsPerOp*allocsSlack {
+		t.Errorf("analysis makes %d allocs/op, baseline %d (limit %dx): investigate or regenerate %s",
+			cur.AllocsPerOp, base.AllocsPerOp, allocsSlack, baselinePath)
+	}
+	for name, ns := range base.PhaseNS {
+		// An absolute floor keeps sub-millisecond phases from flagging on
+		// clock granularity alone.
+		limit := ns*nsSlack + int64(5e6)
+		if got := cur.PhaseNS[name]; got > limit {
+			t.Errorf("phase %q takes %d ns, baseline %d (limit %d)", name, got, ns, limit)
+		}
+	}
+	for name := range base.PhaseNS {
+		if _, ok := cur.PhaseNS[name]; !ok {
+			t.Errorf("phase %q vanished from the profile; regenerate %s if intentional", name, baselinePath)
+		}
+	}
+}

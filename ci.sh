@@ -1,0 +1,26 @@
+#!/bin/sh
+# CI gate: build, vet, race-enabled tests.
+#
+#   ./ci.sh          full gate (build + vet + race tests)
+#   ./ci.sh quick    race-disabled short tests only
+#
+# The race run matters: the sigbuild fan-out in core.Analyze, the parallel
+# per-app corpus mode in evaluate.RunAllParallel, and the obs shard/drain
+# protocol are all exercised concurrently by the test suite.
+set -eu
+cd "$(dirname "$0")"
+
+if [ "${1:-}" = "quick" ]; then
+    exec go test -short ./...
+fi
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "CI OK"

@@ -10,35 +10,55 @@
 //	evaluate -only table1        one artifact (table1, table2, table3,
 //	                             table4, table5, table6, figure6, figure7,
 //	                             validity, obfuscation, ablation, timing)
+//	evaluate -profile            emit per-app and corpus-wide per-phase
+//	                             observability breakdowns as JSON, plus
+//	                             the parallel fan-out speedup
+//	evaluate -serial             analyze apps one at a time instead of in
+//	                             parallel
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"extractocol/internal/evaluate"
+	"extractocol/internal/obs"
 )
 
 func main() {
 	only := flag.String("only", "", "single artifact to produce")
+	profile := flag.Bool("profile", false, "emit per-phase observability JSON")
+	serial := flag.Bool("serial", false, "disable per-app parallelism")
 	flag.Parse()
-	if err := run(*only); err != nil {
+	if err := run(*only, *profile, *serial); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(only string) error {
+func run(only string, profile, serial bool) error {
 	want := func(name string) bool { return only == "" || only == name }
 
 	var results []*evaluate.AppResult
+	var pstats *evaluate.ParallelStats
 	needCorpus := only == "" || only == "table1" || only == "table2" ||
 		only == "figure6" || only == "figure7" || only == "validity" || only == "timing"
-	if needCorpus {
+	if needCorpus || profile {
+		workers := 0
+		if serial {
+			workers = 1
+		}
 		var err error
-		results, err = evaluate.RunAll()
+		results, pstats, err = evaluate.RunAllParallel(workers)
 		if err != nil {
+			return err
+		}
+	}
+
+	if profile {
+		if err := printProfiles(results, pstats); err != nil {
 			return err
 		}
 	}
@@ -117,5 +137,34 @@ func run(only string) error {
 		}
 		fmt.Printf("Diode slice fraction (Fig. 3): %.1f%% of app instructions\n", frac*100)
 	}
+	return nil
+}
+
+// printProfiles emits the observability view of a corpus evaluation: one
+// per-phase breakdown per app, the corpus-wide aggregate, and the parallel
+// fan-out statistics, as one indented JSON document.
+func printProfiles(results []*evaluate.AppResult, pstats *evaluate.ParallelStats) error {
+	type appProfile struct {
+		App        string       `json:"app"`
+		DurationMS int64        `json:"duration_ms"`
+		Profile    *obs.Profile `json:"profile"`
+	}
+	doc := struct {
+		Apps     []appProfile            `json:"apps"`
+		Corpus   *obs.Profile            `json:"corpus"`
+		Parallel *evaluate.ParallelStats `json:"parallel,omitempty"`
+	}{Corpus: evaluate.CorpusProfile(results), Parallel: pstats}
+	for _, r := range results {
+		doc.Apps = append(doc.Apps, appProfile{
+			App:        r.App.Spec.Name,
+			DurationMS: r.Report.Duration.Milliseconds(),
+			Profile:    r.Report.Profile,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
 	return nil
 }

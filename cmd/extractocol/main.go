@@ -14,6 +14,9 @@
 //	                        point lies in classes with this prefix
 //	-async-hops n           asynchronous-event hops (0 disables the §3.4
 //	                        heuristic; default 1)
+//	-profile                append the per-phase observability breakdown
+//	                        (phase durations, workload counters, worker
+//	                        utilization) as indented JSON
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text, json, dot or disasm")
 	scope := flag.String("scope", "", "class prefix to scope the analysis to")
 	hops := flag.Int("async-hops", 1, "asynchronous event hops (0 disables the heuristic)")
+	profile := flag.Bool("profile", false, "append the per-phase profile as JSON")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -37,13 +41,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *format, *scope, *hops); err != nil {
+	if err := run(flag.Arg(0), *format, *scope, *hops, *profile); err != nil {
 		fmt.Fprintln(os.Stderr, "extractocol:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, format, scope string, hops int) error {
+func run(path, format, scope string, hops int, profile bool) error {
 	prog, err := dex.ReadFile(path)
 	if err != nil {
 		return err
@@ -70,6 +74,13 @@ func run(path, format, scope string, hops int) error {
 		fmt.Print(report.Text(rep))
 	default:
 		return fmt.Errorf("unknown format %q", format)
+	}
+	if profile {
+		data, err := report.ProfileJSON(rep)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
 	}
 	return nil
 }

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -24,7 +28,7 @@ func writeApp(t *testing.T, name string) string {
 func TestRunAllFormats(t *testing.T) {
 	path := writeApp(t, "radio reddit")
 	for _, format := range []string{"text", "json", "dot"} {
-		if err := run(path, format, "", 1); err != nil {
+		if err := run(path, format, "", 1, false); err != nil {
 			t.Errorf("format %s: %v", format, err)
 		}
 	}
@@ -32,20 +36,73 @@ func TestRunAllFormats(t *testing.T) {
 
 func TestRunScoped(t *testing.T) {
 	path := writeApp(t, "KAYAK")
-	if err := run(path, "text", "com.kayak.", 1); err != nil {
+	if err := run(path, "text", "com.kayak.", 1, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadFormat(t *testing.T) {
 	path := writeApp(t, "blippex")
-	if err := run(path, "yaml", "", 1); err == nil {
+	if err := run(path, "yaml", "", 1, false); err == nil {
 		t.Fatal("accepted unknown format")
 	}
 }
 
 func TestRunRejectsMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing.apkb"), "text", "", 1); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing.apkb"), "text", "", 1, false); err == nil {
 		t.Fatal("accepted missing file")
 	}
+}
+
+// TestRunProfileEmitsPhaseBreakdown checks the -profile acceptance
+// criterion: the emitted JSON carries a per-phase breakdown covering at
+// least 6 pipeline stages.
+func TestRunProfileEmitsPhaseBreakdown(t *testing.T) {
+	path := writeApp(t, "radio reddit")
+	out := captureStdout(t, func() {
+		if err := run(path, "dot", "", 1, true); err != nil {
+			t.Error(err)
+		}
+	})
+	i := bytes.Index(out, []byte("{\n  \"package\""))
+	if i < 0 {
+		t.Fatalf("no profile JSON in output:\n%s", out)
+	}
+	var doc struct {
+		Profile struct {
+			Phases []struct {
+				Name       string `json:"name"`
+				DurationNS int64  `json:"duration_ns"`
+			} `json:"phases"`
+			Counters map[string]int64 `json:"counters"`
+		} `json:"profile"`
+	}
+	if err := json.Unmarshal(out[i:], &doc); err != nil {
+		t.Fatalf("profile output is not JSON: %v\n%s", err, out[i:])
+	}
+	if len(doc.Profile.Phases) < 6 {
+		t.Fatalf("profile covers %d phases, want >= 6: %+v", len(doc.Profile.Phases), doc.Profile.Phases)
+	}
+	if len(doc.Profile.Counters) == 0 {
+		t.Fatal("profile has no counters")
+	}
+}
+
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- data
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
 }

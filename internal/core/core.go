@@ -16,6 +16,7 @@ import (
 
 	"extractocol/internal/callgraph"
 	"extractocol/internal/ir"
+	"extractocol/internal/obs"
 	"extractocol/internal/pairing"
 	"extractocol/internal/semmodel"
 	"extractocol/internal/sigbuild"
@@ -116,80 +117,201 @@ type Report struct {
 	SliceFraction float64
 	// DPCount is the number of demarcation point sites found.
 	DPCount int
+
+	// Profile is the per-phase timing and workload breakdown of this run
+	// (validate, callgraph, slice, pairing, sigbuild, dedup, txdep).
+	Profile *obs.Profile
 }
 
-// Analyze runs the full pipeline over a decoded application binary.
+// Analyze runs the full pipeline over a decoded application binary. Every
+// stage is bracketed by a phase timer, and workload counters flow into the
+// returned Report.Profile via per-goroutine shards (see internal/obs).
 func Analyze(p *ir.Program, opts Options) (*Report, error) {
 	start := time.Now()
+	col := obs.NewCollector()
 	model := opts.Model
 	if model == nil {
 		model = semmodel.Default()
 	}
-	if err := p.Validate(); err != nil {
+
+	endValidate := col.Phase(obs.PhaseValidate)
+	err := p.Validate()
+	endValidate()
+	if err != nil {
 		return nil, fmt.Errorf("core: invalid program: %w", err)
 	}
 
+	endCallgraph := col.Phase(obs.PhaseCallgraph)
 	cg := callgraph.Build(p, model)
+	endCallgraph()
+
+	endSlice := col.Phase(obs.PhaseSlice)
+	sliceStats := col.NewShard()
 	txs := slice.Find(p, model, cg, slice.Options{
 		MaxAsyncHops:   opts.MaxAsyncHops,
 		IncludeIntents: opts.ModelIntents,
+		Stats:          sliceStats,
 	})
+	col.Drain(sliceStats)
+	endSlice()
+
+	endPairing := col.Phase(obs.PhasePairing)
+	pairStats := col.NewShard()
 	pairs := pairing.Analyze(txs)
-	pairing.VerifyFlow(p, model, cg, pairs)
+	pairing.VerifyFlow(p, model, cg, pairs, pairStats)
+	col.Drain(pairStats)
 	pairByTx := map[*slice.Transaction]pairing.Pair{}
 	for _, pr := range pairs {
 		pairByTx[pr.Tx] = pr
 	}
+	endPairing()
 
-	// Signature extraction is independent per transaction: fan out across
-	// a bounded worker pool, then assemble results in transaction order so
-	// output stays deterministic.
-	type built struct {
-		req  *sigbuild.RequestSig
-		resp *sigbuild.ResponseSig
-		err  error
+	results := buildSignatures(p, model, cg, txs, opts, col)
+
+	endDedup := col.Phase(obs.PhaseDedup)
+	sliceStmts := map[taint.StmtID]bool{}
+	out := foldTransactions(txs, results, pairByTx, sliceStmts, col)
+	dpSites := map[string]bool{}
+	for _, tx := range txs {
+		dpSites[fmt.Sprintf("%s@%d", tx.DP.Method, tx.DP.Index)] = true
 	}
+	col.Add(obs.CtrDPSites, int64(len(dpSites)))
+	endDedup()
+
+	// Inter-transaction dependencies on the deduplicated set.
+	endTxdep := col.Phase(obs.PhaseTxdep)
+	var dtxs []*txdep.Tx
+	for _, t := range out {
+		dtxs = append(dtxs, &txdep.Tx{ID: t.ID, DPID: t.DP, Req: t.Request, Resp: t.Response})
+	}
+	txdepStats := col.NewShard()
+	deps := txdep.InferObs(dtxs, txdepStats)
+	col.Drain(txdepStats)
+	endTxdep()
+
+	total := p.InstrCount()
+	frac := 0.0
+	if total > 0 {
+		frac = float64(len(sliceStmts)) / float64(total)
+	}
+
+	return &Report{
+		Package:       p.Manifest.Package,
+		AppName:       p.Manifest.AppName,
+		Duration:      time.Since(start),
+		Transactions:  out,
+		Deps:          deps,
+		SliceFraction: frac,
+		DPCount:       len(dpSites),
+		Profile:       col.Snapshot(),
+	}, nil
+}
+
+// built is one sigbuild result, positionally aligned with the transaction
+// list.
+type built struct {
+	req  *sigbuild.RequestSig
+	resp *sigbuild.ResponseSig
+	err  error
+}
+
+// buildSignatures runs signature extraction for every transaction.
+// Extraction is independent per transaction: fan out across a bounded
+// worker pool, assembling results in transaction order so output stays
+// deterministic. Each worker owns a private counter shard (merged after
+// the pool drains) and accumulates its busy time, from which the pool
+// utilization gauge is derived.
+func buildSignatures(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
+	txs []*slice.Transaction, opts Options, col *obs.Collector) []built {
+
+	endSigbuild := col.Phase(obs.PhaseSigbuild)
+	defer endSigbuild()
+	fanStart := time.Now()
+
 	results := make([]built, len(txs))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(txs) {
 		workers = len(txs)
 	}
+	scoped := func(tx *slice.Transaction) bool {
+		return opts.ScopePrefix != "" && !strings.HasPrefix(tx.DP.Method, opts.ScopePrefix)
+	}
+	runJob := func(i int, stats *obs.Shard) {
+		t0 := time.Now()
+		r, rs, err := sigbuild.BuildObs(p, model, cg, txs[i], stats)
+		results[i] = built{r, rs, err}
+		stats.Add(obs.CtrSigbuildJobs, 1)
+		stats.Add(obs.CtrSigbuildBusyNS, time.Since(t0).Nanoseconds())
+		if err != nil {
+			stats.Add(obs.CtrSigbuildErrors, 1)
+		}
+	}
+
+	mainStats := col.NewShard()
 	if workers > 1 {
 		var wg sync.WaitGroup
 		jobs := make(chan int)
+		shards := make([]*obs.Shard, workers)
 		for w := 0; w < workers; w++ {
+			shard := col.NewShard()
+			shards[w] = shard
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					r, rs, err := sigbuild.Build(p, model, cg, txs[i])
-					results[i] = built{r, rs, err}
+					runJob(i, shard)
 				}
 			}()
 		}
 		for i, tx := range txs {
-			if opts.ScopePrefix != "" && !strings.HasPrefix(tx.DP.Method, opts.ScopePrefix) {
+			if scoped(tx) {
 				results[i] = built{err: errScoped}
+				mainStats.Add(obs.CtrSigbuildScoped, 1)
 				continue
 			}
 			jobs <- i
 		}
 		close(jobs)
 		wg.Wait()
+		for _, shard := range shards {
+			col.Drain(shard)
+		}
 	} else {
 		for i, tx := range txs {
-			if opts.ScopePrefix != "" && !strings.HasPrefix(tx.DP.Method, opts.ScopePrefix) {
+			if scoped(tx) {
 				results[i] = built{err: errScoped}
+				mainStats.Add(obs.CtrSigbuildScoped, 1)
 				continue
 			}
-			r, rs, err := sigbuild.Build(p, model, cg, tx)
-			results[i] = built{r, rs, err}
+			runJob(i, mainStats)
 		}
 	}
+	col.Drain(mainStats)
 
-	sliceStmts := map[taint.StmtID]bool{}
+	if workers > 0 {
+		col.Gauge(obs.GaugeSigbuildWorkers, float64(workers))
+		totalBusy := col.Snapshot().Counter(obs.CtrSigbuildBusyNS)
+		if wall := time.Since(fanStart).Nanoseconds(); wall > 0 {
+			col.Gauge(obs.GaugeSigbuildUtilization,
+				float64(totalBusy)/float64(int64(workers)*wall))
+		}
+	}
+	return results
+}
+
+// foldTransactions converts sigbuild results into deduplicated report
+// transactions: entry points reaching the same signature fold together,
+// merging their Entries, Sinks and Sources (all kept sorted so folded
+// transactions render deterministically regardless of slice discovery
+// order). sliceStmts accumulates every statement covered by a kept slice;
+// col (optional) receives dedup counters.
+func foldTransactions(txs []*slice.Transaction, results []built,
+	pairByTx map[*slice.Transaction]pairing.Pair,
+	sliceStmts map[taint.StmtID]bool, col *obs.Collector) []*Transaction {
+
 	var out []*Transaction
 	dedup := map[string]*Transaction{}
+	folded := 0
 	for i, tx := range txs {
 		req, resp, err := results[i].req, results[i].resp, results[i].err
 		if err != nil {
@@ -221,43 +343,20 @@ func Analyze(p *ir.Program, opts Options) (*Report, error) {
 			Entries:       []string{tx.Entry.Method},
 		}
 		if prev, ok := dedup[t.Key()]; ok {
-			prev.Entries = append(prev.Entries, tx.Entry.Method)
+			mergeStringSets(&prev.Entries, t.Entries)
 			prev.Paired = prev.Paired || t.Paired
 			mergeStringSets(&prev.Sinks, t.Sinks)
 			mergeStringSets(&prev.Sources, t.Sources)
+			folded++
 			continue
 		}
 		t.ID = len(out) + 1
 		dedup[t.Key()] = t
 		out = append(out, t)
 	}
-
-	// Inter-transaction dependencies on the deduplicated set.
-	var dtxs []*txdep.Tx
-	for _, t := range out {
-		dtxs = append(dtxs, &txdep.Tx{ID: t.ID, DPID: t.DP, Req: t.Request, Resp: t.Response})
-	}
-	deps := txdep.Infer(dtxs)
-
-	total := p.InstrCount()
-	frac := 0.0
-	if total > 0 {
-		frac = float64(len(sliceStmts)) / float64(total)
-	}
-	dpSites := map[string]bool{}
-	for _, tx := range txs {
-		dpSites[fmt.Sprintf("%s@%d", tx.DP.Method, tx.DP.Index)] = true
-	}
-
-	return &Report{
-		Package:       p.Manifest.Package,
-		AppName:       p.Manifest.AppName,
-		Duration:      time.Since(start),
-		Transactions:  out,
-		Deps:          deps,
-		SliceFraction: frac,
-		DPCount:       len(dpSites),
-	}, nil
+	col.Add(obs.CtrTransactions, int64(len(out)))
+	col.Add(obs.CtrDedupFolded, int64(folded))
+	return out
 }
 
 // CountByMethod tallies unique request signatures per HTTP method.

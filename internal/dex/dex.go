@@ -173,7 +173,7 @@ func Decode(data []byte) (*ir.Program, error) {
 	}
 
 	r := &reader{data: payload}
-	n := r.uvarint()
+	n := r.count()
 	pool := make([]string, 0, n)
 	for i := uint64(0); i < n; i++ {
 		pool = append(pool, r.rawstr())
@@ -184,17 +184,17 @@ func Decode(data []byte) (*ir.Program, error) {
 	p.Manifest.Package = r.str()
 	p.Manifest.AppName = r.str()
 	p.Manifest.Obfuscated = r.bool()
-	eps := r.uvarint()
+	eps := r.count()
 	for i := uint64(0); i < eps; i++ {
 		ep := ir.EntryPoint{Method: r.str(), Kind: ir.EventKind(r.uvarint()), Label: r.str()}
 		p.Manifest.EntryPoints = append(p.Manifest.EntryPoints, ep)
 	}
-	res := r.uvarint()
+	res := r.count()
 	for i := uint64(0); i < res; i++ {
 		k := r.str()
 		p.Resources[k] = r.str()
 	}
-	nc := r.uvarint()
+	nc := r.count()
 	for i := uint64(0); i < nc; i++ {
 		p.AddClass(decodeClass(r))
 	}
@@ -209,15 +209,15 @@ func Decode(data []byte) (*ir.Program, error) {
 
 func decodeClass(r *reader) *ir.Class {
 	c := &ir.Class{Name: r.str(), Super: r.str(), Library: r.bool()}
-	ni := r.uvarint()
+	ni := r.count()
 	for i := uint64(0); i < ni; i++ {
 		c.Interfaces = append(c.Interfaces, r.str())
 	}
-	nf := r.uvarint()
+	nf := r.count()
 	for i := uint64(0); i < nf; i++ {
 		c.Fields = append(c.Fields, &ir.Field{Name: r.str(), Type: r.str(), Static: r.bool()})
 	}
-	nm := r.uvarint()
+	nm := r.count()
 	for i := uint64(0); i < nm; i++ {
 		c.AddMethod(decodeMethod(r))
 	}
@@ -226,12 +226,12 @@ func decodeClass(r *reader) *ir.Class {
 
 func decodeMethod(r *reader) *ir.Method {
 	m := &ir.Method{Name: r.str(), Return: r.str(), Static: r.bool()}
-	np := r.uvarint()
+	np := r.count()
 	for i := uint64(0); i < np; i++ {
 		m.Params = append(m.Params, r.str())
 	}
 	m.Registers = int(r.uvarint())
-	ni := r.uvarint()
+	ni := r.count()
 	m.Instrs = make([]ir.Instr, 0, ni)
 	for i := uint64(0); i < ni; i++ {
 		m.Instrs = append(m.Instrs, decodeInstr(r))
@@ -245,7 +245,7 @@ func decodeInstr(r *reader) ir.Instr {
 	in.Dst = r.reg()
 	in.A = r.reg()
 	in.B = r.reg()
-	na := r.uvarint()
+	na := r.count()
 	for i := uint64(0); i < na; i++ {
 		in.Args = append(in.Args, r.reg())
 	}
@@ -381,6 +381,22 @@ func (r *reader) varint() int64 {
 }
 
 func (r *reader) bool() bool { return r.uvarint() != 0 }
+
+// count reads an element count and rejects values that cannot possibly fit
+// in the remaining payload: every encoded element costs at least one byte,
+// so a count larger than the bytes left is corrupt. This bounds both
+// preallocation sizes and loop trip counts against hostile containers.
+func (r *reader) count() uint64 {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.data)-r.off) {
+		r.fail(fmt.Errorf("count %d exceeds %d remaining payload bytes", n, len(r.data)-r.off))
+		return 0
+	}
+	return n
+}
 
 func (r *reader) reg() int { return int(r.varint()) }
 

@@ -9,12 +9,16 @@ package evaluate
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"extractocol/internal/core"
 	"extractocol/internal/corpus"
 	"extractocol/internal/fuzz"
+	"extractocol/internal/obs"
 	"extractocol/internal/siglang"
 	"extractocol/internal/trace"
 )
@@ -63,17 +67,97 @@ func RunApp(app *corpus.App) (*AppResult, error) {
 	return res, nil
 }
 
-// RunAll evaluates the whole corpus.
+// RunAll evaluates the whole corpus. Apps are analyzed in parallel (one
+// worker per CPU); results keep corpus order, so output is byte-identical
+// to a serial run.
 func RunAll() ([]*AppResult, error) {
-	var out []*AppResult
-	for _, app := range corpus.Apps() {
-		r, err := RunApp(app)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	out, _, err := RunAllParallel(0)
+	return out, err
+}
+
+// ParallelStats describes one parallel corpus evaluation: the wall-clock
+// time of the fan-out, the summed per-app analysis time, and the effective
+// speedup (app time / wall time) — the observability layer's own
+// measurement of how well per-app parallelism pays off.
+type ParallelStats struct {
+	Workers   int     `json:"workers"`
+	WallNS    int64   `json:"wall_ns"`
+	AppNSSum  int64   `json:"app_ns_total"`
+	SpeedupX  float64 `json:"speedup_x"`
+	AppsRun   int     `json:"apps"`
+	AppErrors int     `json:"app_errors"`
+}
+
+// RunAllParallel evaluates the whole corpus with the given number of
+// workers (0 means one per CPU, 1 forces the serial path). Results keep
+// corpus order regardless of completion order. The first app error aborts
+// the evaluation.
+func RunAllParallel(workers int) ([]*AppResult, *ParallelStats, error) {
+	apps := corpus.Apps()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return out, nil
+	if workers > len(apps) {
+		workers = len(apps)
+	}
+	start := time.Now()
+	results := make([]*AppResult, len(apps))
+	errs := make([]error, len(apps))
+	if workers > 1 {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i], errs[i] = RunApp(apps[i])
+				}
+			}()
+		}
+		for i := range apps {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for i := range apps {
+			results[i], errs[i] = RunApp(apps[i])
+		}
+	}
+
+	stats := &ParallelStats{Workers: workers, WallNS: time.Since(start).Nanoseconds(), AppsRun: len(apps)}
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			stats.AppErrors++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	for _, r := range results {
+		if r != nil {
+			stats.AppNSSum += r.Report.Duration.Nanoseconds()
+		}
+	}
+	if stats.WallNS > 0 {
+		stats.SpeedupX = float64(stats.AppNSSum) / float64(stats.WallNS)
+	}
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+	return results, stats, nil
+}
+
+// CorpusProfile merges every app's per-phase profile into one corpus-wide
+// aggregate: total time per pipeline phase and summed workload counters.
+func CorpusProfile(results []*AppResult) *obs.Profile {
+	agg := &obs.Profile{}
+	for _, r := range results {
+		agg.Merge(r.Report.Profile)
+	}
+	return agg
 }
 
 // Cell is one Table 1 triple.

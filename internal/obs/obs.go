@@ -1,0 +1,311 @@
+// Package obs is the pipeline observability layer: lightweight phase
+// timers, monotonic counters and gauges threaded through the Extractocol
+// pipeline. The evaluation (§5, Table 2) reports per-app analysis time;
+// this package breaks that single number into per-phase durations and
+// workload counters so every later performance change (sharding, batching,
+// caching) has a measurement substrate to build on.
+//
+// Concurrency model: a Collector owns the merged view and takes a mutex on
+// every mutation; hot paths (taint worklists, sigbuild workers) never touch
+// it directly. Instead each goroutine owns an unsynchronized Shard and the
+// coordinator drains shards into the collector at phase end — no locks or
+// atomics on the hot path, and no per-increment allocation (map assignment
+// of an existing key does not allocate).
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Phase names of the core.Analyze pipeline, in execution order.
+const (
+	PhaseValidate  = "validate"
+	PhaseCallgraph = "callgraph"
+	PhaseSlice     = "slice"
+	PhasePairing   = "pairing"
+	PhaseSigbuild  = "sigbuild"
+	PhaseDedup     = "dedup"
+	PhaseTxdep     = "txdep"
+)
+
+// Counter names recorded by the pipeline.
+const (
+	// CtrDPSites is the number of distinct demarcation point sites found.
+	CtrDPSites = "dp_sites"
+	// CtrSlicesBackward / CtrSlicesForward count computed request and
+	// response slices.
+	CtrSlicesBackward = "slices_backward"
+	CtrSlicesForward  = "slices_forward"
+	// CtrTaintFacts counts worklist facts processed by the taint engine;
+	// CtrTaintStmts counts statements added to slices.
+	CtrTaintFacts = "taint_facts"
+	CtrTaintStmts = "taint_stmts"
+	// CtrPairFlowChecks counts information-flow pairing verifications run.
+	CtrPairFlowChecks = "pairing_flow_checks"
+	// CtrSigbuildJobs counts signature-extraction jobs executed by the
+	// worker pool; CtrSigbuildBusyNS accumulates the time workers spent on
+	// jobs (the numerator of pool utilization). CtrSigbuildMethods counts
+	// methods abstractly interpreted. Scoped/errored jobs are broken out.
+	CtrSigbuildJobs    = "sigbuild_jobs"
+	CtrSigbuildBusyNS  = "sigbuild_busy_ns"
+	CtrSigbuildMethods = "sigbuild_methods_evaluated"
+	CtrSigbuildScoped  = "sigbuild_scoped_out"
+	CtrSigbuildErrors  = "sigbuild_errors"
+	// CtrTransactions / CtrDedupFolded count deduplicated output
+	// transactions and the duplicates folded into them.
+	CtrTransactions = "transactions"
+	CtrDedupFolded  = "dedup_folded"
+	// CtrTxdepCarriers / CtrTxdepEdges count carrier heap locations indexed
+	// and dependency edges inferred.
+	CtrTxdepCarriers = "txdep_carriers"
+	CtrTxdepEdges    = "txdep_edges"
+)
+
+// Gauge names.
+const (
+	// GaugeSigbuildWorkers is the size of the sigbuild worker pool.
+	GaugeSigbuildWorkers = "sigbuild_workers"
+	// GaugeSigbuildUtilization is total worker busy time divided by
+	// (workers × fan-out wall time), in [0, 1].
+	GaugeSigbuildUtilization = "sigbuild_worker_utilization"
+)
+
+// Collector accumulates phases, counters and gauges for one analysis run.
+// All methods are safe for concurrent use; a nil *Collector is a no-op so
+// callers may thread one through optionally.
+type Collector struct {
+	start time.Time
+
+	mu       sync.Mutex
+	order    []string
+	phaseNS  map[string]int64
+	counters map[string]int64
+	gauges   map[string]float64
+}
+
+// NewCollector returns an empty collector; its total clock starts now.
+func NewCollector() *Collector {
+	return &Collector{
+		start:    time.Now(),
+		phaseNS:  map[string]int64{},
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+	}
+}
+
+// Phase starts timing the named phase and returns the function that stops
+// it. Re-entering a phase name accumulates into the same entry.
+func (c *Collector) Phase(name string) func() {
+	if c == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { c.AddPhaseNS(name, time.Since(t0).Nanoseconds()) }
+}
+
+// AddPhaseNS adds ns nanoseconds to the named phase.
+func (c *Collector) AddPhaseNS(name string, ns int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.phaseNS[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.phaseNS[name] += ns
+}
+
+// Add increments the named counter by delta.
+func (c *Collector) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.counters[name] += delta
+	c.mu.Unlock()
+}
+
+// Gauge sets the named gauge.
+func (c *Collector) Gauge(name string, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.gauges[name] = v
+	c.mu.Unlock()
+}
+
+// NewShard returns an unsynchronized counter shard. The shard must be
+// owned by exactly one goroutine until it is passed to Drain.
+func (c *Collector) NewShard() *Shard { return &Shard{counts: map[string]int64{}} }
+
+// Drain merges a shard's counts into the collector and resets the shard.
+// The shard's owner must have stopped writing (e.g. after wg.Wait).
+func (c *Collector) Drain(s *Shard) {
+	if c == nil || s == nil {
+		return
+	}
+	c.mu.Lock()
+	for k, v := range s.counts {
+		c.counters[k] += v
+	}
+	c.mu.Unlock()
+	s.counts = map[string]int64{}
+}
+
+// Shard is a single-goroutine counter buffer: no locks, no atomics. A nil
+// *Shard is a no-op, so instrumented code never needs to branch on
+// configuration.
+type Shard struct {
+	counts map[string]int64
+}
+
+// NewShard returns a standalone shard not yet bound to a collector.
+func NewShard() *Shard { return &Shard{counts: map[string]int64{}} }
+
+// Add increments the named counter by delta.
+func (s *Shard) Add(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.counts[name] += delta
+}
+
+// Count returns the shard's current value for the named counter.
+func (s *Shard) Count(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.counts[name]
+}
+
+// PhaseProfile is one timed pipeline stage.
+type PhaseProfile struct {
+	Name       string `json:"name"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+// Profile is an immutable snapshot of a collector: the per-phase breakdown
+// plus all counters and gauges. It is embedded in core.Report and rendered
+// by the report package and the -profile CLI flags.
+type Profile struct {
+	TotalNS  int64              `json:"total_ns"`
+	Phases   []PhaseProfile     `json:"phases"`
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+}
+
+// Snapshot freezes the collector into a Profile. Phases appear in first-
+// start order; counters and gauges are copied.
+func (c *Collector) Snapshot() *Profile {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := &Profile{TotalNS: time.Since(c.start).Nanoseconds()}
+	for _, name := range c.order {
+		p.Phases = append(p.Phases, PhaseProfile{Name: name, DurationNS: c.phaseNS[name]})
+	}
+	if len(c.counters) > 0 {
+		p.Counters = make(map[string]int64, len(c.counters))
+		for k, v := range c.counters {
+			p.Counters[k] = v
+		}
+	}
+	if len(c.gauges) > 0 {
+		p.Gauges = make(map[string]float64, len(c.gauges))
+		for k, v := range c.gauges {
+			p.Gauges[k] = v
+		}
+	}
+	return p
+}
+
+// Phase returns the recorded duration of the named phase (0 if absent).
+func (p *Profile) Phase(name string) time.Duration {
+	if p == nil {
+		return 0
+	}
+	for _, ph := range p.Phases {
+		if ph.Name == name {
+			return time.Duration(ph.DurationNS)
+		}
+	}
+	return 0
+}
+
+// Counter returns the recorded value of the named counter (0 if absent).
+func (p *Profile) Counter(name string) int64 {
+	if p == nil {
+		return 0
+	}
+	return p.Counters[name]
+}
+
+// PhaseSum returns the sum of all phase durations.
+func (p *Profile) PhaseSum() time.Duration {
+	if p == nil {
+		return 0
+	}
+	var ns int64
+	for _, ph := range p.Phases {
+		ns += ph.DurationNS
+	}
+	return time.Duration(ns)
+}
+
+// CounterNames returns all counter names, sorted.
+func (p *Profile) CounterNames() []string {
+	if p == nil {
+		return nil
+	}
+	out := make([]string, 0, len(p.Counters))
+	for k := range p.Counters {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge accumulates o into p: phase durations and counters add, gauges
+// average weighted by total time, totals add. Used to aggregate per-app
+// profiles into a corpus-wide view.
+func (p *Profile) Merge(o *Profile) {
+	if p == nil || o == nil {
+		return
+	}
+	for _, ph := range o.Phases {
+		found := false
+		for i := range p.Phases {
+			if p.Phases[i].Name == ph.Name {
+				p.Phases[i].DurationNS += ph.DurationNS
+				found = true
+				break
+			}
+		}
+		if !found {
+			p.Phases = append(p.Phases, ph)
+		}
+	}
+	for k, v := range o.Counters {
+		if p.Counters == nil {
+			p.Counters = map[string]int64{}
+		}
+		p.Counters[k] += v
+	}
+	for k, v := range o.Gauges {
+		if p.Gauges == nil {
+			p.Gauges = map[string]float64{}
+		}
+		if pt, ot := float64(p.TotalNS), float64(o.TotalNS); pt+ot > 0 {
+			p.Gauges[k] = (p.Gauges[k]*pt + v*ot) / (pt + ot)
+		} else {
+			p.Gauges[k] = v
+		}
+	}
+	p.TotalNS += o.TotalNS
+}

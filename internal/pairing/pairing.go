@@ -12,6 +12,7 @@ import (
 
 	"extractocol/internal/callgraph"
 	"extractocol/internal/ir"
+	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
 	"extractocol/internal/slice"
 	"extractocol/internal/taint"
@@ -122,15 +123,19 @@ func sameStmtsAsAnother(tx *slice.Transaction, group []*slice.Transaction) bool 
 // request segment of each transaction is used as taint source; the pairing
 // is confirmed when propagation reaches the transaction's own response
 // slice. With the disjoint-sub-slice preprocessing this is one-to-one even
-// under code reuse (Fig. 5).
-func VerifyFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, pairs []Pair) {
+// under code reuse (Fig. 5). stats, when non-nil, receives flow-check and
+// taint workload counters; VerifyFlow is sequential, so one unsynchronized
+// shard suffices.
+func VerifyFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, pairs []Pair, stats *obs.Shard) {
 	for i := range pairs {
 		pr := &pairs[i]
 		if !pr.HasResponse {
 			continue
 		}
+		stats.Add(obs.CtrPairFlowChecks, 1)
 		eng := taint.NewEngine(p, model, cg)
 		eng.MaxAsyncHops = 1
+		eng.Stats = stats
 		seeds := map[taint.StmtID]int{}
 		src := pr.DisjointRequest
 		if len(src) == 0 {

@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"extractocol/internal/core"
+	"extractocol/internal/obs"
 	"extractocol/internal/siglang"
 	"extractocol/internal/txdep"
 )
@@ -21,8 +23,16 @@ func Text(r *core.Report) string {
 	fmt.Fprintf(&b, "Extractocol report for %s (%s)\n", r.AppName, r.Package)
 	fmt.Fprintf(&b, "  transactions: %d   pairs: %d   dependencies: %d\n",
 		len(r.Transactions), r.PairCount(), len(r.Deps))
-	fmt.Fprintf(&b, "  slice fraction: %.1f%%   analysis time: %s\n\n",
+	fmt.Fprintf(&b, "  slice fraction: %.1f%%   analysis time: %s\n",
 		r.SliceFraction*100, r.Duration.Round(1000000))
+	if r.Profile != nil && len(r.Profile.Phases) > 0 {
+		b.WriteString("  phases:")
+		for _, ph := range r.Profile.Phases {
+			fmt.Fprintf(&b, " %s=%s", ph.Name, time.Duration(ph.DurationNS).Round(time.Microsecond))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
 
 	for _, tx := range r.Transactions {
 		fmt.Fprintf(&b, "#%d %s %s\n", tx.ID, tx.Request.Method, siglang.RegexBody(tx.Request.URI))
@@ -127,13 +137,14 @@ type jsonDep struct {
 }
 
 type jsonReport struct {
-	Package       string    `json:"package"`
-	App           string    `json:"app"`
-	Transactions  []jsonTx  `json:"transactions"`
-	Deps          []jsonDep `json:"dependencies,omitempty"`
-	Pairs         int       `json:"pairs"`
-	SliceFraction float64   `json:"slice_fraction"`
-	DurationMS    int64     `json:"duration_ms"`
+	Package       string       `json:"package"`
+	App           string       `json:"app"`
+	Transactions  []jsonTx     `json:"transactions"`
+	Deps          []jsonDep    `json:"dependencies,omitempty"`
+	Pairs         int          `json:"pairs"`
+	SliceFraction float64      `json:"slice_fraction"`
+	DurationMS    int64        `json:"duration_ms"`
+	Profile       *obs.Profile `json:"profile,omitempty"`
 }
 
 // JSON renders the report as indented JSON.
@@ -144,6 +155,7 @@ func JSON(r *core.Report) ([]byte, error) {
 		Pairs:         r.PairCount(),
 		SliceFraction: r.SliceFraction,
 		DurationMS:    r.Duration.Milliseconds(),
+		Profile:       r.Profile,
 	}
 	for _, tx := range r.Transactions {
 		jt := jsonTx{
@@ -186,6 +198,23 @@ func JSON(r *core.Report) ([]byte, error) {
 		out.Deps = append(out.Deps, jsonDep(d))
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+// ProfileJSON renders just the per-phase observability breakdown of a
+// report as indented JSON — the payload behind the -profile CLI flag.
+func ProfileJSON(r *core.Report) ([]byte, error) {
+	type profileDoc struct {
+		Package    string       `json:"package"`
+		App        string       `json:"app"`
+		DurationMS int64        `json:"duration_ms"`
+		Profile    *obs.Profile `json:"profile"`
+	}
+	return json.MarshalIndent(profileDoc{
+		Package:    r.Package,
+		App:        r.AppName,
+		DurationMS: r.Duration.Milliseconds(),
+		Profile:    r.Profile,
+	}, "", "  ")
 }
 
 // DOT renders the inter-transaction dependency graph in Graphviz format,

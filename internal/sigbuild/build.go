@@ -6,6 +6,7 @@ import (
 
 	"extractocol/internal/callgraph"
 	"extractocol/internal/ir"
+	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
 	"extractocol/internal/siglang"
 	"extractocol/internal/slice"
@@ -71,6 +72,14 @@ func (r *ResponseSig) HasBody() bool {
 // transaction by abstractly interpreting its slices.
 func Build(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	tx *slice.Transaction) (*RequestSig, *ResponseSig, error) {
+	return BuildObs(p, model, cg, tx, nil)
+}
+
+// BuildObs is Build with workload counters: methods abstractly interpreted
+// are recorded in stats when non-nil. The shard is unsynchronized and must
+// be owned by the calling goroutine (one shard per sigbuild worker).
+func BuildObs(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
+	tx *slice.Transaction, stats *obs.Shard) (*RequestSig, *ResponseSig, error) {
 
 	filter := map[taint.StmtID]bool{}
 	for s := range tx.Request.Stmts {
@@ -87,6 +96,7 @@ func Build(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 		return nil, nil, fmt.Errorf("sigbuild: unmodeled DP %s", tx.DPRef)
 	}
 	ev := newEvaluator(p, model, tx.DP, dpm, filter)
+	ev.stats = stats
 
 	// Pre-pass: interpret slice methods outside the entry context first
 	// (cross-event heap writers such as location callbacks or other

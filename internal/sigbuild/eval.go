@@ -8,6 +8,7 @@ import (
 
 	"extractocol/internal/cfg"
 	"extractocol/internal/ir"
+	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
 	"extractocol/internal/siglang"
 	"extractocol/internal/taint"
@@ -35,6 +36,10 @@ type evaluator struct {
 	depth  int
 
 	nextAlloc int // allocation-site counter for object identity
+
+	// stats counts methods abstractly interpreted; owned by the worker
+	// goroutine running this evaluator. Nil disables counting.
+	stats *obs.Shard
 }
 
 const maxDepth = 48
@@ -71,6 +76,7 @@ func (ev *evaluator) evalMethod(m *ir.Method, args []aval) aval {
 	if ev.active[m.Ref()] || ev.depth > maxDepth {
 		return unknownVal(siglang.VAny, "recursion")
 	}
+	ev.stats.Add(obs.CtrSigbuildMethods, 1)
 	ev.active[m.Ref()] = true
 	ev.depth++
 	defer func() {

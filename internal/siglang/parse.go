@@ -1,0 +1,254 @@
+package siglang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// maxParseDepth bounds signature nesting so hostile inputs cannot overflow
+// the stack (both the parser and the write renderer recurse per level).
+const maxParseDepth = 200
+
+// Parse parses the canonical textual form produced by Canon back into a
+// signature tree. It is the inverse of Canon up to normalization: for any
+// accepted input s, Canon(Parse(s)) is a fixed point of Parse∘Canon. A nil
+// signature is written as "<nil>" and parses back to nil.
+func Parse(s string) (Sig, error) {
+	if s == "<nil>" {
+		return nil, nil
+	}
+	p := &parser{s: s}
+	sig := p.sig()
+	if p.err == nil && p.off != len(p.s) {
+		p.failf("trailing data at offset %d", p.off)
+	}
+	if p.err != nil {
+		return nil, fmt.Errorf("siglang: %w", p.err)
+	}
+	return sig, nil
+}
+
+type parser struct {
+	s     string
+	off   int
+	depth int
+	err   error
+}
+
+func (p *parser) failf(format string, args ...any) {
+	if p.err == nil {
+		p.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (p *parser) rest() string { return p.s[p.off:] }
+
+// eat consumes tok if it is next and reports whether it did.
+func (p *parser) eat(tok string) bool {
+	if p.err == nil && strings.HasPrefix(p.rest(), tok) {
+		p.off += len(tok)
+		return true
+	}
+	return false
+}
+
+// expect consumes tok or fails the parse.
+func (p *parser) expect(tok string) {
+	if !p.eat(tok) && p.err == nil {
+		p.failf("expected %q at offset %d", tok, p.off)
+	}
+}
+
+func (p *parser) sig() Sig {
+	if p.err != nil {
+		return nil
+	}
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxParseDepth {
+		p.failf("signature nested deeper than %d levels", maxParseDepth)
+		return nil
+	}
+
+	switch {
+	case strings.HasPrefix(p.rest(), `"`):
+		return &Lit{Val: p.quoted()}
+	case p.eat("num("):
+		// The numeric payload is written raw; everything up to the
+		// closing paren is the literal text.
+		end := strings.IndexByte(p.rest(), ')')
+		if end < 0 {
+			p.failf("unterminated num( at offset %d", p.off)
+			return nil
+		}
+		val := p.rest()[:end]
+		p.off += end + 1
+		return &Lit{Val: val, Num: true}
+	case p.eat("?any"):
+		return &Unknown{Type: VAny}
+	case p.eat("?string"):
+		return &Unknown{Type: VString}
+	case p.eat("?int"):
+		return &Unknown{Type: VInt}
+	case p.eat("?bool"):
+		return &Unknown{Type: VBool}
+	case p.eat("concat("):
+		c := &Concat{}
+		if !p.eat(")") {
+			c.Parts = append(c.Parts, p.sig())
+			for p.eat(", ") {
+				c.Parts = append(c.Parts, p.sig())
+			}
+			p.expect(")")
+		}
+		return c
+	case p.eat("rep{"):
+		r := &Rep{Body: p.sig()}
+		p.expect("}")
+		return r
+	case p.eat("("):
+		o := &Or{Alts: []Sig{p.sig()}}
+		for p.eat(" ∨ ") {
+			o.Alts = append(o.Alts, p.sig())
+		}
+		p.expect(")")
+		return o
+	case p.eat("obj{"):
+		o := &Obj{}
+		if !p.eat("}") {
+			o.Pairs = append(o.Pairs, p.pair())
+			for p.eat(", ") {
+				o.Pairs = append(o.Pairs, p.pair())
+			}
+			p.expect("}")
+		}
+		return o
+	case p.eat("array["):
+		a := &Arr{}
+		if !strings.HasPrefix(p.rest(), "...") && !strings.HasPrefix(p.rest(), "]") {
+			a.Elems = append(a.Elems, p.sig())
+			for p.eat(", ") {
+				a.Elems = append(a.Elems, p.sig())
+			}
+		}
+		a.Open = p.eat("...")
+		p.expect("]")
+		return a
+	case p.eat("json("):
+		j := &JSON{Root: p.sig()}
+		p.expect(")")
+		return j
+	case p.eat("xml("):
+		x := &XML{Root: p.elem()}
+		p.expect(")")
+		return x
+	}
+	if p.err == nil {
+		p.failf("unrecognized signature at offset %d", p.off)
+	}
+	return nil
+}
+
+// pair parses one obj{} entry: a constant or dynamic key, then ": value".
+func (p *parser) pair() KV {
+	var kv KV
+	if p.eat("?key") {
+		kv.Dyn = true
+	} else {
+		kv.Key = p.quoted()
+	}
+	p.expect(": ")
+	kv.Val = p.sig()
+	return kv
+}
+
+// elem parses an XML element tree; "?elem" denotes a nil element.
+func (p *parser) elem() *Elem {
+	if p.err != nil {
+		return nil
+	}
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxParseDepth {
+		p.failf("signature nested deeper than %d levels", maxParseDepth)
+		return nil
+	}
+	if p.eat("?elem") {
+		return nil
+	}
+	p.expect("<")
+	e := &Elem{Tag: p.name()}
+	for p.eat(" ") {
+		key := p.name()
+		p.expect("=")
+		e.Attrs = append(e.Attrs, KV{Key: key, Val: p.sig()})
+	}
+	p.expect(">")
+	for p.err == nil {
+		rest := p.rest()
+		if strings.HasPrefix(rest, "?elem") {
+			p.off += len("?elem")
+			e.Children = append(e.Children, nil)
+			continue
+		}
+		if strings.HasPrefix(rest, "<") && !strings.HasPrefix(rest, "</") {
+			e.Children = append(e.Children, p.elem())
+			continue
+		}
+		break
+	}
+	if !strings.HasPrefix(p.rest(), "</") && p.err == nil {
+		e.Text = p.sig()
+	}
+	p.expect("</")
+	if ct := p.name(); ct != e.Tag && p.err == nil {
+		p.failf("mismatched close tag %q for <%s>", ct, e.Tag)
+	}
+	p.expect(">")
+	return e
+}
+
+// quoted parses a Go-quoted string literal (the %q rendering of Lit values
+// and object keys).
+func (p *parser) quoted() string {
+	if p.err != nil {
+		return ""
+	}
+	q, err := strconv.QuotedPrefix(p.rest())
+	if err != nil {
+		p.failf("bad quoted string at offset %d: %v", p.off, err)
+		return ""
+	}
+	s, err := strconv.Unquote(q)
+	if err != nil {
+		p.failf("bad quoted string at offset %d: %v", p.off, err)
+		return ""
+	}
+	p.off += len(q)
+	return s
+}
+
+// name parses an XML tag or attribute name. The accepted charset is
+// restricted so that names cannot swallow the surrounding markup.
+func (p *parser) name() string {
+	if p.err != nil {
+		return ""
+	}
+	i := p.off
+	for i < len(p.s) && isNameByte(p.s[i]) {
+		i++
+	}
+	if i == p.off {
+		p.failf("expected name at offset %d", p.off)
+		return ""
+	}
+	s := p.s[p.off:i]
+	p.off = i
+	return s
+}
+
+func isNameByte(b byte) bool {
+	return b == '_' || b == '-' || b == '.' || b == ':' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || (b >= '0' && b <= '9')
+}

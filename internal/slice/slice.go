@@ -18,6 +18,7 @@ import (
 
 	"extractocol/internal/callgraph"
 	"extractocol/internal/ir"
+	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
 	"extractocol/internal/taint"
 )
@@ -63,6 +64,10 @@ type Options struct {
 	// extension it proposes ("intents can be handled by modeling the
 	// implicit control flow"), off by default.
 	IncludeIntents bool
+	// Stats receives workload counters (slices computed, taint facts
+	// propagated). Find is sequential, so one unsynchronized shard
+	// suffices. Nil disables counting.
+	Stats *obs.Shard
 }
 
 // Find enumerates all transactions of the program.
@@ -116,11 +121,13 @@ func buildTransaction(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	eng := taint.NewEngine(p, model, cg)
 	eng.MaxAsyncHops = opts.MaxAsyncHops
 	eng.Universe = universe
+	eng.Stats = opts.Stats
 
 	// Request side.
 	if mm.ReqArg >= 0 && mm.ReqArg < len(in.Args) {
 		tx.ReqReg = in.Args[mm.ReqArg]
 		tx.Request = eng.Backward(tx.DP, tx.ReqReg)
+		opts.Stats.Add(obs.CtrSlicesBackward, 1)
 	} else {
 		return nil
 	}
@@ -141,6 +148,7 @@ func buildTransaction(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 
 	if tx.Response != nil {
 		tx.RespConsumed = tx.Response.Size() > 1
+		opts.Stats.Add(obs.CtrSlicesForward, 1)
 	}
 
 	// Object-aware augmentation: make slices self-contained (§3.1).

@@ -2,6 +2,7 @@ package taint
 
 import (
 	"extractocol/internal/ir"
+	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
 )
 
@@ -19,6 +20,7 @@ func (e *Engine) Backward(dp StmtID, reg int) *Result {
 		if !ok {
 			break
 		}
+		e.Stats.Add(obs.CtrTaintFacts, 1)
 		switch f.kind {
 		case factLocal:
 			e.backwardLocal(f, res, w)
@@ -300,6 +302,7 @@ func (e *Engine) backwardHeap(f fact, res *Result, w *worklist) {
 
 // include records a statement in the slice and tracks sources/sinks.
 func (e *Engine) include(m *ir.Method, idx int, in *ir.Instr, res *Result) {
+	e.Stats.Add(obs.CtrTaintStmts, 1)
 	res.Stmts[StmtID{m.Ref(), idx}] = true
 	if in.Op == ir.OpInvoke {
 		if mm := e.Model.Lookup(in.Sym); mm != nil {

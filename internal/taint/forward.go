@@ -2,6 +2,7 @@ package taint
 
 import (
 	"extractocol/internal/ir"
+	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
 )
 
@@ -20,6 +21,7 @@ func (e *Engine) Forward(origin StmtID, reg int) *Result {
 		if !ok {
 			break
 		}
+		e.Stats.Add(obs.CtrTaintFacts, 1)
 		switch f.kind {
 		case factLocal:
 			e.forwardLocal(f, res, w)
@@ -45,6 +47,7 @@ func (e *Engine) ForwardFacts(seeds map[StmtID]int) *Result {
 		if !ok {
 			break
 		}
+		e.Stats.Add(obs.CtrTaintFacts, 1)
 		switch f.kind {
 		case factLocal:
 			e.forwardLocal(f, res, w)

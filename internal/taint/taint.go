@@ -23,6 +23,7 @@ import (
 
 	"extractocol/internal/callgraph"
 	"extractocol/internal/ir"
+	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
 )
 
@@ -114,6 +115,11 @@ type Engine struct {
 	// (the per-entry-point context used for transaction separation). Heap
 	// facts may escape the universe at the cost of one async hop.
 	Universe map[string]bool
+
+	// Stats receives workload counters (facts processed, statements
+	// included). The shard is unsynchronized: it must be owned by the
+	// engine's goroutine. Nil disables counting.
+	Stats *obs.Shard
 
 	typesCache map[string][]string
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"extractocol/internal/obs"
 	"extractocol/internal/sigbuild"
 )
 
@@ -31,7 +32,11 @@ type Dep struct {
 }
 
 // Infer computes all dependency edges among the transactions.
-func Infer(txs []*Tx) []Dep {
+func Infer(txs []*Tx) []Dep { return InferObs(txs, nil) }
+
+// InferObs is Infer with workload counters: carrier locations indexed and
+// dependency edges produced are recorded in stats when non-nil.
+func InferObs(txs []*Tx, stats *obs.Shard) []Dep {
 	// Index: which transaction's response wrote each carrier location, and
 	// which transaction answers each DP site.
 	writers := map[string][]*Tx{}
@@ -87,6 +92,8 @@ func Infer(txs []*Tx) []Dep {
 	}
 
 	out = dedupe(out)
+	stats.Add(obs.CtrTxdepCarriers, int64(len(writers)))
+	stats.Add(obs.CtrTxdepEdges, int64(len(out)))
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].From != out[j].From {
 			return out[i].From < out[j].From

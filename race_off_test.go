@@ -1,0 +1,5 @@
+//go:build !race
+
+package extractocol
+
+const raceEnabled = false

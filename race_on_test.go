@@ -1,0 +1,8 @@
+//go:build race
+
+package extractocol
+
+// raceEnabled reports whether the race detector instruments this build;
+// the bench guard skips then, since instrumentation skews both wall time
+// and allocation counts far beyond any real regression threshold.
+const raceEnabled = true
