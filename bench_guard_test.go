@@ -127,3 +127,92 @@ func TestBenchRegressionGuard(t *testing.T) {
 		}
 	}
 }
+
+// ---- Slicing-component guard -------------------------------------------------
+//
+// TestSliceBenchGuard pins the three slicing microbenchmarks
+// (BenchmarkSliceFind, BenchmarkTaintBackward, BenchmarkAugment) against
+// BENCH_slice.json with the same slack factors and the same
+// EXTRACTOCOL_BENCH_BASELINE=write regeneration convention as the
+// end-to-end guard above.
+
+const sliceBaselinePath = "BENCH_slice.json"
+
+type sliceOpBaseline struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+type sliceBenchBaseline struct {
+	App string                     `json:"app"`
+	Ops map[string]sliceOpBaseline `json:"ops"`
+}
+
+// measureSliceOps runs the committed slicing benchmarks themselves, so the
+// guard and `go test -bench` always measure the same code path.
+func measureSliceOps(t *testing.T) sliceBenchBaseline {
+	t.Helper()
+	bl := sliceBenchBaseline{App: guardApp, Ops: map[string]sliceOpBaseline{}}
+	for name, fn := range map[string]func(*testing.B){
+		"slice_find":     BenchmarkSliceFind,
+		"taint_backward": BenchmarkTaintBackward,
+		"augment":        BenchmarkAugment,
+	} {
+		res := testing.Benchmark(fn)
+		if res.N == 0 {
+			t.Fatalf("benchmark %q failed to run", name)
+		}
+		bl.Ops[name] = sliceOpBaseline{NsPerOp: res.NsPerOp(), AllocsPerOp: res.AllocsPerOp()}
+	}
+	return bl
+}
+
+func TestSliceBenchGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews timing and allocation counts")
+	}
+
+	cur := measureSliceOps(t)
+
+	data, err := os.ReadFile(sliceBaselinePath)
+	if os.IsNotExist(err) || os.Getenv("EXTRACTOCOL_BENCH_BASELINE") == "write" {
+		out, merr := json.MarshalIndent(cur, "", "  ")
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if werr := os.WriteFile(sliceBaselinePath, append(out, '\n'), 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		t.Logf("wrote %s: %s", sliceBaselinePath, out)
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base sliceBenchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("corrupt %s: %v", sliceBaselinePath, err)
+	}
+	if base.App != cur.App {
+		t.Fatalf("baseline measures %q, guard measures %q; regenerate the baseline", base.App, cur.App)
+	}
+
+	for name, b := range base.Ops {
+		got, ok := cur.Ops[name]
+		if !ok {
+			t.Errorf("op %q vanished from the guard; regenerate %s if intentional", name, sliceBaselinePath)
+			continue
+		}
+		if got.NsPerOp > b.NsPerOp*nsSlack {
+			t.Errorf("%s takes %d ns/op, baseline %d (limit %dx): investigate or regenerate %s",
+				name, got.NsPerOp, b.NsPerOp, nsSlack, sliceBaselinePath)
+		}
+		if got.AllocsPerOp > b.AllocsPerOp*allocsSlack {
+			t.Errorf("%s makes %d allocs/op, baseline %d (limit %dx): investigate or regenerate %s",
+				name, got.AllocsPerOp, b.AllocsPerOp, allocsSlack, sliceBaselinePath)
+		}
+	}
+}

@@ -9,15 +9,19 @@ import (
 	"sync"
 	"testing"
 
+	"extractocol/internal/callgraph"
 	"extractocol/internal/core"
 	"extractocol/internal/corpus"
 	"extractocol/internal/dex"
 	"extractocol/internal/evaluate"
 	"extractocol/internal/fuzz"
 	"extractocol/internal/httpsim"
+	"extractocol/internal/ir"
 	"extractocol/internal/obfuscate"
 	"extractocol/internal/semmodel"
 	"extractocol/internal/siglang"
+	"extractocol/internal/slice"
+	"extractocol/internal/taint"
 	"extractocol/internal/trace"
 )
 
@@ -306,6 +310,117 @@ func BenchmarkCorpusGeneration(b *testing.B) {
 		apps := corpus.Apps()
 		if len(apps) != 34 {
 			b.Fatalf("apps = %d", len(apps))
+		}
+	}
+}
+
+// ---- §3.1 slicing: worker pool and shared analysis caches ---------------------
+
+// firstDP locates the first demarcation-point invoke of an app in program
+// order, mirroring slice.Find's job enumeration.
+func firstDP(b *testing.B, p *ir.Program, model *semmodel.Model) (taint.StmtID, int) {
+	b.Helper()
+	for _, c := range p.AppClasses() {
+		for _, m := range c.Methods {
+			for i := range m.Instrs {
+				in := &m.Instrs[i]
+				if in.Op != ir.OpInvoke {
+					continue
+				}
+				mm := model.Lookup(in.Sym)
+				if mm == nil || !mm.DP || mm.ReqArg < 0 || mm.ReqArg >= len(in.Args) {
+					continue
+				}
+				return taint.StmtID{Method: m.Ref(), Index: i}, in.Args[mm.ReqArg]
+			}
+		}
+	}
+	b.Fatal("no demarcation point found")
+	return taint.StmtID{}, 0
+}
+
+func cloneTaintResult(r *taint.Result) *taint.Result {
+	c := &taint.Result{
+		Stmts:      make(map[taint.StmtID]bool, len(r.Stmts)),
+		HeapReads:  make(map[string]bool, len(r.HeapReads)),
+		HeapWrites: make(map[string]bool, len(r.HeapWrites)),
+		Sinks:      make(map[string]bool, len(r.Sinks)),
+		Sources:    make(map[string]bool, len(r.Sources)),
+	}
+	for k := range r.Stmts {
+		c.Stmts[k] = true
+	}
+	for k := range r.HeapReads {
+		c.HeapReads[k] = true
+	}
+	for k := range r.HeapWrites {
+		c.HeapWrites[k] = true
+	}
+	for k := range r.Sinks {
+		c.Sinks[k] = true
+	}
+	for k := range r.Sources {
+		c.Sources[k] = true
+	}
+	return c
+}
+
+// BenchmarkSliceFind measures full transaction extraction — the pool, the
+// shared caches, and backward/forward slicing — on the paper's running
+// example.
+func BenchmarkSliceFind(b *testing.B) {
+	app := corpus.RadioReddit()
+	model := semmodel.Default()
+	cg := callgraph.Build(app.Prog, model)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txs := slice.Find(app.Prog, model, cg, slice.Options{MaxAsyncHops: 1})
+		if len(txs) == 0 {
+			b.Fatal("no transactions")
+		}
+	}
+}
+
+// BenchmarkTaintBackward measures one request slice with a fresh engine per
+// iteration (each engine builds its private summary cache from scratch).
+func BenchmarkTaintBackward(b *testing.B) {
+	app := corpus.RadioReddit()
+	model := semmodel.Default()
+	cg := callgraph.Build(app.Prog, model)
+	dp, reg := firstDP(b, app.Prog, model)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := taint.NewEngine(app.Prog, model, cg)
+		if res := eng.Backward(dp, reg); len(res.Stmts) == 0 {
+			b.Fatal("empty slice")
+		}
+	}
+}
+
+// BenchmarkAugment measures the incremental-worklist slice augmentation.
+// Augment mutates its Result, so each iteration gets a fresh copy of the
+// seed slice (the copy happens with the timer stopped).
+func BenchmarkAugment(b *testing.B) {
+	app := corpus.RadioReddit()
+	model := semmodel.Default()
+	cg := callgraph.Build(app.Prog, model)
+	dp, reg := firstDP(b, app.Prog, model)
+	eng := taint.NewEngine(app.Prog, model, cg)
+	seed := eng.Backward(dp, reg)
+	if len(seed.Stmts) == 0 {
+		b.Fatal("empty seed slice")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		res := cloneTaintResult(seed)
+		b.StartTimer()
+		slice.Augment(app.Prog, model, res)
+		if len(res.Stmts) < len(seed.Stmts) {
+			b.Fatal("augment shrank the slice")
 		}
 	}
 }

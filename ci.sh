@@ -23,4 +23,7 @@ go vet ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== bench smoke"
+go test -run=NONE -bench=. -benchtime=1x .
+
 echo "CI OK"

@@ -1,0 +1,100 @@
+// Parallel-vs-serial determinism: core.Analyze fans transaction extraction
+// and signature building across worker pools, and this test pins the
+// contract that parallelism is invisible in the output — for every corpus
+// app, the serial (Workers=1) and parallel text reports are byte-identical
+// once wall-clock lines are removed. ci.sh runs this under -race, which
+// also exercises the shared analysis caches for data races.
+package extractocol
+
+import (
+	"strings"
+	"testing"
+
+	"extractocol/internal/core"
+	"extractocol/internal/corpus"
+	"extractocol/internal/obs"
+	"extractocol/internal/report"
+)
+
+// normalizeReport strips the only time-dependent lines of a text report
+// (total analysis time and the per-phase breakdown).
+func normalizeReport(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "analysis time:") || strings.HasPrefix(line, "  phases:") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestParallelAnalyzeDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analyzes the whole corpus twice")
+	}
+	for _, app := range corpus.Apps() {
+		app := app
+		t.Run(app.Spec.Name, func(t *testing.T) {
+			t.Parallel()
+			serialOpts := core.NewOptions()
+			serialOpts.Workers = 1
+			serial, err := core.Analyze(app.Prog, serialOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := core.Analyze(app.Prog, core.NewOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, p := normalizeReport(report.Text(serial)), normalizeReport(report.Text(parallel))
+			if s != p {
+				t.Errorf("parallel report differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+			}
+		})
+	}
+}
+
+// The analysis-cache hit/miss counters must surface in Report.Profile.
+// Diode (the paper's Fig. 3 walkthrough app) exercises all three caches:
+// its slices cross methods, fields and async callbacks.
+func TestCacheCountersInProfile(t *testing.T) {
+	app, err := corpus.ByName("Diode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.Analyze(app.Prog, core.NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := rep.Profile
+	// Misses are deterministic lower bounds (something was built); hits
+	// prove reuse actually happened.
+	for _, name := range []string{
+		obs.CtrCacheReachableHits, obs.CtrCacheReachableMisses,
+		obs.CtrCacheInferTypesHits, obs.CtrCacheInferTypesMisses,
+		obs.CtrCacheSummaryHits, obs.CtrCacheSummaryMisses,
+	} {
+		if _, ok := prof.Counters[name]; !ok {
+			t.Errorf("counter %s missing from profile", name)
+		}
+	}
+	if prof.Counter(obs.CtrCacheInferTypesHits) == 0 {
+		t.Error("type inference cache saw no reuse")
+	}
+	if prof.Counter(obs.CtrCacheReachableHits) == 0 {
+		t.Error("reachability cache saw no reuse")
+	}
+	if prof.Counter(obs.CtrCacheSummaryHits) == 0 {
+		t.Error("summary cache saw no reuse")
+	}
+	if prof.Counter(obs.CtrSliceJobs) == 0 {
+		t.Error("slice pool recorded no jobs")
+	}
+	if w := prof.Gauges[obs.GaugeSliceWorkers]; w < 1 {
+		t.Errorf("slice_workers gauge = %v, want >= 1", w)
+	}
+	if u := prof.Gauges[obs.GaugeSliceUtilization]; u < 0 || u > 1.05 {
+		t.Errorf("slice_worker_utilization = %v, want within [0, 1.05]", u)
+	}
+}

@@ -8,8 +8,11 @@ package callgraph
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"extractocol/internal/ir"
+	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
 )
 
@@ -23,17 +26,29 @@ type Edge struct {
 	Implicit bool
 }
 
-// Graph is the call graph over app methods.
+// Graph is the call graph over app methods. Beyond the edge sets it carries
+// the per-program analysis cache shared by every transaction extraction:
+// memoized per-method type inference and per-root reachability, safe for
+// concurrent readers (the slice worker pool queries both from many
+// goroutines at once).
 type Graph struct {
 	prog  *ir.Program
 	model *semmodel.Model
 	out   map[string][]Edge // caller -> edges
 	in    map[string][]Edge // callee -> edges
+
+	mu    sync.RWMutex
+	types map[string][]string        // method ref -> inferred register types
+	reach map[string]map[string]bool // root ref -> reachable method set
+
+	typesHits, typesMisses atomic.Int64
+	reachHits, reachMisses atomic.Int64
 }
 
 // Build constructs the call graph for every app method in p.
 func Build(p *ir.Program, model *semmodel.Model) *Graph {
-	g := &Graph{prog: p, model: model, out: map[string][]Edge{}, in: map[string][]Edge{}}
+	g := &Graph{prog: p, model: model, out: map[string][]Edge{}, in: map[string][]Edge{},
+		types: map[string][]string{}, reach: map[string]map[string]bool{}}
 	for _, c := range p.AppClasses() {
 		for _, m := range c.Methods {
 			g.addMethodEdges(m)
@@ -51,7 +66,7 @@ func Build(p *ir.Program, model *semmodel.Model) *Graph {
 }
 
 func (g *Graph) addMethodEdges(m *ir.Method) {
-	types := InferTypes(g.prog, m)
+	types := g.Types(m)
 	for i := range m.Instrs {
 		in := &m.Instrs[i]
 		if in.Op != ir.OpInvoke {
@@ -160,8 +175,67 @@ func (g *Graph) Callees(caller string) []Edge { return g.out[caller] }
 // Callers returns all incoming edges of callee.
 func (g *Graph) Callers(callee string) []Edge { return g.in[callee] }
 
+// Types returns the memoized intra-procedural register types of m (see
+// InferTypes). The returned slice is shared: callers must treat it as
+// read-only. Safe for concurrent use; Build warms the cache for every app
+// method, so post-build queries are hits.
+func (g *Graph) Types(m *ir.Method) []string {
+	ref := m.Ref()
+	g.mu.RLock()
+	t, ok := g.types[ref]
+	g.mu.RUnlock()
+	if ok {
+		g.typesHits.Add(1)
+		return t
+	}
+	g.typesMisses.Add(1)
+	t = InferTypes(g.prog, m)
+	g.mu.Lock()
+	if prev, ok := g.types[ref]; ok {
+		t = prev // another goroutine built it first; keep one canonical slice
+	} else {
+		g.types[ref] = t
+	}
+	g.mu.Unlock()
+	return t
+}
+
+// ReachableFrom returns the memoized reachable set of a single root (the
+// per-entry-point transaction universe). The returned map is shared:
+// callers must treat it as read-only. Safe for concurrent use.
+func (g *Graph) ReachableFrom(root string) map[string]bool {
+	g.mu.RLock()
+	r, ok := g.reach[root]
+	g.mu.RUnlock()
+	if ok {
+		g.reachHits.Add(1)
+		return r
+	}
+	g.reachMisses.Add(1)
+	r = g.Reachable([]string{root})
+	g.mu.Lock()
+	if prev, ok := g.reach[root]; ok {
+		r = prev
+	} else {
+		g.reach[root] = r
+	}
+	g.mu.Unlock()
+	return r
+}
+
+// DrainCacheCounters moves the cache hit/miss totals accumulated since the
+// last drain into col, under the cache_reachable_* and cache_infertypes_*
+// counters.
+func (g *Graph) DrainCacheCounters(col *obs.Collector) {
+	col.Add(obs.CtrCacheReachableHits, g.reachHits.Swap(0))
+	col.Add(obs.CtrCacheReachableMisses, g.reachMisses.Swap(0))
+	col.Add(obs.CtrCacheInferTypesHits, g.typesHits.Swap(0))
+	col.Add(obs.CtrCacheInferTypesMisses, g.typesMisses.Swap(0))
+}
+
 // Reachable computes the set of method refs reachable from the given
-// roots, following both direct and implicit edges.
+// roots, following both direct and implicit edges. The result is freshly
+// allocated; prefer ReachableFrom for the memoized single-root variant.
 func (g *Graph) Reachable(roots []string) map[string]bool {
 	seen := map[string]bool{}
 	var stack []string

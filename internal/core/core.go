@@ -42,6 +42,10 @@ type Options struct {
 	ModelIntents bool
 	// Model overrides the semantic model; nil uses semmodel.Default().
 	Model *semmodel.Model
+	// Workers bounds the intra-app worker pools (slice extraction and
+	// signature building): 0 means GOMAXPROCS, 1 forces serial execution.
+	// Output is deterministic regardless.
+	Workers int
 }
 
 // NewOptions returns the default configuration (async heuristic enabled).
@@ -145,20 +149,25 @@ func Analyze(p *ir.Program, opts Options) (*Report, error) {
 	cg := callgraph.Build(p, model)
 	endCallgraph()
 
+	// The per-program analysis cache: taint transfer summaries shared by
+	// the slice worker pool and the pairing flow checks (reachability and
+	// type memoization live on the call graph itself).
+	sums := taint.NewSummaryCache()
+
 	endSlice := col.Phase(obs.PhaseSlice)
-	sliceStats := col.NewShard()
 	txs := slice.Find(p, model, cg, slice.Options{
 		MaxAsyncHops:   opts.MaxAsyncHops,
 		IncludeIntents: opts.ModelIntents,
-		Stats:          sliceStats,
+		Workers:        opts.Workers,
+		Col:            col,
+		Summaries:      sums,
 	})
-	col.Drain(sliceStats)
 	endSlice()
 
 	endPairing := col.Phase(obs.PhasePairing)
 	pairStats := col.NewShard()
 	pairs := pairing.Analyze(txs)
-	pairing.VerifyFlow(p, model, cg, pairs, pairStats)
+	pairing.VerifyFlow(p, model, cg, pairs, pairStats, sums)
 	col.Drain(pairStats)
 	pairByTx := map[*slice.Transaction]pairing.Pair{}
 	for _, pr := range pairs {
@@ -195,6 +204,10 @@ func Analyze(p *ir.Program, opts Options) (*Report, error) {
 		frac = float64(len(sliceStmts)) / float64(total)
 	}
 
+	// Fold the analysis-cache hit/miss totals into the profile.
+	cg.DrainCacheCounters(col)
+	sums.DrainCounters(col)
+
 	return &Report{
 		Package:       p.Manifest.Package,
 		AppName:       p.Manifest.AppName,
@@ -229,7 +242,10 @@ func buildSignatures(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	fanStart := time.Now()
 
 	results := make([]built, len(txs))
-	workers := runtime.GOMAXPROCS(0)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(txs) {
 		workers = len(txs)
 	}
@@ -342,7 +358,8 @@ func foldTransactions(txs []*slice.Transaction, results []built,
 			Sources:       sortedSet(tx.Sources),
 			Entries:       []string{tx.Entry.Method},
 		}
-		if prev, ok := dedup[t.Key()]; ok {
+		key := t.Key()
+		if prev, ok := dedup[key]; ok {
 			mergeStringSets(&prev.Entries, t.Entries)
 			prev.Paired = prev.Paired || t.Paired
 			mergeStringSets(&prev.Sinks, t.Sinks)
@@ -351,7 +368,7 @@ func foldTransactions(txs []*slice.Transaction, results []built,
 			continue
 		}
 		t.ID = len(out) + 1
-		dedup[t.Key()] = t
+		dedup[key] = t
 		out = append(out, t)
 	}
 	col.Add(obs.CtrTransactions, int64(len(out)))
@@ -406,13 +423,18 @@ func sortedSet(m map[string]bool) []string {
 	return out
 }
 
+// mergeStringSets inserts each element of add into the sorted set *dst in
+// place (binary search + insertion), avoiding the map rebuild and full
+// re-sort the previous implementation paid on every fold. *dst must already
+// be sorted, which sortedSet and prior merges guarantee.
 func mergeStringSets(dst *[]string, add []string) {
-	set := map[string]bool{}
-	for _, s := range *dst {
-		set[s] = true
-	}
 	for _, s := range add {
-		set[s] = true
+		i := sort.SearchStrings(*dst, s)
+		if i < len(*dst) && (*dst)[i] == s {
+			continue
+		}
+		*dst = append(*dst, "")
+		copy((*dst)[i+1:], (*dst)[i:])
+		(*dst)[i] = s
 	}
-	*dst = sortedSet(set)
 }

@@ -42,6 +42,20 @@ const (
 	// CtrTaintStmts counts statements added to slices.
 	CtrTaintFacts = "taint_facts"
 	CtrTaintStmts = "taint_stmts"
+	// CtrSliceJobs counts (entry point, DP site) extraction jobs run by the
+	// slice worker pool; CtrSliceBusyNS accumulates worker busy time (the
+	// numerator of pool utilization).
+	CtrSliceJobs   = "slice_jobs"
+	CtrSliceBusyNS = "slice_busy_ns"
+	// Analysis-cache hit/miss counters: memoized per-entry-point
+	// reachability, per-method type inference, and per-(method, register)
+	// taint transfer summaries (see callgraph and taint).
+	CtrCacheReachableHits    = "cache_reachable_hits"
+	CtrCacheReachableMisses  = "cache_reachable_misses"
+	CtrCacheInferTypesHits   = "cache_infertypes_hits"
+	CtrCacheInferTypesMisses = "cache_infertypes_misses"
+	CtrCacheSummaryHits      = "cache_summaries_hits"
+	CtrCacheSummaryMisses    = "cache_summaries_misses"
 	// CtrPairFlowChecks counts information-flow pairing verifications run.
 	CtrPairFlowChecks = "pairing_flow_checks"
 	// CtrSigbuildJobs counts signature-extraction jobs executed by the
@@ -70,6 +84,10 @@ const (
 	// GaugeSigbuildUtilization is total worker busy time divided by
 	// (workers × fan-out wall time), in [0, 1].
 	GaugeSigbuildUtilization = "sigbuild_worker_utilization"
+	// GaugeSliceWorkers / GaugeSliceUtilization are the analogous pool
+	// metrics for the slice-extraction fan-out.
+	GaugeSliceWorkers     = "slice_workers"
+	GaugeSliceUtilization = "slice_worker_utilization"
 )
 
 // Collector accumulates phases, counters and gauges for one analysis run.
@@ -180,6 +198,19 @@ func (s *Shard) Count(name string) int64 {
 		return 0
 	}
 	return s.counts[name]
+}
+
+// Merge adds o's counts into s and resets o. Both shards must be quiescent
+// (their owning goroutines done writing); used to fold worker shards into a
+// caller-owned shard when no Collector is threaded through.
+func (s *Shard) Merge(o *Shard) {
+	if s == nil || o == nil {
+		return
+	}
+	for k, v := range o.counts {
+		s.counts[k] += v
+	}
+	o.counts = map[string]int64{}
 }
 
 // PhaseProfile is one timed pipeline stage.

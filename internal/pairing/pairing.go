@@ -125,8 +125,10 @@ func sameStmtsAsAnother(tx *slice.Transaction, group []*slice.Transaction) bool 
 // slice. With the disjoint-sub-slice preprocessing this is one-to-one even
 // under code reuse (Fig. 5). stats, when non-nil, receives flow-check and
 // taint workload counters; VerifyFlow is sequential, so one unsynchronized
-// shard suffices.
-func VerifyFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, pairs []Pair, stats *obs.Shard) {
+// shard suffices. sums, when non-nil, is a shared taint summary cache
+// (summaries are universe-independent, so the slice phase's cache is
+// directly reusable here).
+func VerifyFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, pairs []Pair, stats *obs.Shard, sums *taint.SummaryCache) {
 	for i := range pairs {
 		pr := &pairs[i]
 		if !pr.HasResponse {
@@ -136,6 +138,9 @@ func VerifyFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, pairs
 		eng := taint.NewEngine(p, model, cg)
 		eng.MaxAsyncHops = 1
 		eng.Stats = stats
+		if sums != nil {
+			eng.Summaries = sums
+		}
 		seeds := map[taint.StmtID]int{}
 		src := pr.DisjointRequest
 		if len(src) == 0 {

@@ -97,12 +97,13 @@ func BuildObs(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	}
 	ev := newEvaluator(p, model, tx.DP, dpm, filter)
 	ev.stats = stats
+	ev.cg = cg
 
 	// Pre-pass: interpret slice methods outside the entry context first
 	// (cross-event heap writers such as location callbacks or other
 	// transactions' response handlers), so the abstract heap is populated
 	// before the request is evaluated. Two rounds settle chained writes.
-	reach := cg.Reachable([]string{tx.Entry.Method})
+	reach := cg.ReachableFrom(tx.Entry.Method)
 	var pre []string
 	for ref := range ev.fmeths {
 		if !reach[ref] {

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"extractocol/internal/callgraph"
 	"extractocol/internal/cfg"
 	"extractocol/internal/ir"
 	"extractocol/internal/obs"
@@ -40,6 +41,19 @@ type evaluator struct {
 	// stats counts methods abstractly interpreted; owned by the worker
 	// goroutine running this evaluator. Nil disables counting.
 	stats *obs.Shard
+
+	// cg, when non-nil, supplies memoized per-method register types
+	// (BuildObs sets it); nil falls back to direct inference.
+	cg *callgraph.Graph
+}
+
+// types returns m's register types, via the call graph's shared memoized
+// inference when available.
+func (ev *evaluator) types(m *ir.Method) []string {
+	if ev.cg != nil {
+		return ev.cg.Types(m)
+	}
+	return callgraph.InferTypes(ev.prog, m)
 }
 
 const maxDepth = 48

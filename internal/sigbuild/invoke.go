@@ -1,7 +1,6 @@
 package sigbuild
 
 import (
-	"extractocol/internal/callgraph"
 	"extractocol/internal/ir"
 	"extractocol/internal/semmodel"
 	"extractocol/internal/siglang"
@@ -72,7 +71,7 @@ func (ev *evaluator) resolveCallee(m *ir.Method, in *ir.Instr) *ir.Method {
 	}
 	// Prefer the inferred receiver type.
 	if len(in.Args) > 0 {
-		types := callgraph.InferTypes(ev.prog, m)
+		types := ev.types(m)
 		if r := in.Args[0]; r >= 0 && r < len(types) && types[r] != "" {
 			if t := ev.prog.ResolveMethod(types[r], name); t != nil {
 				return t
@@ -983,7 +982,7 @@ func (ev *evaluator) leadsToFilter(m *ir.Method, in *ir.Instr) bool {
 		if mm.CallbackArg >= len(in.Args) {
 			return false
 		}
-		types := callgraph.InferTypes(ev.prog, m)
+		types := ev.types(m)
 		r := in.Args[mm.CallbackArg]
 		if r < 0 || r >= len(types) || types[r] == "" {
 			return false

@@ -14,7 +14,10 @@ package slice
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"extractocol/internal/callgraph"
 	"extractocol/internal/ir"
@@ -64,20 +67,44 @@ type Options struct {
 	// extension it proposes ("intents can be handled by modeling the
 	// implicit control flow"), off by default.
 	IncludeIntents bool
+	// Workers bounds the extraction worker pool: 0 means GOMAXPROCS, 1
+	// forces serial extraction. Output is deterministic regardless.
+	Workers int
 	// Stats receives workload counters (slices computed, taint facts
-	// propagated). Find is sequential, so one unsynchronized shard
-	// suffices. Nil disables counting.
+	// propagated) when Col is nil. Workers count into private shards that
+	// are merged in after the pool drains, so a nil shard is fine.
 	Stats *obs.Shard
+	// Col, when non-nil, receives the worker shards and the pool gauges
+	// (slice_workers, slice_worker_utilization) instead of Stats.
+	Col *obs.Collector
+	// Summaries, when non-nil, is a shared taint transfer-summary cache
+	// (see taint.SummaryCache); nil uses a cache private to this call.
+	Summaries *taint.SummaryCache
 }
 
-// Find enumerates all transactions of the program.
+// sliceJob is one (entry point, demarcation-point site) extraction unit.
+type sliceJob struct {
+	ep       ir.EntryPoint
+	universe map[string]bool
+	m        *ir.Method
+	site     int
+	in       *ir.Instr
+	mm       *semmodel.Method
+}
+
+// Find enumerates all transactions of the program. Jobs — one per (entry
+// point, DP site) pair — are enumerated sequentially in deterministic order,
+// extracted across a bounded worker pool, and assembled positionally, so the
+// output is identical to serial extraction. Workers share the per-program
+// analysis caches (callgraph reachability/types, taint summaries), which are
+// safe for concurrent readers.
 func Find(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, opts Options) []*Transaction {
-	var out []*Transaction
+	var jobs []sliceJob
 	for _, ep := range p.Manifest.EntryPoints {
 		if ep.Kind == ir.EventIntent && !opts.IncludeIntents {
 			continue
 		}
-		universe := cg.Reachable([]string{ep.Method})
+		universe := cg.ReachableFrom(ep.Method)
 		methods := make([]string, 0, len(universe))
 		for m := range universe {
 			methods = append(methods, m)
@@ -97,37 +124,114 @@ func Find(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, opts Option
 				if mm == nil || !mm.DP {
 					continue
 				}
-				tx := buildTransaction(p, model, cg, opts, ep, universe, m, i, in, mm)
-				if tx != nil {
-					tx.ID = len(out) + 1
-					out = append(out, tx)
-				}
+				jobs = append(jobs, sliceJob{ep: ep, universe: universe, m: m, site: i, in: in, mm: mm})
 			}
 		}
+	}
+
+	sums := opts.Summaries
+	if sums == nil {
+		sums = taint.NewSummaryCache()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	fanStart := time.Now()
+	results := make([]*Transaction, len(jobs))
+	runJob := func(i int, stats *obs.Shard) {
+		t0 := time.Now()
+		j := jobs[i]
+		results[i] = buildTransaction(p, model, cg, opts, j, stats, sums)
+		stats.Add(obs.CtrSliceJobs, 1)
+		stats.Add(obs.CtrSliceBusyNS, time.Since(t0).Nanoseconds())
+	}
+	drain := func(s *obs.Shard) {
+		if opts.Col != nil {
+			opts.Col.Drain(s)
+		} else {
+			opts.Stats.Merge(s)
+		}
+	}
+
+	if workers > 1 {
+		var wg sync.WaitGroup
+		ch := make(chan int)
+		shards := make([]*obs.Shard, workers)
+		for w := 0; w < workers; w++ {
+			shard := obs.NewShard()
+			shards[w] = shard
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range ch {
+					runJob(i, shard)
+				}
+			}()
+		}
+		for i := range jobs {
+			ch <- i
+		}
+		close(ch)
+		wg.Wait()
+		for _, shard := range shards {
+			drain(shard)
+		}
+	} else {
+		shard := obs.NewShard()
+		for i := range jobs {
+			runJob(i, shard)
+		}
+		drain(shard)
+	}
+
+	if opts.Col != nil && workers > 0 {
+		opts.Col.Gauge(obs.GaugeSliceWorkers, float64(workers))
+		totalBusy := opts.Col.Snapshot().Counter(obs.CtrSliceBusyNS)
+		if wall := time.Since(fanStart).Nanoseconds(); wall > 0 {
+			opts.Col.Gauge(obs.GaugeSliceUtilization,
+				float64(totalBusy)/float64(int64(workers)*wall))
+		}
+	}
+
+	// Positional assembly: IDs follow job enumeration order, skipping jobs
+	// that produced no transaction — identical to the serial numbering.
+	var out []*Transaction
+	for _, tx := range results {
+		if tx == nil {
+			continue
+		}
+		tx.ID = len(out) + 1
+		out = append(out, tx)
 	}
 	return out
 }
 
 func buildTransaction(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
-	opts Options, ep ir.EntryPoint, universe map[string]bool,
-	m *ir.Method, site int, in *ir.Instr, mm *semmodel.Method) *Transaction {
+	opts Options, j sliceJob, stats *obs.Shard, sums *taint.SummaryCache) *Transaction {
 
+	m, site, in, mm := j.m, j.site, j.in, j.mm
 	tx := &Transaction{
 		DP:    taint.StmtID{Method: m.Ref(), Index: site},
 		DPRef: mm.Ref,
-		Entry: ep,
+		Entry: j.ep,
 	}
 
 	eng := taint.NewEngine(p, model, cg)
 	eng.MaxAsyncHops = opts.MaxAsyncHops
-	eng.Universe = universe
-	eng.Stats = opts.Stats
+	eng.Universe = j.universe
+	eng.Stats = stats
+	eng.Summaries = sums
 
 	// Request side.
 	if mm.ReqArg >= 0 && mm.ReqArg < len(in.Args) {
 		tx.ReqReg = in.Args[mm.ReqArg]
 		tx.Request = eng.Backward(tx.DP, tx.ReqReg)
-		opts.Stats.Add(obs.CtrSlicesBackward, 1)
+		stats.Add(obs.CtrSlicesBackward, 1)
 	} else {
 		return nil
 	}
@@ -139,7 +243,7 @@ func buildTransaction(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 		tx.RespRootReg = in.Dst
 		tx.Response = eng.Forward(tx.RespRoot, tx.RespRootReg)
 	case mm.CallbackMethod != "":
-		if root, reg, ok := resolveCallback(p, cg, m, site, in, mm); ok {
+		if root, reg, ok := resolveCallback(p, cg, m, in, mm); ok {
 			tx.RespRoot = root
 			tx.RespRootReg = reg
 			tx.Response = eng.Forward(root, reg)
@@ -148,7 +252,7 @@ func buildTransaction(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 
 	if tx.Response != nil {
 		tx.RespConsumed = tx.Response.Size() > 1
-		opts.Stats.Add(obs.CtrSlicesForward, 1)
+		stats.Add(obs.CtrSlicesForward, 1)
 	}
 
 	// Object-aware augmentation: make slices self-contained (§3.1).
@@ -176,13 +280,13 @@ func buildTransaction(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 // resolveCallback locates the implicit response entry for asynchronous
 // demarcation points: the onResponse-style method of the callback object's
 // inferred type, with the response as its first declared parameter.
-func resolveCallback(p *ir.Program, cg *callgraph.Graph, m *ir.Method, site int,
+func resolveCallback(p *ir.Program, cg *callgraph.Graph, m *ir.Method,
 	in *ir.Instr, mm *semmodel.Method) (taint.StmtID, int, bool) {
 
 	if mm.CallbackArg >= len(in.Args) {
 		return taint.StmtID{}, 0, false
 	}
-	types := callgraph.InferTypes(p, m)
+	types := cg.Types(m)
 	reg := in.Args[mm.CallbackArg]
 	if reg == ir.NoReg || reg >= len(types) || types[reg] == "" {
 		return taint.StmtID{}, 0, false
@@ -207,46 +311,74 @@ func resolveCallback(p *ir.Program, cg *callgraph.Graph, m *ir.Method, site int,
 // object-aware slice augmentation: a forward slice that uses an object
 // initialized before the demarcation point gains the initialization
 // context it needs for signature building.
+// Every statement Augment adds lives in a method already contributing to the
+// slice, so each method reaches its fixpoint independently. Per method, an
+// incremental worklist of newly used registers drives the closure: candidate
+// statements are indexed once by the register that would pull them in
+// (context-op definitions; <init> receivers), and each statement added feeds
+// its own uses back into the worklist. This replaces the original
+// rebuild-everything-per-iteration fixed-point loop with work proportional
+// to statements actually added.
 func Augment(p *ir.Program, model *semmodel.Model, res *taint.Result) {
-	for changed := true; changed; {
-		changed = false
-		// Group slice statements per method.
-		perMethod := map[string][]int{}
-		for s := range res.Stmts {
-			perMethod[s.Method] = append(perMethod[s.Method], s.Index)
+	perMethod := map[string][]int{}
+	for s := range res.Stmts {
+		perMethod[s.Method] = append(perMethod[s.Method], s.Index)
+	}
+	for ref, idxs := range perMethod {
+		m := p.Method(ref)
+		if m == nil {
+			continue
 		}
-		for ref, idxs := range perMethod {
-			m := p.Method(ref)
-			if m == nil {
-				continue
+		augmentMethod(model, m, ref, idxs, res)
+	}
+}
+
+func augmentMethod(model *semmodel.Model, m *ir.Method, ref string, seed []int, res *taint.Result) {
+	// Index candidate statements by the register whose use pulls them in:
+	// pure context operations by their defined register, constructors
+	// (which mutate without defining) by their receiver.
+	defIdx := map[int][]int{}
+	initIdx := map[int][]int{}
+	for i := range m.Instrs {
+		in := &m.Instrs[i]
+		if d := in.Def(); d != ir.NoReg && isContextOp(model, in) {
+			defIdx[d] = append(defIdx[d], i)
+		}
+		if in.Op == ir.OpInvoke && in.Kind == ir.InvokeSpecial &&
+			len(in.Args) > 0 && isInitRef(in.Sym) {
+			initIdx[in.Args[0]] = append(initIdx[in.Args[0]], i)
+		}
+	}
+
+	used := map[int]bool{}
+	var work []int
+	markUses := func(i int) {
+		for _, u := range m.Instrs[i].Uses() {
+			if !used[u] {
+				used[u] = true
+				work = append(work, u)
 			}
-			used := map[int]bool{}
-			for _, i := range idxs {
-				for _, u := range m.Instrs[i].Uses() {
-					used[u] = true
-				}
-			}
-			for i := range m.Instrs {
-				in := &m.Instrs[i]
-				if res.Stmts[taint.StmtID{Method: ref, Index: i}] {
-					continue
-				}
-				d := in.Def()
-				if d == ir.NoReg || !used[d] {
-					// Constructors mutate without defining; include the
-					// <init> of used allocations.
-					if in.Op == ir.OpInvoke && in.Kind == ir.InvokeSpecial &&
-						len(in.Args) > 0 && used[in.Args[0]] && isInitRef(in.Sym) {
-						res.Stmts[taint.StmtID{Method: ref, Index: i}] = true
-						changed = true
-					}
-					continue
-				}
-				if isContextOp(model, in) {
-					res.Stmts[taint.StmtID{Method: ref, Index: i}] = true
-					changed = true
-				}
-			}
+		}
+	}
+	for _, i := range seed {
+		markUses(i)
+	}
+	add := func(i int) {
+		id := taint.StmtID{Method: ref, Index: i}
+		if res.Stmts[id] {
+			return
+		}
+		res.Stmts[id] = true
+		markUses(i)
+	}
+	for len(work) > 0 {
+		r := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, i := range defIdx[r] {
+			add(i)
+		}
+		for _, i := range initIdx[r] {
+			add(i)
 		}
 	}
 }

@@ -2,7 +2,6 @@ package taint
 
 import (
 	"extractocol/internal/ir"
-	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
 )
 
@@ -10,75 +9,70 @@ import (
 // value of register reg at the demarcation point dp, following inverted
 // taint-propagation rules (tainted LHS taints RHS; callee parameters taint
 // caller arguments; taint is consumed at definitions).
+//
+// Propagation rules live in the buildBackward* functions below as transfer
+// summaries; the worklist loop replays memoized summaries (see summary.go).
 func (e *Engine) Backward(dp StmtID, reg int) *Result {
 	res := newResult()
 	w := &worklist{seen: map[fact]bool{}}
 	res.Stmts[dp] = true
 	w.push(fact{kind: factLocal, method: dp.Method, reg: reg})
-	for {
-		f, ok := w.pop()
-		if !ok {
-			break
-		}
-		e.Stats.Add(obs.CtrTaintFacts, 1)
-		switch f.kind {
-		case factLocal:
-			e.backwardLocal(f, res, w)
-		case factHeap:
-			e.backwardHeap(f, res, w)
-		}
-	}
+	e.run(w, res, dirBackward)
 	return res
 }
 
-func (e *Engine) backwardLocal(f fact, res *Result, w *worklist) {
-	m := e.Prog.Method(f.method)
+// buildBackward derives the backward transfer summary of (method, reg): the
+// effects of processing one backward fact for that register.
+func (e *Engine) buildBackward(method string, reg int) *methodSummary {
+	b := &sumBuilder{}
+	m := e.Prog.Method(method)
 	if m == nil {
-		return
+		return b.done()
 	}
 	for i := range m.Instrs {
 		in := &m.Instrs[i]
-		if in.Def() == f.reg {
-			e.backwardDef(m, i, in, f, res, w)
+		if in.Def() == reg {
+			e.sumBackwardDef(b, m, i, in)
 		}
-		e.backwardMutation(m, i, in, f, res, w)
+		e.sumBackwardMutation(b, m, i, in, reg)
 	}
 	// Parameter registers propagate to every caller's argument.
-	if f.reg < m.NumParamRegs() {
-		e.backwardToCallers(m, f, res, w)
+	if reg < m.NumParamRegs() {
+		e.sumBackwardToCallers(b, m, reg)
 	}
+	return b.done()
 }
 
-// backwardDef handles a statement that defines the tainted register: the
+// sumBackwardDef handles a statement that defines the tainted register: the
 // statement joins the slice and its operands become tainted.
-func (e *Engine) backwardDef(m *ir.Method, idx int, in *ir.Instr, f fact, res *Result, w *worklist) {
-	e.include(m, idx, in, res)
+func (e *Engine) sumBackwardDef(b *sumBuilder, m *ir.Method, idx int, in *ir.Instr) {
+	b.include(e.sumInc(m, idx))
 	switch in.Op {
 	case ir.OpConstStr, ir.OpConstInt, ir.OpConstNull, ir.OpNew:
 		// Constant or allocation: taint is consumed here.
 	case ir.OpMove:
-		w.push(fact{kind: factLocal, method: f.method, reg: in.A, hops: f.hops})
+		b.push(m.Ref(), in.A)
 	case ir.OpBinop:
-		w.push(fact{kind: factLocal, method: f.method, reg: in.A, hops: f.hops})
-		w.push(fact{kind: factLocal, method: f.method, reg: in.B, hops: f.hops})
+		b.push(m.Ref(), in.A)
+		b.push(m.Ref(), in.B)
 	case ir.OpFieldGet:
 		loc := e.heapLoc(m, in)
-		res.HeapReads[loc] = true
-		w.push(fact{kind: factHeap, loc: loc, hops: f.hops})
-		w.push(fact{kind: factLocal, method: f.method, reg: in.A, hops: f.hops})
+		b.heapRead(loc)
+		b.pushHeap(loc)
+		b.push(m.Ref(), in.A)
 	case ir.OpStaticGet:
 		loc := "s:" + in.Sym
-		res.HeapReads[loc] = true
-		w.push(fact{kind: factHeap, loc: loc, hops: f.hops})
+		b.heapRead(loc)
+		b.pushHeap(loc)
 	case ir.OpInvoke:
-		e.backwardInvokeDef(m, idx, in, f, res, w)
+		e.sumBackwardInvokeDef(b, m, idx, in)
 	}
 }
 
-func (e *Engine) backwardInvokeDef(m *ir.Method, idx int, in *ir.Instr, f fact, res *Result, w *worklist) {
+func (e *Engine) sumBackwardInvokeDef(b *sumBuilder, m *ir.Method, idx int, in *ir.Instr) {
 	pushArg := func(pos int) {
 		if pos < len(in.Args) && in.Args[pos] != ir.NoReg {
-			w.push(fact{kind: factLocal, method: f.method, reg: in.Args[pos], hops: f.hops})
+			b.push(m.Ref(), in.Args[pos])
 		}
 	}
 	pushAll := func(from int) {
@@ -117,12 +111,12 @@ func (e *Engine) backwardInvokeDef(m *ir.Method, idx int, in *ir.Instr, f fact, 
 		case semmodel.KResGetString:
 			if len(in.Args) >= 2 {
 				if key, ok := e.constString(m, idx, in.Args[1]); ok {
-					res.HeapReads["res:"+key] = true
+					b.heapRead("res:" + key)
 				}
 			}
 		case semmodel.KDBQuery:
 			for _, loc := range e.dbLocs(m, idx, in) {
-				res.HeapReads[loc] = true
+				b.heapRead(loc)
 			}
 		case semmodel.KExecuteDP:
 			// The result of another transaction's DP feeding this value:
@@ -133,7 +127,8 @@ func (e *Engine) backwardInvokeDef(m *ir.Method, idx int, in *ir.Instr, f fact, 
 		}
 		return
 	}
-	// Application callee: taint its return registers.
+	// Application callee: taint its return registers. Each edge is gated on
+	// the callee being inside the transaction universe.
 	edges := e.appCallees(m, idx)
 	if len(edges) == 0 {
 		pushAll(0) // unknown method: conservative
@@ -141,32 +136,36 @@ func (e *Engine) backwardInvokeDef(m *ir.Method, idx int, in *ir.Instr, f fact, 
 	}
 	for _, edge := range edges {
 		callee := e.Prog.Method(edge.Callee)
-		if callee == nil || (!e.inUniverse(edge.Callee) && f.hops == 0) {
+		if callee == nil {
 			continue
 		}
+		var en sumEntry
 		for j := range callee.Instrs {
 			ret := &callee.Instrs[j]
 			if ret.Op == ir.OpReturn && ret.A != ir.NoReg {
-				w.push(fact{kind: factLocal, method: edge.Callee, reg: ret.A, hops: f.hops})
+				en.pushes = append(en.pushes, sumPush{method: edge.Callee, reg: ret.A})
 			}
+		}
+		if len(en.pushes) > 0 {
+			b.gated(edge.Callee, en)
 		}
 	}
 }
 
-// backwardMutation adds statements that mutate the tainted object: calls
+// sumBackwardMutation adds statements that mutate the tainted object: calls
 // with the object as receiver of a modeled mutator, field stores into it,
 // and app calls the object escapes into.
-func (e *Engine) backwardMutation(m *ir.Method, idx int, in *ir.Instr, f fact, res *Result, w *worklist) {
+func (e *Engine) sumBackwardMutation(b *sumBuilder, m *ir.Method, idx int, in *ir.Instr, reg int) {
 	switch in.Op {
 	case ir.OpFieldPut:
-		if in.A == f.reg {
-			e.include(m, idx, in, res)
-			w.push(fact{kind: factLocal, method: f.method, reg: in.B, hops: f.hops})
+		if in.A == reg {
+			b.include(e.sumInc(m, idx))
+			b.push(m.Ref(), in.B)
 		}
 	case ir.OpInvoke:
 		argPos := -1
 		for p, a := range in.Args {
-			if a == f.reg {
+			if a == reg {
 				argPos = p
 				break
 			}
@@ -176,36 +175,38 @@ func (e *Engine) backwardMutation(m *ir.Method, idx int, in *ir.Instr, f fact, r
 		}
 		if mm := e.Model.Lookup(in.Sym); mm != nil {
 			if argPos == 0 && isMutator(mm.Kind) {
-				e.include(m, idx, in, res)
+				b.include(e.sumInc(m, idx))
 				for p := 1; p < len(in.Args); p++ {
-					w.push(fact{kind: factLocal, method: f.method, reg: in.Args[p], hops: f.hops})
+					b.push(m.Ref(), in.Args[p])
 				}
 			}
 			if argPos == 0 && mm.Kind == semmodel.KConnGetOutput && in.Dst != ir.NoReg {
 				// The output stream writes into the connection: track it.
-				e.include(m, idx, in, res)
-				w.push(fact{kind: factLocal, method: f.method, reg: in.Dst, hops: f.hops})
+				b.include(e.sumInc(m, idx))
+				b.push(m.Ref(), in.Dst)
 			}
 			return
 		}
 		if in.Kind == ir.InvokeSpecial && argPos == 0 {
 			// Constructor of an app or unknown class: arguments flow in.
-			e.include(m, idx, in, res)
+			b.include(e.sumInc(m, idx))
 			for p := 1; p < len(in.Args); p++ {
-				w.push(fact{kind: factLocal, method: f.method, reg: in.Args[p], hops: f.hops})
+				b.push(m.Ref(), in.Args[p])
 			}
 			return
 		}
 		// Object escapes into an app callee: follow its parameter there so
-		// mutations inside the callee join the slice.
+		// mutations inside the callee join the slice (universe-gated).
 		for _, edge := range e.appCallees(m, idx) {
 			callee := e.Prog.Method(edge.Callee)
-			if callee == nil || (!e.inUniverse(edge.Callee) && f.hops == 0) {
+			if callee == nil {
 				continue
 			}
 			if pr := paramReg(callee, argPos); pr != ir.NoReg {
-				e.include(m, idx, in, res)
-				w.push(fact{kind: factLocal, method: edge.Callee, reg: pr, hops: f.hops})
+				b.gated(edge.Callee, sumEntry{
+					includes: []sumInclude{e.sumInc(m, idx)},
+					pushes:   []sumPush{{method: edge.Callee, reg: pr}},
+				})
 			}
 		}
 	}
@@ -226,31 +227,31 @@ func isMutator(k semmodel.Kind) bool {
 	return false
 }
 
-// backwardToCallers propagates a tainted parameter to the corresponding
-// argument at every call site, including implicit (async) edges.
-func (e *Engine) backwardToCallers(m *ir.Method, f fact, res *Result, w *worklist) {
+// sumBackwardToCallers propagates a tainted parameter to the corresponding
+// argument at every call site, including implicit (async) edges. Call edges
+// never cross the transaction context — only heap facts may escape it (as
+// asynchronous hops) — so every caller-side effect is gated on the caller;
+// facts that already escaped (hops > 0) continue in their writer's context.
+func (e *Engine) sumBackwardToCallers(b *sumBuilder, m *ir.Method, reg int) {
 	for _, edge := range e.CG.Callers(m.Ref()) {
 		caller := e.Prog.Method(edge.Caller)
 		if caller == nil {
 			continue
 		}
-		// Call edges never cross the transaction context: only heap facts
-		// may escape it (as asynchronous hops). Facts that already escaped
-		// continue to propagate in their writer's context.
-		if !e.inUniverse(edge.Caller) && f.hops == 0 {
-			continue
-		}
-		hops := f.hops
 		if edge.Site < 0 {
 			// Synthetic chain edge (doInBackground -> onPostExecute):
 			// the callee's data parameter is the caller's return value.
-			if f.reg == 1 {
+			if reg == 1 {
+				var en sumEntry
 				for j := range caller.Instrs {
 					ret := &caller.Instrs[j]
 					if ret.Op == ir.OpReturn && ret.A != ir.NoReg {
-						e.include(caller, j, ret, res)
-						w.push(fact{kind: factLocal, method: edge.Caller, reg: ret.A, hops: hops})
+						en.includes = append(en.includes, e.sumInc(caller, j))
+						en.pushes = append(en.pushes, sumPush{method: edge.Caller, reg: ret.A})
 					}
+				}
+				if len(en.pushes) > 0 {
+					b.gated(edge.Caller, en)
 				}
 			}
 			continue
@@ -260,58 +261,12 @@ func (e *Engine) backwardToCallers(m *ir.Method, f fact, res *Result, w *worklis
 		if mm := e.Model.Lookup(in.Sym); mm != nil && mm.CallbackMethod != "" {
 			base = mm.CallbackArg
 		}
-		pos := base + f.reg
+		pos := base + reg
 		if pos < len(in.Args) && in.Args[pos] != ir.NoReg {
-			e.include(caller, edge.Site, in, res)
-			w.push(fact{kind: factLocal, method: edge.Caller, reg: in.Args[pos], hops: hops})
-		}
-	}
-}
-
-// backwardHeap propagates a heap fact to every statement writing that
-// location, crossing asynchronous event boundaries at the cost of a hop.
-func (e *Engine) backwardHeap(f fact, res *Result, w *worklist) {
-	for _, c := range e.Prog.AppClasses() {
-		for _, m := range c.Methods {
-			inU := e.inUniverse(m.Ref())
-			hops := f.hops
-			if !inU {
-				hops = f.hops + 1
-				if hops > e.MaxAsyncHops {
-					continue
-				}
-			}
-			for i := range m.Instrs {
-				in := &m.Instrs[i]
-				switch in.Op {
-				case ir.OpFieldPut:
-					if e.heapLoc(m, in) == f.loc {
-						e.include(m, i, in, res)
-						w.push(fact{kind: factLocal, method: m.Ref(), reg: in.B, hops: hops})
-					}
-				case ir.OpStaticPut:
-					if "s:"+in.Sym == f.loc {
-						e.include(m, i, in, res)
-						w.push(fact{kind: factLocal, method: m.Ref(), reg: in.B, hops: hops})
-					}
-				}
-			}
-		}
-	}
-}
-
-// include records a statement in the slice and tracks sources/sinks.
-func (e *Engine) include(m *ir.Method, idx int, in *ir.Instr, res *Result) {
-	e.Stats.Add(obs.CtrTaintStmts, 1)
-	res.Stmts[StmtID{m.Ref(), idx}] = true
-	if in.Op == ir.OpInvoke {
-		if mm := e.Model.Lookup(in.Sym); mm != nil {
-			if mm.Source != "" {
-				res.Sources[mm.Source] = true
-			}
-			if mm.Sink != "" {
-				res.Sinks[mm.Sink] = true
-			}
+			b.gated(edge.Caller, sumEntry{
+				includes: []sumInclude{e.sumInc(caller, edge.Site)},
+				pushes:   []sumPush{{method: edge.Caller, reg: in.Args[pos]}},
+			})
 		}
 	}
 }

@@ -2,7 +2,6 @@ package taint
 
 import (
 	"extractocol/internal/ir"
-	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
 )
 
@@ -11,24 +10,15 @@ import (
 // response object, or an async callback's response parameter). Standard
 // forward propagation rules apply; heap writes record response-originated
 // objects for inter-transaction dependency analysis.
+//
+// Propagation rules live in the buildForward* functions below as transfer
+// summaries; the worklist loop replays memoized summaries (see summary.go).
 func (e *Engine) Forward(origin StmtID, reg int) *Result {
 	res := newResult()
 	w := &worklist{seen: map[fact]bool{}}
 	res.Stmts[origin] = true
 	w.push(fact{kind: factLocal, method: origin.Method, reg: reg})
-	for {
-		f, ok := w.pop()
-		if !ok {
-			break
-		}
-		e.Stats.Add(obs.CtrTaintFacts, 1)
-		switch f.kind {
-		case factLocal:
-			e.forwardLocal(f, res, w)
-		case factHeap:
-			e.forwardHeap(f, res, w)
-		}
-	}
+	e.run(w, res, dirForward)
 	return res
 }
 
@@ -42,32 +32,23 @@ func (e *Engine) ForwardFacts(seeds map[StmtID]int) *Result {
 		res.Stmts[s] = true
 		w.push(fact{kind: factLocal, method: s.Method, reg: reg})
 	}
-	for {
-		f, ok := w.pop()
-		if !ok {
-			break
-		}
-		e.Stats.Add(obs.CtrTaintFacts, 1)
-		switch f.kind {
-		case factLocal:
-			e.forwardLocal(f, res, w)
-		case factHeap:
-			e.forwardHeap(f, res, w)
-		}
-	}
+	e.run(w, res, dirForward)
 	return res
 }
 
-func (e *Engine) forwardLocal(f fact, res *Result, w *worklist) {
-	m := e.Prog.Method(f.method)
+// buildForward derives the forward transfer summary of (method, reg): the
+// effects of processing one forward fact for that register.
+func (e *Engine) buildForward(method string, reg int) *methodSummary {
+	b := &sumBuilder{}
+	m := e.Prog.Method(method)
 	if m == nil {
-		return
+		return b.done()
 	}
 	for i := range m.Instrs {
 		in := &m.Instrs[i]
 		uses := false
 		for _, u := range in.Uses() {
-			if u == f.reg {
+			if u == reg {
 				uses = true
 				break
 			}
@@ -77,47 +58,48 @@ func (e *Engine) forwardLocal(f fact, res *Result, w *worklist) {
 		}
 		switch in.Op {
 		case ir.OpMove:
-			e.include(m, i, in, res)
-			w.push(fact{kind: factLocal, method: f.method, reg: in.Dst, hops: f.hops})
+			b.include(e.sumInc(m, i))
+			b.push(method, in.Dst)
 		case ir.OpBinop:
-			e.include(m, i, in, res)
-			w.push(fact{kind: factLocal, method: f.method, reg: in.Dst, hops: f.hops})
+			b.include(e.sumInc(m, i))
+			b.push(method, in.Dst)
 		case ir.OpFieldPut:
-			if in.B == f.reg {
+			if in.B == reg {
 				loc := e.heapLoc(m, in)
-				e.include(m, i, in, res)
-				res.HeapWrites[loc] = true
-				w.push(fact{kind: factHeap, loc: loc, hops: f.hops})
+				b.include(e.sumInc(m, i))
+				b.heapWrite(loc)
+				b.pushHeap(loc)
 			}
 		case ir.OpStaticPut:
-			if in.B == f.reg {
+			if in.B == reg {
 				loc := "s:" + in.Sym
-				e.include(m, i, in, res)
-				res.HeapWrites[loc] = true
-				w.push(fact{kind: factHeap, loc: loc, hops: f.hops})
+				b.include(e.sumInc(m, i))
+				b.heapWrite(loc)
+				b.pushHeap(loc)
 			}
 		case ir.OpFieldGet:
 			// Reading a field of a tainted object yields tainted data.
-			e.include(m, i, in, res)
-			w.push(fact{kind: factLocal, method: f.method, reg: in.Dst, hops: f.hops})
+			b.include(e.sumInc(m, i))
+			b.push(method, in.Dst)
 		case ir.OpReturn:
-			e.include(m, i, in, res)
-			e.forwardToCallers(m, f, res, w)
+			b.include(e.sumInc(m, i))
+			e.sumForwardToCallers(b, m)
 		case ir.OpInvoke:
-			e.forwardInvoke(m, i, in, f, res, w)
+			e.sumForwardInvoke(b, m, i, in, reg)
 		}
 	}
+	return b.done()
 }
 
-func (e *Engine) forwardInvoke(m *ir.Method, idx int, in *ir.Instr, f fact, res *Result, w *worklist) {
+func (e *Engine) sumForwardInvoke(b *sumBuilder, m *ir.Method, idx int, in *ir.Instr, reg int) {
 	pushDst := func() {
 		if in.Dst != ir.NoReg {
-			w.push(fact{kind: factLocal, method: f.method, reg: in.Dst, hops: f.hops})
+			b.push(m.Ref(), in.Dst)
 		}
 	}
 	argPos := -1
 	for p, a := range in.Args {
-		if a == f.reg {
+		if a == reg {
 			argPos = p
 			break
 		}
@@ -126,9 +108,9 @@ func (e *Engine) forwardInvoke(m *ir.Method, idx int, in *ir.Instr, f fact, res 
 		switch mm.Kind {
 		case semmodel.KAppend:
 			// Receiver accumulates; result aliases receiver.
-			e.include(m, idx, in, res)
+			b.include(e.sumInc(m, idx))
 			if len(in.Args) > 0 {
-				w.push(fact{kind: factLocal, method: f.method, reg: in.Args[0], hops: f.hops})
+				b.push(m.Ref(), in.Args[0])
 			}
 			pushDst()
 		case semmodel.KJSONPut, semmodel.KListAdd, semmodel.KMapPut, semmodel.KCVPut,
@@ -139,39 +121,36 @@ func (e *Engine) forwardInvoke(m *ir.Method, idx int, in *ir.Instr, f fact, res 
 			semmodel.KNVPairInit, semmodel.KURLInit, semmodel.KSocketInit,
 			semmodel.KStringBuilderInit:
 			// Value flows into the receiver object.
-			e.include(m, idx, in, res)
+			b.include(e.sumInc(m, idx))
 			if argPos > 0 && len(in.Args) > 0 {
-				w.push(fact{kind: factLocal, method: f.method, reg: in.Args[0], hops: f.hops})
+				b.push(m.Ref(), in.Args[0])
 			}
 			pushDst()
 		case semmodel.KDBInsert, semmodel.KDBUpdate:
-			e.include(m, idx, in, res)
+			b.include(e.sumInc(m, idx))
 			for _, loc := range e.dbLocs(m, idx, in) {
-				res.HeapWrites[loc] = true
+				b.heapWrite(loc)
 			}
-		case semmodel.KMediaSetSource:
-			e.include(m, idx, in, res)
-			res.Sinks[mm.Sink] = true
-		case semmodel.KFileWrite, semmodel.KUIDisplay:
-			e.include(m, idx, in, res)
-			res.Sinks[mm.Sink] = true
+		case semmodel.KMediaSetSource, semmodel.KFileWrite, semmodel.KUIDisplay:
+			// Data consumption endpoint; the include carries the sink tag.
+			b.include(e.sumInc(m, idx))
 		case semmodel.KExecuteDP, semmodel.KEnqueueDP:
 			// Tainted data feeding another request: recorded for
 			// inter-transaction dependency analysis.
-			e.include(m, idx, in, res)
+			b.include(e.sumInc(m, idx))
 		case semmodel.KStringEquals, semmodel.KJSONArrLen:
 			// Predicates/lengths: control data, not payload content.
-			e.include(m, idx, in, res)
+			b.include(e.sumInc(m, idx))
 		default:
-			e.include(m, idx, in, res)
+			b.include(e.sumInc(m, idx))
 			pushDst()
 		}
 		return
 	}
-	// Application callee.
+	// Application callee: taint the matching parameter (universe-gated).
 	edges := e.appCallees(m, idx)
 	if len(edges) == 0 {
-		e.include(m, idx, in, res)
+		b.include(e.sumInc(m, idx))
 		pushDst()
 		return
 	}
@@ -180,35 +159,29 @@ func (e *Engine) forwardInvoke(m *ir.Method, idx int, in *ir.Instr, f fact, res 
 		if callee == nil {
 			continue
 		}
-		if !e.inUniverse(edge.Callee) && f.hops == 0 {
-			continue
-		}
-		hops := f.hops
-		base := 0
-		if mmReg := e.Model.Lookup(in.Sym); mmReg != nil && mmReg.CallbackMethod != "" {
-			base = mmReg.CallbackArg
-		}
-		pos := argPos - base
-		if pr := paramReg(callee, pos); pr != ir.NoReg {
-			e.include(m, idx, in, res)
-			w.push(fact{kind: factLocal, method: edge.Callee, reg: pr, hops: hops})
+		if pr := paramReg(callee, argPos); pr != ir.NoReg {
+			b.gated(edge.Callee, sumEntry{
+				includes: []sumInclude{e.sumInc(m, idx)},
+				pushes:   []sumPush{{method: edge.Callee, reg: pr}},
+			})
 		}
 	}
 }
 
-// forwardToCallers propagates a tainted return value into each caller's
+// sumForwardToCallers propagates a tainted return value into each caller's
 // destination register, and along synthetic async chains.
-func (e *Engine) forwardToCallers(m *ir.Method, f fact, res *Result, w *worklist) {
+func (e *Engine) sumForwardToCallers(b *sumBuilder, m *ir.Method) {
 	for _, edge := range e.CG.Callees(m.Ref()) {
 		if edge.Site == -1 && edge.Implicit {
 			// doInBackground -> onPostExecute: return value becomes the
-			// first parameter.
+			// first parameter. Chain edges stay inside the task object, so
+			// this push is not universe-gated (mirroring the direct rule).
 			callee := e.Prog.Method(edge.Callee)
 			if callee == nil {
 				continue
 			}
 			if pr := paramReg(callee, 1); pr != ir.NoReg {
-				w.push(fact{kind: factLocal, method: edge.Callee, reg: pr, hops: f.hops})
+				b.push(edge.Callee, pr)
 			}
 		}
 	}
@@ -220,44 +193,12 @@ func (e *Engine) forwardToCallers(m *ir.Method, f fact, res *Result, w *worklist
 		if caller == nil {
 			continue
 		}
-		if !e.inUniverse(edge.Caller) && f.hops == 0 {
-			continue
-		}
-		hops := f.hops
 		in := &caller.Instrs[edge.Site]
 		if in.Dst != ir.NoReg && !edge.Implicit {
-			e.include(caller, edge.Site, in, res)
-			w.push(fact{kind: factLocal, method: edge.Caller, reg: in.Dst, hops: hops})
-		}
-	}
-}
-
-// forwardHeap propagates a heap fact to every reader of the location.
-func (e *Engine) forwardHeap(f fact, res *Result, w *worklist) {
-	for _, c := range e.Prog.AppClasses() {
-		for _, m := range c.Methods {
-			hops := f.hops
-			if !e.inUniverse(m.Ref()) {
-				hops = f.hops + 1
-				if hops > e.MaxAsyncHops {
-					continue
-				}
-			}
-			for i := range m.Instrs {
-				in := &m.Instrs[i]
-				switch in.Op {
-				case ir.OpFieldGet:
-					if e.heapLoc(m, in) == f.loc {
-						e.include(m, i, in, res)
-						w.push(fact{kind: factLocal, method: m.Ref(), reg: in.Dst, hops: hops})
-					}
-				case ir.OpStaticGet:
-					if "s:"+in.Sym == f.loc {
-						e.include(m, i, in, res)
-						w.push(fact{kind: factLocal, method: m.Ref(), reg: in.Dst, hops: hops})
-					}
-				}
-			}
+			b.gated(edge.Caller, sumEntry{
+				includes: []sumInclude{e.sumInc(caller, edge.Site)},
+				pushes:   []sumPush{{method: edge.Caller, reg: in.Dst}},
+			})
 		}
 	}
 }

@@ -1,0 +1,331 @@
+package taint
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"extractocol/internal/ir"
+	"extractocol/internal/obs"
+)
+
+// This file implements IFDS-style summary reuse for the taint engine.
+//
+// Both propagation directions process one worklist fact at a time, and the
+// work done for a fact — scanning the owning method for definitions, uses
+// and mutations, resolving call edges, deriving heap locations — depends
+// only on the program, the semantic model and the call graph, never on the
+// transaction being sliced. The context-dependent parts (the per-entry-point
+// universe restriction and the §3.4 async-hop budget) only decide whether a
+// propagation step applies, not what it is.
+//
+// A transfer summary therefore records, per (direction, method, register)
+// query, the ordered list of effects the engine would perform: statements to
+// include (with their modeled source/sink tags), heap locations to record,
+// and successor facts to push. Effects that the direct implementation guards
+// with a universe check carry the guarded method as a gate; replay applies a
+// gated group only when the gate method is inside the engine's universe or
+// the fact has already escaped it (hops > 0), exactly mirroring the direct
+// rules. Heap fact propagation is handled by a program-wide access index
+// (location -> writers / readers) built once on first use.
+//
+// Because effects replay in recorded order and recorded order equals the
+// scan order of the direct implementation, a summarized engine produces
+// byte-identical slices — and identical workload counters — to the
+// pre-summary engine, while every transaction after the first reuses the
+// summaries instead of re-traversing shared callees.
+
+// sumKey identifies one transfer-summary query.
+type sumKey struct {
+	method string
+	reg    int
+}
+
+// sumInclude is one statement joining the slice, with its modeled
+// source/sink tags resolved at build time so replay needs no instruction
+// access.
+type sumInclude struct {
+	stmt   StmtID
+	source string
+	sink   string
+}
+
+// sumPush is one successor fact (hops are assigned at replay time).
+type sumPush struct {
+	heap   bool
+	method string // local pushes: owning method
+	reg    int    // local pushes: register
+	loc    string // heap pushes: location id
+}
+
+// sumEntry is one ordered group of effects. gate == "" applies always;
+// otherwise the group applies only when the gate method is in the universe
+// or the fact has hops > 0.
+type sumEntry struct {
+	gate       string
+	includes   []sumInclude
+	heapReads  []string
+	heapWrites []string
+	pushes     []sumPush
+}
+
+// methodSummary is the full transfer summary of one (method, register)
+// query in one direction.
+type methodSummary struct {
+	entries []sumEntry
+}
+
+// heapSite is one statement accessing a heap location: a writer (field/
+// static put, reg = stored register) for backward propagation, or a reader
+// (field/static get, reg = destination register) for forward propagation.
+type heapSite struct {
+	method string
+	index  int
+	reg    int
+}
+
+// SummaryCache memoizes taint transfer summaries and the program-wide heap
+// access index. One cache may be shared by any number of engines analyzing
+// the same (program, model, call graph) triple — core.Analyze shares one
+// across all slice workers and the pairing flow checks — and is safe for
+// concurrent use. The zero value is not usable; call NewSummaryCache.
+type SummaryCache struct {
+	mu      sync.RWMutex
+	bwd     map[sumKey]*methodSummary
+	fwd     map[sumKey]*methodSummary
+	writers map[string][]heapSite // heap location -> writing statements
+	readers map[string][]heapSite // heap location -> reading statements
+
+	hits, misses atomic.Int64
+}
+
+// NewSummaryCache returns an empty cache.
+func NewSummaryCache() *SummaryCache {
+	return &SummaryCache{bwd: map[sumKey]*methodSummary{}, fwd: map[sumKey]*methodSummary{}}
+}
+
+// DrainCounters moves the summary hit/miss totals accumulated since the
+// last drain into col, under the cache_summaries_* counters.
+func (c *SummaryCache) DrainCounters(col *obs.Collector) {
+	if c == nil {
+		return
+	}
+	col.Add(obs.CtrCacheSummaryHits, c.hits.Swap(0))
+	col.Add(obs.CtrCacheSummaryMisses, c.misses.Swap(0))
+}
+
+// backward returns the backward transfer summary for (method, reg),
+// building it with e on first use.
+func (c *SummaryCache) backward(e *Engine, method string, reg int) *methodSummary {
+	return c.lookup(c.bwd, sumKey{method, reg}, func() *methodSummary {
+		return e.buildBackward(method, reg)
+	})
+}
+
+// forward returns the forward transfer summary for (method, reg).
+func (c *SummaryCache) forward(e *Engine, method string, reg int) *methodSummary {
+	return c.lookup(c.fwd, sumKey{method, reg}, func() *methodSummary {
+		return e.buildForward(method, reg)
+	})
+}
+
+func (c *SummaryCache) lookup(m map[sumKey]*methodSummary, k sumKey, build func() *methodSummary) *methodSummary {
+	c.mu.RLock()
+	s, ok := m[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return s
+	}
+	c.misses.Add(1)
+	s = build()
+	c.mu.Lock()
+	if prev, ok := m[k]; ok {
+		s = prev // concurrent build of the same key: identical, keep the first
+	} else {
+		m[k] = s
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// heapWriters returns the statements writing loc, building the program-wide
+// writer index on first use.
+func (c *SummaryCache) heapWriters(e *Engine, loc string) []heapSite {
+	c.mu.RLock()
+	idx := c.writers
+	c.mu.RUnlock()
+	if idx == nil {
+		idx = c.buildHeapIndex(e, true)
+	} else {
+		c.hits.Add(1)
+	}
+	return idx[loc]
+}
+
+// heapReaders returns the statements reading loc.
+func (c *SummaryCache) heapReaders(e *Engine, loc string) []heapSite {
+	c.mu.RLock()
+	idx := c.readers
+	c.mu.RUnlock()
+	if idx == nil {
+		idx = c.buildHeapIndex(e, false)
+	} else {
+		c.hits.Add(1)
+	}
+	return idx[loc]
+}
+
+// buildHeapIndex scans every app method once, indexing heap accesses by
+// location in program order (class insertion order, then method order, then
+// instruction order — the order the direct implementation visited them).
+func (c *SummaryCache) buildHeapIndex(e *Engine, writes bool) map[string][]heapSite {
+	c.misses.Add(1)
+	idx := map[string][]heapSite{}
+	for _, cl := range e.Prog.AppClasses() {
+		for _, m := range cl.Methods {
+			for i := range m.Instrs {
+				in := &m.Instrs[i]
+				var loc string
+				var reg int
+				switch {
+				case writes && in.Op == ir.OpFieldPut:
+					loc, reg = e.heapLoc(m, in), in.B
+				case writes && in.Op == ir.OpStaticPut:
+					loc, reg = "s:"+in.Sym, in.B
+				case !writes && in.Op == ir.OpFieldGet:
+					loc, reg = e.heapLoc(m, in), in.Dst
+				case !writes && in.Op == ir.OpStaticGet:
+					loc, reg = "s:"+in.Sym, in.Dst
+				default:
+					continue
+				}
+				idx[loc] = append(idx[loc], heapSite{method: m.Ref(), index: i, reg: reg})
+			}
+		}
+	}
+	c.mu.Lock()
+	if writes {
+		if c.writers != nil {
+			idx = c.writers
+		} else {
+			c.writers = idx
+		}
+	} else {
+		if c.readers != nil {
+			idx = c.readers
+		} else {
+			c.readers = idx
+		}
+	}
+	c.mu.Unlock()
+	return idx
+}
+
+// sumBuilder accumulates summary entries in emission order. Consecutive
+// unconditional effects coalesce into one entry; a gated group flushes the
+// pending unconditional entry first so replay order matches build order.
+type sumBuilder struct {
+	s   methodSummary
+	cur sumEntry // pending unconditional effects
+}
+
+func (b *sumBuilder) flush() {
+	if len(b.cur.includes) > 0 || len(b.cur.heapReads) > 0 ||
+		len(b.cur.heapWrites) > 0 || len(b.cur.pushes) > 0 {
+		b.s.entries = append(b.s.entries, b.cur)
+		b.cur = sumEntry{}
+	}
+}
+
+func (b *sumBuilder) include(inc sumInclude)  { b.cur.includes = append(b.cur.includes, inc) }
+func (b *sumBuilder) heapRead(loc string)     { b.cur.heapReads = append(b.cur.heapReads, loc) }
+func (b *sumBuilder) heapWrite(loc string)    { b.cur.heapWrites = append(b.cur.heapWrites, loc) }
+func (b *sumBuilder) push(method string, reg int) {
+	b.cur.pushes = append(b.cur.pushes, sumPush{method: method, reg: reg})
+}
+func (b *sumBuilder) pushHeap(loc string) {
+	b.cur.pushes = append(b.cur.pushes, sumPush{heap: true, loc: loc})
+}
+
+// gated appends a universe-gated effect group.
+func (b *sumBuilder) gated(gate string, en sumEntry) {
+	b.flush()
+	en.gate = gate
+	b.s.entries = append(b.s.entries, en)
+}
+
+func (b *sumBuilder) done() *methodSummary {
+	b.flush()
+	s := b.s
+	return &s
+}
+
+// sumInc captures an include effect for statement idx of m, resolving
+// modeled source/sink tags now so replay is instruction-free.
+func (e *Engine) sumInc(m *ir.Method, idx int) sumInclude {
+	inc := sumInclude{stmt: StmtID{m.Ref(), idx}}
+	in := &m.Instrs[idx]
+	if in.Op == ir.OpInvoke {
+		if mm := e.Model.Lookup(in.Sym); mm != nil {
+			inc.source, inc.sink = mm.Source, mm.Sink
+		}
+	}
+	return inc
+}
+
+// applyInclude replays one include effect (the summary analog of include).
+func (e *Engine) applyInclude(inc sumInclude, res *Result) {
+	e.Stats.Add(obs.CtrTaintStmts, 1)
+	res.Stmts[inc.stmt] = true
+	if inc.source != "" {
+		res.Sources[inc.source] = true
+	}
+	if inc.sink != "" {
+		res.Sinks[inc.sink] = true
+	}
+}
+
+// applySummary replays a transfer summary for fact f: gated groups apply
+// when the gate method is inside the universe or the fact already escaped
+// it; pushed facts inherit f's hop count.
+func (e *Engine) applySummary(s *methodSummary, f fact, res *Result, w *worklist) {
+	for i := range s.entries {
+		en := &s.entries[i]
+		if en.gate != "" && f.hops == 0 && !e.inUniverse(en.gate) {
+			continue
+		}
+		for _, inc := range en.includes {
+			e.applyInclude(inc, res)
+		}
+		for _, loc := range en.heapReads {
+			res.HeapReads[loc] = true
+		}
+		for _, loc := range en.heapWrites {
+			res.HeapWrites[loc] = true
+		}
+		for _, p := range en.pushes {
+			if p.heap {
+				w.push(fact{kind: factHeap, loc: p.loc, hops: f.hops})
+			} else {
+				w.push(fact{kind: factLocal, method: p.method, reg: p.reg, hops: f.hops})
+			}
+		}
+	}
+}
+
+// applyHeapSites replays heap-index entries for a heap fact: sites outside
+// the universe cost one async hop, bounded by MaxAsyncHops.
+func (e *Engine) applyHeapSites(sites []heapSite, f fact, res *Result, w *worklist) {
+	for _, site := range sites {
+		hops := f.hops
+		if !e.inUniverse(site.method) {
+			hops = f.hops + 1
+			if hops > e.MaxAsyncHops {
+				continue
+			}
+		}
+		e.Stats.Add(obs.CtrTaintStmts, 1)
+		res.Stmts[StmtID{site.method, site.index}] = true
+		w.push(fact{kind: factLocal, method: site.method, reg: site.reg, hops: hops})
+	}
+}

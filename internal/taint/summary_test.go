@@ -1,0 +1,193 @@
+package taint
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"extractocol/internal/callgraph"
+	"extractocol/internal/ir"
+	"extractocol/internal/obs"
+	"extractocol/internal/semmodel"
+)
+
+// sharedHelperApp: two click handlers call a common buildAndFetch helper
+// with different constant URIs, and a third field-mediated flow crosses an
+// async boundary. This exercises universe-gated summary entries (the helper
+// is summarized once but replayed under two different universes) and the
+// heap access index.
+func sharedHelperApp() *ir.Program {
+	p := ir.NewProgram("t.sum")
+	c := p.AddClass(&ir.Class{
+		Name:   "t.sum.A",
+		Fields: []*ir.Field{{Name: "token", Type: "java.lang.String"}},
+	})
+
+	helper := ir.NewMethod(c, "buildAndFetch", false, []string{"java.lang.String"}, "java.lang.String")
+	uri := 1 // first declared parameter register
+	req := helper.New("org.apache.http.client.methods.HttpGet")
+	helper.InvokeSpecial(getInit, req, uri)
+	cl := helper.New("org.apache.http.impl.client.DefaultHttpClient")
+	helper.InvokeSpecial(clInit, cl)
+	resp := helper.Invoke(execRef, cl, req)
+	ent := helper.Invoke(getEnt, resp)
+	body := helper.InvokeStatic(entCont, ent)
+	helper.Return(body)
+	helper.Done()
+
+	h1 := ir.NewMethod(c, "onClickOne", false, nil, "void")
+	u1 := h1.ConstStr("https://s.example.com/one")
+	b1 := h1.Invoke("t.sum.A.buildAndFetch", h1.This(), u1)
+	h1.FieldPut(h1.This(), "token", b1)
+	h1.ReturnVoid()
+	h1.Done()
+
+	h2 := ir.NewMethod(c, "onClickTwo", false, nil, "void")
+	u2 := h2.ConstStr("https://s.example.com/two")
+	h2.Invoke("t.sum.A.buildAndFetch", h2.This(), u2)
+	h2.ReturnVoid()
+	h2.Done()
+
+	p.Manifest.EntryPoints = []ir.EntryPoint{
+		{Method: "t.sum.A.onClickOne", Kind: ir.EventClick},
+		{Method: "t.sum.A.onClickTwo", Kind: ir.EventClick},
+	}
+	return p
+}
+
+type sliceQuery struct {
+	universe string // entry point restricting the universe; "" = unrestricted
+	dp       StmtID
+	reg      int
+	forward  bool
+}
+
+func runQueries(t *testing.T, p *ir.Program, model *semmodel.Model,
+	cg *callgraph.Graph, qs []sliceQuery, shared *SummaryCache) []*Result {
+
+	t.Helper()
+	var out []*Result
+	for _, q := range qs {
+		eng := NewEngine(p, model, cg)
+		eng.MaxAsyncHops = 1
+		if q.universe != "" {
+			eng.Universe = cg.ReachableFrom(q.universe)
+		}
+		if shared != nil {
+			eng.Summaries = shared
+		}
+		if q.forward {
+			out = append(out, eng.Forward(q.dp, q.reg))
+		} else {
+			out = append(out, eng.Backward(q.dp, q.reg))
+		}
+	}
+	return out
+}
+
+// A shared summary cache must be transparent: replaying summaries built
+// under one universe for engines running under another (or none) yields
+// exactly the slices fresh engines compute, because universe gates are
+// recorded in the summary and resolved at replay time.
+func TestSharedSummaryCacheEquivalence(t *testing.T) {
+	p := sharedHelperApp()
+	model := semmodel.Default()
+	cg := callgraph.Build(p, model)
+
+	m := p.Method("t.sum.A.buildAndFetch")
+	exec := findInvoke(m, execRef)
+	dp := StmtID{Method: "t.sum.A.buildAndFetch", Index: exec}
+	reqReg := m.Instrs[exec].Args[1]
+	respReg := m.Instrs[exec].Dst
+
+	qs := []sliceQuery{
+		{universe: "t.sum.A.onClickOne", dp: dp, reg: reqReg},
+		{universe: "t.sum.A.onClickTwo", dp: dp, reg: reqReg},
+		{universe: "", dp: dp, reg: reqReg}, // pairing-style, unrestricted
+		{universe: "t.sum.A.onClickOne", dp: dp, reg: respReg, forward: true},
+		{universe: "t.sum.A.onClickTwo", dp: dp, reg: respReg, forward: true},
+	}
+
+	fresh := runQueries(t, p, model, cg, qs, nil)
+	shared := NewSummaryCache()
+	cached := runQueries(t, p, model, cg, qs, shared)
+
+	for i := range qs {
+		if !reflect.DeepEqual(fresh[i], cached[i]) {
+			t.Errorf("query %d (%+v): shared-cache slice differs\nfresh:  %+v\ncached: %+v",
+				i, qs[i], fresh[i], cached[i])
+		}
+	}
+	// Contexts must actually differ (the gate is doing work): the two
+	// backward slices include different click handlers.
+	if reflect.DeepEqual(fresh[0].Stmts, fresh[1].Stmts) {
+		t.Error("slices under different universes are identical; gating untested")
+	}
+
+	col := obs.NewCollector()
+	shared.DrainCounters(col)
+	prof := col.Snapshot()
+	if prof.Counter(obs.CtrCacheSummaryMisses) == 0 {
+		t.Error("no summary misses recorded")
+	}
+	if prof.Counter(obs.CtrCacheSummaryHits) == 0 {
+		t.Error("no summary hits recorded: queries 2..5 should reuse query 1's summaries")
+	}
+}
+
+// The engine's per-call private cache (installed by NewEngine) must also
+// leave results identical across repeated queries on one engine.
+func TestPrivateSummaryCacheRepeatedQueries(t *testing.T) {
+	p := sharedHelperApp()
+	model := semmodel.Default()
+	cg := callgraph.Build(p, model)
+	m := p.Method("t.sum.A.buildAndFetch")
+	exec := findInvoke(m, execRef)
+	dp := StmtID{Method: "t.sum.A.buildAndFetch", Index: exec}
+	reg := m.Instrs[exec].Args[1]
+
+	eng := NewEngine(p, model, cg)
+	eng.Universe = cg.ReachableFrom("t.sum.A.onClickOne")
+	r1 := eng.Backward(dp, reg)
+	r2 := eng.Backward(dp, reg)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("repeated query on one engine differs")
+	}
+}
+
+// Concurrent engines sharing one cache (the slice worker pool shape) must
+// be race-free and produce the same slices as serial execution. Run under
+// -race via ci.sh.
+func TestSharedSummaryCacheConcurrent(t *testing.T) {
+	p := sharedHelperApp()
+	model := semmodel.Default()
+	cg := callgraph.Build(p, model)
+	m := p.Method("t.sum.A.buildAndFetch")
+	exec := findInvoke(m, execRef)
+	dp := StmtID{Method: "t.sum.A.buildAndFetch", Index: exec}
+	reg := m.Instrs[exec].Args[1]
+
+	want := runQueries(t, p, model, cg,
+		[]sliceQuery{{universe: "t.sum.A.onClickOne", dp: dp, reg: reg}}, nil)[0]
+
+	shared := NewSummaryCache()
+	var wg sync.WaitGroup
+	results := make([]*Result, 8)
+	for w := range results {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			eng := NewEngine(p, model, cg)
+			eng.MaxAsyncHops = 1
+			eng.Universe = cg.ReachableFrom("t.sum.A.onClickOne")
+			eng.Summaries = shared
+			results[w] = eng.Backward(dp, reg)
+		}(w)
+	}
+	wg.Wait()
+	for w, got := range results {
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("worker %d slice differs from serial", w)
+		}
+	}
+}

@@ -121,26 +121,73 @@ type Engine struct {
 	// engine's goroutine. Nil disables counting.
 	Stats *obs.Shard
 
-	typesCache map[string][]string
+	// Summaries memoizes per-(method, register) transfer summaries and the
+	// program-wide heap access index (see summary.go). NewEngine installs a
+	// private cache; callers analyzing many slices over one program should
+	// install a shared one so later slices reuse earlier traversals.
+	Summaries *SummaryCache
 }
 
 // NewEngine creates an engine with the given configuration.
 func NewEngine(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph) *Engine {
 	return &Engine{Prog: p, Model: model, CG: cg, MaxAsyncHops: 1,
-		typesCache: map[string][]string{}}
+		Summaries: NewSummaryCache()}
 }
 
+// types returns m's register types via the call graph's memoized inference
+// (shared across every engine over the program).
 func (e *Engine) types(m *ir.Method) []string {
-	if t, ok := e.typesCache[m.Ref()]; ok {
-		return t
+	if e.CG != nil {
+		return e.CG.Types(m)
 	}
-	t := callgraph.InferTypes(e.Prog, m)
-	e.typesCache[m.Ref()] = t
-	return t
+	return callgraph.InferTypes(e.Prog, m)
 }
 
 func (e *Engine) inUniverse(method string) bool {
 	return e.Universe == nil || e.Universe[method]
+}
+
+// direction selects which transfer summaries a worklist run consults.
+type direction uint8
+
+const (
+	dirBackward direction = iota
+	dirForward
+)
+
+// run drains the worklist, replaying the memoized transfer summary (or heap
+// access index) for each popped fact.
+func (e *Engine) run(w *worklist, res *Result, dir direction) {
+	sums := e.Summaries
+	if sums == nil {
+		sums = NewSummaryCache()
+		e.Summaries = sums
+	}
+	for {
+		f, ok := w.pop()
+		if !ok {
+			break
+		}
+		e.Stats.Add(obs.CtrTaintFacts, 1)
+		switch f.kind {
+		case factLocal:
+			var s *methodSummary
+			if dir == dirBackward {
+				s = sums.backward(e, f.method, f.reg)
+			} else {
+				s = sums.forward(e, f.method, f.reg)
+			}
+			e.applySummary(s, f, res, w)
+		case factHeap:
+			var sites []heapSite
+			if dir == dirBackward {
+				sites = sums.heapWriters(e, f.loc)
+			} else {
+				sites = sums.heapReaders(e, f.loc)
+			}
+			e.applyHeapSites(sites, f, res, w)
+		}
+	}
 }
 
 type factKind uint8
