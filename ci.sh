@@ -20,6 +20,12 @@ go build ./...
 echo "== go vet"
 go vet ./...
 
+echo "== fault injection under -race"
+# Robustness gate: injected panics and hangs in every pipeline phase must
+# degrade into diagnostics, not crashes, with the per-job recovery paths
+# racing against the worker pools.
+go test -race -run 'TestFaultInjection|TestDecodeFault|TestInjectedHang|TestEvaluateAggregates|TestDegradation' .
+
 echo "== go test -race"
 go test -race ./...
 

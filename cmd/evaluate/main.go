@@ -15,6 +15,11 @@
 //	                             the parallel fan-out speedup
 //	evaluate -serial             analyze apps one at a time instead of in
 //	                             parallel
+//	evaluate -deadline 30s       bound each app's analysis; apps that
+//	                             exceed it ship degraded reports with
+//	                             diagnostics, and apps that fail outright
+//	                             are reported on stderr without aborting
+//	                             the rest of the corpus
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"extractocol/internal/evaluate"
 	"extractocol/internal/obs"
@@ -31,14 +37,15 @@ func main() {
 	only := flag.String("only", "", "single artifact to produce")
 	profile := flag.Bool("profile", false, "emit per-phase observability JSON")
 	serial := flag.Bool("serial", false, "disable per-app parallelism")
+	deadline := flag.Duration("deadline", 0, "per-app analysis deadline (0 = unlimited)")
 	flag.Parse()
-	if err := run(*only, *profile, *serial); err != nil {
+	if err := run(*only, *profile, *serial, *deadline); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(only string, profile, serial bool) error {
+func run(only string, profile, serial bool, deadline time.Duration) error {
 	want := func(name string) bool { return only == "" || only == name }
 
 	var results []*evaluate.AppResult
@@ -46,14 +53,19 @@ func run(only string, profile, serial bool) error {
 	needCorpus := only == "" || only == "table1" || only == "table2" ||
 		only == "figure6" || only == "figure7" || only == "validity" || only == "timing"
 	if needCorpus || profile {
-		workers := 0
+		cfg := evaluate.RunConfig{Deadline: deadline}
 		if serial {
-			workers = 1
+			cfg.Workers = 1
 		}
 		var err error
-		results, pstats, err = evaluate.RunAllParallel(workers)
+		results, pstats, err = evaluate.RunAllConfig(cfg)
 		if err != nil {
 			return err
+		}
+		// Per-app failures degrade the corpus run instead of aborting it:
+		// name them on stderr and evaluate whatever completed.
+		for _, ae := range pstats.Errors {
+			fmt.Fprintf(os.Stderr, "evaluate: %s failed: %s\n", ae.App, ae.Err)
 		}
 	}
 

@@ -17,12 +17,18 @@
 //	-profile                append the per-phase observability breakdown
 //	                        (phase durations, workload counters, worker
 //	                        utilization) as indented JSON
+//	-deadline d             bound analysis wall time (e.g. 30s); what
+//	                        exceeds it is dropped and reported in the
+//	                        diagnostics section instead of hanging
+//	-slice-budget n         cap cumulative slicing steps (0 = unlimited)
+//	-fixpoint-budget n      cap taint fixpoint iterations (0 = unlimited)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"extractocol/internal/core"
 	"extractocol/internal/dex"
@@ -34,6 +40,9 @@ func main() {
 	scope := flag.String("scope", "", "class prefix to scope the analysis to")
 	hops := flag.Int("async-hops", 1, "asynchronous event hops (0 disables the heuristic)")
 	profile := flag.Bool("profile", false, "append the per-phase profile as JSON")
+	deadline := flag.Duration("deadline", 0, "analysis deadline (0 = unlimited)")
+	sliceBudget := flag.Int64("slice-budget", 0, "cumulative slice step budget (0 = unlimited)")
+	fixBudget := flag.Int64("fixpoint-budget", 0, "taint fixpoint iteration budget (0 = unlimited)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -41,13 +50,21 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *format, *scope, *hops, *profile); err != nil {
+	cfg := budgets{deadline: *deadline, sliceSteps: *sliceBudget, fixIters: *fixBudget}
+	if err := run(flag.Arg(0), *format, *scope, *hops, *profile, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "extractocol:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, format, scope string, hops int, profile bool) error {
+// budgets carries the robustness limits from flags into core.Options.
+type budgets struct {
+	deadline   time.Duration
+	sliceSteps int64
+	fixIters   int64
+}
+
+func run(path, format, scope string, hops int, profile bool, cfg budgets) error {
 	prog, err := dex.ReadFile(path)
 	if err != nil {
 		return err
@@ -55,6 +72,9 @@ func run(path, format, scope string, hops int, profile bool) error {
 	opts := core.NewOptions()
 	opts.MaxAsyncHops = hops
 	opts.ScopePrefix = scope
+	opts.Deadline = cfg.deadline
+	opts.MaxSliceSteps = cfg.sliceSteps
+	opts.MaxFixpointIters = cfg.fixIters
 	rep, err := core.Analyze(prog, opts)
 	if err != nil {
 		return err

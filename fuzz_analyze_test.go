@@ -1,0 +1,64 @@
+// FuzzAnalyzeDecoded drives decoder-accepted mutations of real corpus
+// containers through the full analysis pipeline under a tight budget. The
+// decoder already guarantees structural sanity (FuzzDexDecode); this
+// target guards the layer above it: whatever the decoder accepts,
+// core.Analyze must finish — degraded if need be — without panicking and
+// within the deadline, because shipped binaries see exactly this input.
+package extractocol
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+	"time"
+
+	"extractocol/internal/core"
+	"extractocol/internal/corpus"
+	"extractocol/internal/dex"
+)
+
+func FuzzAnalyzeDecoded(f *testing.F) {
+	for _, name := range []string{"Diode", "radio reddit", "TED"} {
+		app, err := corpus.ByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := dex.Encode(app.Prog)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Re-seal the mutated payload so it reaches the section parsers
+		// instead of dying at the checksum (same trick as FuzzDexDecode).
+		if len(data) < 10 {
+			return
+		}
+		sealed := append([]byte(nil), data...)
+		copy(sealed[:4], dex.Magic[:])
+		binary.LittleEndian.PutUint16(sealed[4:6], dex.Version)
+		binary.LittleEndian.PutUint32(sealed[6:10], crc32.ChecksumIEEE(sealed[10:]))
+
+		prog, err := dex.Decode(sealed)
+		if err != nil {
+			return // decoder rejection is FuzzDexDecode's territory
+		}
+
+		opts := core.NewOptions()
+		opts.Deadline = 500 * time.Millisecond
+		opts.MaxSliceSteps = 20000
+		opts.MaxFixpointIters = 2000
+		start := time.Now()
+		rep, err := core.Analyze(prog, opts)
+		if err == nil && rep == nil {
+			t.Fatal("analysis returned neither report nor error")
+		}
+		// The deadline is polled at every loop head, so even a degenerate
+		// program cannot hold the pipeline much past it.
+		if el := time.Since(start); el > 10*time.Second {
+			t.Fatalf("analysis ran %v despite a 500ms deadline", el)
+		}
+	})
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"extractocol/internal/budget"
 	"extractocol/internal/callgraph"
 	"extractocol/internal/ir"
 	"extractocol/internal/obs"
@@ -46,10 +48,47 @@ type Options struct {
 	// signature building): 0 means GOMAXPROCS, 1 forces serial execution.
 	// Output is deterministic regardless.
 	Workers int
+
+	// Deadline bounds the wall-clock time of one Analyze call; 0 means
+	// unlimited. On exhaustion in-flight loops stop at their next budget
+	// check and the report ships with every completed transaction plus
+	// diagnostics naming what was dropped.
+	Deadline time.Duration
+	// Cancel, when non-nil, aborts the analysis cooperatively when closed
+	// (same graceful degradation as an exhausted deadline).
+	Cancel <-chan struct{}
+	// MaxSliceSteps caps cumulative taint-propagation steps across the
+	// whole slice phase (a pool drained in job order; forces serial slicing
+	// so the surviving transactions form a deterministic prefix). 0 = off.
+	MaxSliceSteps int64
+	// MaxFixpointIters caps the steps of any single fixpoint — one taint
+	// worklist run or one signature interpretation. 0 = off.
+	MaxFixpointIters int64
+	// Faults injects deterministic panics and hangs at pipeline probe
+	// points (see budget.FaultInjector); tests only.
+	Faults *budget.FaultInjector
 }
 
 // NewOptions returns the default configuration (async heuristic enabled).
 func NewOptions() Options { return Options{MaxAsyncHops: 1} }
+
+// newBudget materializes the options' resource envelope, nil when the run
+// is unlimited and fault-free (the common case: zero overhead).
+func (o Options) newBudget(start time.Time) *budget.Budget {
+	if o.Deadline <= 0 && o.Cancel == nil && o.MaxSliceSteps <= 0 &&
+		o.MaxFixpointIters <= 0 && o.Faults == nil {
+		return nil
+	}
+	l := budget.Limits{
+		Cancel:        o.Cancel,
+		SliceSteps:    o.MaxSliceSteps,
+		FixpointIters: o.MaxFixpointIters,
+	}
+	if o.Deadline > 0 {
+		l.Deadline = start.Add(o.Deadline)
+	}
+	return budget.New(l).WithFaults(o.Faults)
+}
 
 // errScoped marks transactions excluded by Options.ScopePrefix.
 var errScoped = fmt.Errorf("transaction out of scope")
@@ -125,24 +164,60 @@ type Report struct {
 	// Profile is the per-phase timing and workload breakdown of this run
 	// (validate, callgraph, slice, pairing, sigbuild, dedup, txdep).
 	Profile *obs.Profile
+
+	// Diagnostics records every degradation event of the run — skipped
+	// jobs, truncated slices, recovered panics, exceeded phases — in
+	// pipeline order. Empty for healthy unbudgeted runs.
+	Diagnostics []budget.Diagnostic
 }
 
 // Analyze runs the full pipeline over a decoded application binary. Every
 // stage is bracketed by a phase timer, and workload counters flow into the
 // returned Report.Profile via per-goroutine shards (see internal/obs).
-func Analyze(p *ir.Program, opts Options) (*Report, error) {
+//
+// Under a budget (Options.Deadline / step limits / Cancel) the pipeline
+// degrades instead of failing: exhausted or panicking work is dropped
+// per-transaction, recorded in Report.Diagnostics, and everything that
+// completed still ships. A panic outside the recovered worker scopes is
+// converted into an error rather than killing the process.
+func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 	start := time.Now()
+	bud := opts.newBudget(start)
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("core: panic during analysis: %v", r)
+		}
+	}()
 	col := obs.NewCollector()
 	model := opts.Model
 	if model == nil {
 		model = semmodel.Default()
 	}
 
+	// diags accumulates degradation events in pipeline order; counting
+	// happens here (not in the phases) so each event is tallied exactly once.
+	var diags []budget.Diagnostic
+	note := func(ds ...budget.Diagnostic) {
+		for _, d := range ds {
+			diags = append(diags, d)
+			col.Add(obs.CtrDiagnostics, 1)
+			switch d.Kind {
+			case budget.DiagPanic:
+				col.Add(obs.CtrPanicsRecovered, 1)
+			case budget.DiagBudget:
+				col.Add(obs.CtrBudgetExceeded, 1)
+			case budget.DiagSkipped:
+				col.Add(obs.CtrBudgetSkipped, 1)
+			}
+		}
+	}
+
 	endValidate := col.Phase(obs.PhaseValidate)
-	err := p.Validate()
+	bud.MaybePanic(budget.PhaseValidate, p.Manifest.Package)
+	verr := p.Validate()
 	endValidate()
-	if err != nil {
-		return nil, fmt.Errorf("core: invalid program: %w", err)
+	if verr != nil {
+		return nil, fmt.Errorf("core: invalid program: %w", verr)
 	}
 
 	endCallgraph := col.Phase(obs.PhaseCallgraph)
@@ -155,19 +230,21 @@ func Analyze(p *ir.Program, opts Options) (*Report, error) {
 	sums := taint.NewSummaryCache()
 
 	endSlice := col.Phase(obs.PhaseSlice)
-	txs := slice.Find(p, model, cg, slice.Options{
+	txs, sliceDiags := slice.FindBudgeted(p, model, cg, slice.Options{
 		MaxAsyncHops:   opts.MaxAsyncHops,
 		IncludeIntents: opts.ModelIntents,
 		Workers:        opts.Workers,
 		Col:            col,
 		Summaries:      sums,
+		Budget:         bud,
 	})
+	note(sliceDiags...)
 	endSlice()
 
 	endPairing := col.Phase(obs.PhasePairing)
 	pairStats := col.NewShard()
 	pairs := pairing.Analyze(txs)
-	pairing.VerifyFlow(p, model, cg, pairs, pairStats, sums)
+	note(pairing.VerifyFlowBudgeted(p, model, cg, pairs, pairStats, sums, bud)...)
 	col.Drain(pairStats)
 	pairByTx := map[*slice.Transaction]pairing.Pair{}
 	for _, pr := range pairs {
@@ -175,7 +252,17 @@ func Analyze(p *ir.Program, opts Options) (*Report, error) {
 	}
 	endPairing()
 
-	results := buildSignatures(p, model, cg, txs, opts, col)
+	results := buildSignatures(p, model, cg, txs, opts, col, bud)
+	for _, r := range results {
+		var rec *budget.Recovered
+		var ex *budget.Exceeded
+		switch {
+		case errors.As(r.err, &rec):
+			note(budget.PanicDiag(rec.Phase, rec.Site, rec.Value))
+		case errors.As(r.err, &ex):
+			note(budget.ExceededDiag(ex))
+		}
+	}
 
 	endDedup := col.Phase(obs.PhaseDedup)
 	sliceStmts := map[taint.StmtID]bool{}
@@ -187,15 +274,31 @@ func Analyze(p *ir.Program, opts Options) (*Report, error) {
 	col.Add(obs.CtrDPSites, int64(len(dpSites)))
 	endDedup()
 
-	// Inter-transaction dependencies on the deduplicated set.
+	// Inter-transaction dependencies on the deduplicated set. The phase is
+	// skipped on an exhausted budget and panic-isolated like the workers:
+	// a report without dependency edges beats no report.
 	endTxdep := col.Phase(obs.PhaseTxdep)
-	var dtxs []*txdep.Tx
-	for _, t := range out {
-		dtxs = append(dtxs, &txdep.Tx{ID: t.ID, DPID: t.DP, Req: t.Request, Resp: t.Response})
-	}
-	txdepStats := col.NewShard()
-	deps := txdep.InferObs(dtxs, txdepStats)
-	col.Drain(txdepStats)
+	var deps []txdep.Dep
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				deps = nil
+				note(budget.PanicDiag(budget.PhaseTxdep, p.Manifest.Package, r))
+			}
+		}()
+		if ex := bud.Over(budget.PhaseTxdep, p.Manifest.Package); ex != nil {
+			note(budget.ExceededDiag(ex))
+			return
+		}
+		bud.MaybePanic(budget.PhaseTxdep, p.Manifest.Package)
+		var dtxs []*txdep.Tx
+		for _, t := range out {
+			dtxs = append(dtxs, &txdep.Tx{ID: t.ID, DPID: t.DP, Req: t.Request, Resp: t.Response})
+		}
+		txdepStats := col.NewShard()
+		deps = txdep.InferObs(dtxs, txdepStats)
+		col.Drain(txdepStats)
+	}()
 	endTxdep()
 
 	total := p.InstrCount()
@@ -217,6 +320,7 @@ func Analyze(p *ir.Program, opts Options) (*Report, error) {
 		SliceFraction: frac,
 		DPCount:       len(dpSites),
 		Profile:       col.Snapshot(),
+		Diagnostics:   diags,
 	}, nil
 }
 
@@ -235,7 +339,7 @@ type built struct {
 // the pool drains) and accumulates its busy time, from which the pool
 // utilization gauge is derived.
 func buildSignatures(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
-	txs []*slice.Transaction, opts Options, col *obs.Collector) []built {
+	txs []*slice.Transaction, opts Options, col *obs.Collector, bud *budget.Budget) []built {
 
 	endSigbuild := col.Phase(obs.PhaseSigbuild)
 	defer endSigbuild()
@@ -249,12 +353,30 @@ func buildSignatures(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	if workers > len(txs) {
 		workers = len(txs)
 	}
+	if bud.HasStepLimits() && workers > 1 {
+		workers = 1
+	}
 	scoped := func(tx *slice.Transaction) bool {
 		return opts.ScopePrefix != "" && !strings.HasPrefix(tx.DP.Method, opts.ScopePrefix)
 	}
 	runJob := func(i int, stats *obs.Shard) {
+		site := fmt.Sprintf("%s@%d", txs[i].DP.Method, txs[i].DP.Index)
+		defer func() {
+			if r := recover(); r != nil {
+				// A panicking interpretation costs one transaction, not
+				// the run; Analyze converts the error into a diagnostic.
+				results[i] = built{err: &budget.Recovered{
+					Phase: budget.PhaseSigbuild, Site: site, Value: r}}
+				stats.Add(obs.CtrSigbuildErrors, 1)
+			}
+		}()
+		if ex := bud.Over(budget.PhaseSigbuild, site); ex != nil {
+			results[i] = built{err: ex}
+			stats.Add(obs.CtrSigbuildErrors, 1)
+			return
+		}
 		t0 := time.Now()
-		r, rs, err := sigbuild.BuildObs(p, model, cg, txs[i], stats)
+		r, rs, err := sigbuild.BuildBudgeted(p, model, cg, txs[i], stats, bud)
 		results[i] = built{r, rs, err}
 		stats.Add(obs.CtrSigbuildJobs, 1)
 		stats.Add(obs.CtrSigbuildBusyNS, time.Since(t0).Nanoseconds())

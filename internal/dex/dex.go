@@ -23,6 +23,7 @@ import (
 	"os"
 	"sort"
 
+	"extractocol/internal/budget"
 	"extractocol/internal/ir"
 )
 
@@ -155,8 +156,29 @@ func encodeInstr(w *writer, in *ir.Instr) {
 }
 
 // Decode parses an .apkb container produced by Encode. The returned program
-// is validated structurally.
+// is validated structurally. A panic inside the decoder — which would mean
+// hostile bytes found a hole in the bounds checks — is recovered and
+// returned as an error, so one malformed container can never take down a
+// corpus run.
 func Decode(data []byte) (*ir.Program, error) {
+	return DecodeFaults(data, nil)
+}
+
+// DecodeFaults is Decode with a fault-injection hook for the robustness
+// test layer: inj, when non-nil, is probed at the decode phase and may
+// force a panic that must surface as an error, exercising the recovery
+// path with real hostile-input control flow.
+func DecodeFaults(data []byte, inj *budget.FaultInjector) (p *ir.Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, fmt.Errorf("dex: decoder panic on malformed input: %v", r)
+		}
+	}()
+	inj.MaybePanic(budget.PhaseDecode, "container")
+	return decode(data)
+}
+
+func decode(data []byte) (*ir.Program, error) {
 	if len(data) < 10 {
 		return nil, ErrBadMagic
 	}

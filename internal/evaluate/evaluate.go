@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"extractocol/internal/budget"
 	"extractocol/internal/core"
 	"extractocol/internal/corpus"
 	"extractocol/internal/fuzz"
@@ -45,9 +46,34 @@ type AppResult struct {
 	Auto   []trace.Entry
 }
 
+// RunConfig parameterizes a corpus evaluation: worker count plus the
+// robustness budgets threaded into every app's core.Options.
+type RunConfig struct {
+	// Workers is the fan-out width (0 means one per CPU, 1 forces serial).
+	Workers int
+	// Deadline bounds each app's analysis wall time (0 means unlimited).
+	Deadline time.Duration
+	// MaxSliceSteps caps the cumulative slicing step pool per app.
+	MaxSliceSteps int64
+	// MaxFixpointIters caps every taint fixpoint per app.
+	MaxFixpointIters int64
+	// Faults injects deterministic failures for robustness testing.
+	Faults *budget.FaultInjector
+}
+
 // RunApp analyzes one app and runs both fuzzing baselines.
 func RunApp(app *corpus.App) (*AppResult, error) {
-	rep, err := core.Analyze(app.Prog, optionsFor(app))
+	return RunAppConfig(app, RunConfig{})
+}
+
+// RunAppConfig is RunApp with the config's budgets applied.
+func RunAppConfig(app *corpus.App, cfg RunConfig) (*AppResult, error) {
+	opts := optionsFor(app)
+	opts.Deadline = cfg.Deadline
+	opts.MaxSliceSteps = cfg.MaxSliceSteps
+	opts.MaxFixpointIters = cfg.MaxFixpointIters
+	opts.Faults = cfg.Faults
+	rep, err := core.Analyze(app.Prog, opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", app.Spec.Name, err)
 	}
@@ -80,12 +106,19 @@ func RunAll() ([]*AppResult, error) {
 // speedup (app time / wall time) — the observability layer's own
 // measurement of how well per-app parallelism pays off.
 type ParallelStats struct {
-	Workers   int     `json:"workers"`
-	WallNS    int64   `json:"wall_ns"`
-	AppNSSum  int64   `json:"app_ns_total"`
-	SpeedupX  float64 `json:"speedup_x"`
-	AppsRun   int     `json:"apps"`
-	AppErrors int     `json:"app_errors"`
+	Workers   int        `json:"workers"`
+	WallNS    int64      `json:"wall_ns"`
+	AppNSSum  int64      `json:"app_ns_total"`
+	SpeedupX  float64    `json:"speedup_x"`
+	AppsRun   int        `json:"apps"`
+	AppErrors int        `json:"app_errors"`
+	Errors    []AppError `json:"errors,omitempty"`
+}
+
+// AppError records one failed app in an aggregated corpus run.
+type AppError struct {
+	App string `json:"app"`
+	Err string `json:"error"`
 }
 
 // RunAllParallel evaluates the whole corpus with the given number of
@@ -93,7 +126,40 @@ type ParallelStats struct {
 // corpus order regardless of completion order. The first app error aborts
 // the evaluation.
 func RunAllParallel(workers int) ([]*AppResult, *ParallelStats, error) {
+	results, errs, stats := runAll(RunConfig{Workers: workers})
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	return results, stats, nil
+}
+
+// RunAllConfig evaluates the whole corpus under the config's budgets and
+// aggregates per-app failures instead of aborting on the first one: failed
+// apps are compacted out of the result slice and recorded in
+// stats.Errors, so one broken app never discards 33 good reports.
+func RunAllConfig(cfg RunConfig) ([]*AppResult, *ParallelStats, error) {
+	results, errs, stats := runAll(cfg)
 	apps := corpus.Apps()
+	ok := results[:0]
+	for i, r := range results {
+		if errs[i] != nil {
+			stats.Errors = append(stats.Errors, AppError{
+				App: apps[i].Spec.Name, Err: errs[i].Error(),
+			})
+			continue
+		}
+		ok = append(ok, r)
+	}
+	return ok, stats, nil
+}
+
+// runAll is the shared fan-out: positional results and errors in corpus
+// order, regardless of completion order.
+func runAll(cfg RunConfig) ([]*AppResult, []error, *ParallelStats) {
+	apps := corpus.Apps()
+	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -111,7 +177,7 @@ func RunAllParallel(workers int) ([]*AppResult, *ParallelStats, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					results[i], errs[i] = RunApp(apps[i])
+					results[i], errs[i] = RunAppConfig(apps[i], cfg)
 				}
 			}()
 		}
@@ -122,18 +188,14 @@ func RunAllParallel(workers int) ([]*AppResult, *ParallelStats, error) {
 		wg.Wait()
 	} else {
 		for i := range apps {
-			results[i], errs[i] = RunApp(apps[i])
+			results[i], errs[i] = RunAppConfig(apps[i], cfg)
 		}
 	}
 
 	stats := &ParallelStats{Workers: workers, WallNS: time.Since(start).Nanoseconds(), AppsRun: len(apps)}
-	var firstErr error
 	for _, err := range errs {
 		if err != nil {
 			stats.AppErrors++
-			if firstErr == nil {
-				firstErr = err
-			}
 		}
 	}
 	for _, r := range results {
@@ -144,10 +206,7 @@ func RunAllParallel(workers int) ([]*AppResult, *ParallelStats, error) {
 	if stats.WallNS > 0 {
 		stats.SpeedupX = float64(stats.AppNSSum) / float64(stats.WallNS)
 	}
-	if firstErr != nil {
-		return nil, stats, firstErr
-	}
-	return results, stats, nil
+	return results, errs, stats
 }
 
 // CorpusProfile merges every app's per-phase profile into one corpus-wide

@@ -75,6 +75,14 @@ const (
 	// and dependency edges inferred.
 	CtrTxdepCarriers = "txdep_carriers"
 	CtrTxdepEdges    = "txdep_edges"
+	// Degradation counters (see internal/budget): CtrDiagnostics totals all
+	// diagnostics on the report, broken out into recovered worker panics,
+	// budget-truncated work, and jobs skipped at an exhausted boundary.
+	// Unbudgeted, fault-free runs record none of these.
+	CtrDiagnostics     = "diagnostics"
+	CtrPanicsRecovered = "panics_recovered"
+	CtrBudgetExceeded  = "budget_exceeded"
+	CtrBudgetSkipped   = "budget_jobs_skipped"
 )
 
 // Gauge names.

@@ -8,8 +8,10 @@
 package pairing
 
 import (
+	"fmt"
 	"sort"
 
+	"extractocol/internal/budget"
 	"extractocol/internal/callgraph"
 	"extractocol/internal/ir"
 	"extractocol/internal/obs"
@@ -129,43 +131,98 @@ func sameStmtsAsAnother(tx *slice.Transaction, group []*slice.Transaction) bool 
 // (summaries are universe-independent, so the slice phase's cache is
 // directly reusable here).
 func VerifyFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, pairs []Pair, stats *obs.Shard, sums *taint.SummaryCache) {
+	VerifyFlowBudgeted(p, model, cg, pairs, stats, sums, nil)
+}
+
+// VerifyFlowBudgeted is VerifyFlow under a budget: each pair's flow check
+// is skipped once the budget is exhausted (one diagnostic names how many
+// checks were dropped), a truncated propagation leaves the pair unconfirmed
+// with a diagnostic, and a panicking check is recovered per pair. Degraded
+// pairs keep FlowConfirmed == false — pairing quality downgrades, the
+// report still ships. A nil budget behaves exactly like VerifyFlow.
+func VerifyFlowBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
+	pairs []Pair, stats *obs.Shard, sums *taint.SummaryCache, bud *budget.Budget) []budget.Diagnostic {
+
+	var diags []budget.Diagnostic
 	for i := range pairs {
 		pr := &pairs[i]
 		if !pr.HasResponse {
 			continue
 		}
-		stats.Add(obs.CtrPairFlowChecks, 1)
-		eng := taint.NewEngine(p, model, cg)
-		eng.MaxAsyncHops = 1
-		eng.Stats = stats
-		if sums != nil {
-			eng.Summaries = sums
-		}
-		seeds := map[taint.StmtID]int{}
-		src := pr.DisjointRequest
-		if len(src) == 0 {
-			src = pr.Tx.Request.Stmts
-		}
-		for s := range src {
-			m := p.Method(s.Method)
-			if m == nil || s.Index >= len(m.Instrs) {
-				continue
+		site := fmt.Sprintf("%s@%d", pr.Tx.DP.Method, pr.Tx.DP.Index)
+		if ex := bud.Over(budget.PhasePairing, site); ex != nil {
+			remaining := 0
+			for _, q := range pairs[i:] {
+				if q.HasResponse {
+					remaining++
+				}
 			}
-			if d := m.Instrs[s.Index].Def(); d != ir.NoReg {
-				seeds[s] = d
-			}
+			d := budget.ExceededDiag(ex)
+			d.Detail = fmt.Sprintf("%s; %d flow checks skipped", ex.Limit, remaining)
+			diags = append(diags, d)
+			break
 		}
-		if len(seeds) == 0 {
-			continue
-		}
-		flow := eng.ForwardFacts(seeds)
-		for s := range pr.Tx.Response.Stmts {
-			if flow.Stmts[s] {
-				pr.FlowConfirmed = true
-				break
-			}
+		if d := verifyPairFlow(p, model, cg, pr, site, stats, sums, bud); d != nil {
+			diags = append(diags, *d)
 		}
 	}
+	return diags
+}
+
+// verifyPairFlow runs one pair's information-flow check, converting panics
+// and budget truncation into a diagnostic (nil when the check completed).
+func verifyPairFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
+	pr *Pair, site string, stats *obs.Shard, sums *taint.SummaryCache,
+	bud *budget.Budget) (diag *budget.Diagnostic) {
+
+	defer func() {
+		if r := recover(); r != nil {
+			d := budget.PanicDiag(budget.PhasePairing, site, r)
+			diag = &d
+		}
+	}()
+	bud.MaybePanic(budget.PhasePairing, site)
+
+	stats.Add(obs.CtrPairFlowChecks, 1)
+	eng := taint.NewEngine(p, model, cg)
+	eng.MaxAsyncHops = 1
+	eng.Stats = stats
+	eng.Budget = bud
+	eng.BudgetPhase = budget.PhasePairing
+	if sums != nil {
+		eng.Summaries = sums
+	}
+	seeds := map[taint.StmtID]int{}
+	src := pr.DisjointRequest
+	if len(src) == 0 {
+		src = pr.Tx.Request.Stmts
+	}
+	for s := range src {
+		m := p.Method(s.Method)
+		if m == nil || s.Index >= len(m.Instrs) {
+			continue
+		}
+		if d := m.Instrs[s.Index].Def(); d != ir.NoReg {
+			seeds[s] = d
+		}
+	}
+	if len(seeds) == 0 {
+		return nil
+	}
+	flow := eng.ForwardFacts(seeds)
+	if flow.Truncated != nil {
+		d := budget.ExceededDiag(flow.Truncated)
+		d.Phase = budget.PhasePairing
+		d.Site = site
+		return &d
+	}
+	for s := range pr.Tx.Response.Stmts {
+		if flow.Stmts[s] {
+			pr.FlowConfirmed = true
+			break
+		}
+	}
+	return nil
 }
 
 func equalStmts(a, b map[taint.StmtID]bool) bool {

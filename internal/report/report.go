@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"extractocol/internal/budget"
 	"extractocol/internal/core"
 	"extractocol/internal/obs"
 	"extractocol/internal/siglang"
@@ -31,6 +32,14 @@ func Text(r *core.Report) string {
 			fmt.Fprintf(&b, " %s=%s", ph.Name, time.Duration(ph.DurationNS).Round(time.Microsecond))
 		}
 		b.WriteString("\n")
+	}
+	// Degradation events only appear when something was dropped, so healthy
+	// runs render byte-identically with or without budgets configured.
+	if len(r.Diagnostics) > 0 {
+		fmt.Fprintf(&b, "  diagnostics: %d degradation event(s)\n", len(r.Diagnostics))
+		for _, d := range r.Diagnostics {
+			fmt.Fprintf(&b, "    %s\n", d)
+		}
 	}
 	b.WriteString("\n")
 
@@ -137,14 +146,15 @@ type jsonDep struct {
 }
 
 type jsonReport struct {
-	Package       string       `json:"package"`
-	App           string       `json:"app"`
-	Transactions  []jsonTx     `json:"transactions"`
-	Deps          []jsonDep    `json:"dependencies,omitempty"`
-	Pairs         int          `json:"pairs"`
-	SliceFraction float64      `json:"slice_fraction"`
-	DurationMS    int64        `json:"duration_ms"`
-	Profile       *obs.Profile `json:"profile,omitempty"`
+	Package       string              `json:"package"`
+	App           string              `json:"app"`
+	Transactions  []jsonTx            `json:"transactions"`
+	Deps          []jsonDep           `json:"dependencies,omitempty"`
+	Pairs         int                 `json:"pairs"`
+	SliceFraction float64             `json:"slice_fraction"`
+	DurationMS    int64               `json:"duration_ms"`
+	Profile       *obs.Profile        `json:"profile,omitempty"`
+	Diagnostics   []budget.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 // JSON renders the report as indented JSON.
@@ -156,6 +166,7 @@ func JSON(r *core.Report) ([]byte, error) {
 		SliceFraction: r.SliceFraction,
 		DurationMS:    r.Duration.Milliseconds(),
 		Profile:       r.Profile,
+		Diagnostics:   r.Diagnostics,
 	}
 	for _, tx := range r.Transactions {
 		jt := jsonTx{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"extractocol/internal/budget"
 	"extractocol/internal/callgraph"
 	"extractocol/internal/ir"
 	"extractocol/internal/obs"
@@ -80,6 +81,18 @@ func Build(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 // be owned by the calling goroutine (one shard per sigbuild worker).
 func BuildObs(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	tx *slice.Transaction, stats *obs.Shard) (*RequestSig, *ResponseSig, error) {
+	return BuildBudgeted(p, model, cg, tx, stats, nil)
+}
+
+// BuildBudgeted is BuildObs under a budget: the interpreter checks one step
+// per instruction and stops with a *budget.Exceeded error once a deadline
+// or iteration limit trips, leaving the transaction without a signature
+// (the orchestrator records the diagnostic). A nil budget is unlimited.
+func BuildBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
+	tx *slice.Transaction, stats *obs.Shard, bud *budget.Budget) (*RequestSig, *ResponseSig, error) {
+
+	site := fmt.Sprintf("%s@%d", tx.DP.Method, tx.DP.Index)
+	bud.MaybePanic(budget.PhaseSigbuild, site)
 
 	filter := map[taint.StmtID]bool{}
 	for s := range tx.Request.Stmts {
@@ -98,6 +111,7 @@ func BuildObs(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	ev := newEvaluator(p, model, tx.DP, dpm, filter)
 	ev.stats = stats
 	ev.cg = cg
+	ev.ck = bud.Checker(budget.PhaseSigbuild, site)
 
 	// Pre-pass: interpret slice methods outside the entry context first
 	// (cross-event heap writers such as location callbacks or other
@@ -128,6 +142,9 @@ func BuildObs(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	}
 	ev.evalMethod(entry, seedArgs(p, entry, ev))
 
+	if ev.truncated != nil {
+		return nil, nil, ev.truncated
+	}
 	if ev.req == nil {
 		return nil, nil, fmt.Errorf("sigbuild: demarcation point %s@%d never reached from %s",
 			tx.DP.Method, tx.DP.Index, tx.Entry.Method)

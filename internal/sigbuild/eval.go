@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"extractocol/internal/budget"
 	"extractocol/internal/callgraph"
 	"extractocol/internal/cfg"
 	"extractocol/internal/ir"
@@ -45,6 +46,12 @@ type evaluator struct {
 	// cg, when non-nil, supplies memoized per-method register types
 	// (BuildObs sets it); nil falls back to direct inference.
 	cg *callgraph.Graph
+
+	// ck bounds the interpretation (one Step per instruction); truncated
+	// latches the budget error that stopped it, after which every
+	// evalMethod call returns immediately so the evaluator unwinds fast.
+	ck        *budget.Checker
+	truncated *budget.Exceeded
 }
 
 // types returns m's register types, via the call graph's shared memoized
@@ -86,6 +93,9 @@ func newEvaluator(prog *ir.Program, model *semmodel.Model, dp taint.StmtID,
 func (ev *evaluator) evalMethod(m *ir.Method, args []aval) aval {
 	if m == nil || len(m.Instrs) == 0 {
 		return unknownVal(siglang.VAny, "")
+	}
+	if ev.truncated != nil {
+		return unknownVal(siglang.VAny, "budget")
 	}
 	if ev.active[m.Ref()] || ev.depth > maxDepth {
 		return unknownVal(siglang.VAny, "recursion")
@@ -149,6 +159,10 @@ func (ev *evaluator) evalMethod(m *ir.Method, args []aval) aval {
 		}
 		returned := false
 		for idx := b.Start; idx < b.End; idx++ {
+			if err := ev.ck.Step(); err != nil {
+				ev.truncated = ev.ck.Exceeded()
+				return unknownVal(siglang.VAny, "budget")
+			}
 			instr := &m.Instrs[idx]
 			inFilter := ev.filter[taint.StmtID{Method: m.Ref(), Index: idx}]
 			if instr.Op == ir.OpReturn {

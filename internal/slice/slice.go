@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"extractocol/internal/budget"
 	"extractocol/internal/callgraph"
 	"extractocol/internal/ir"
 	"extractocol/internal/obs"
@@ -80,6 +81,12 @@ type Options struct {
 	// Summaries, when non-nil, is a shared taint transfer-summary cache
 	// (see taint.SummaryCache); nil uses a cache private to this call.
 	Summaries *taint.SummaryCache
+	// Budget, when non-nil, bounds extraction: jobs check it at their
+	// boundaries, taint fixpoints at their loop heads, and exhausted or
+	// panicking jobs degrade into diagnostics instead of crashing. Step
+	// budgets force serial extraction so the completed-transaction set is
+	// a deterministic prefix of the unbudgeted run.
+	Budget *budget.Budget
 }
 
 // sliceJob is one (entry point, demarcation-point site) extraction unit.
@@ -92,6 +99,12 @@ type sliceJob struct {
 	mm       *semmodel.Method
 }
 
+// id names the job for diagnostics and fault probes: which entry point was
+// slicing toward which demarcation point when the job degraded.
+func (j sliceJob) id() string {
+	return fmt.Sprintf("%s -> %s@%d", j.ep.Method, j.m.Ref(), j.site)
+}
+
 // Find enumerates all transactions of the program. Jobs — one per (entry
 // point, DP site) pair — are enumerated sequentially in deterministic order,
 // extracted across a bounded worker pool, and assembled positionally, so the
@@ -99,6 +112,15 @@ type sliceJob struct {
 // analysis caches (callgraph reachability/types, taint summaries), which are
 // safe for concurrent readers.
 func Find(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, opts Options) []*Transaction {
+	txs, _ := FindBudgeted(p, model, cg, opts)
+	return txs
+}
+
+// FindBudgeted is Find plus graceful degradation: jobs that panic, exhaust
+// a budget mid-slice, or never start because the budget was already spent
+// are dropped from the transaction list and reported as diagnostics in job
+// order. With a nil Options.Budget it behaves exactly like Find.
+func FindBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, opts Options) ([]*Transaction, []budget.Diagnostic) {
 	var jobs []sliceJob
 	for _, ep := range p.Manifest.EntryPoints {
 		if ep.Kind == ir.EventIntent && !opts.IncludeIntents {
@@ -133,6 +155,7 @@ func Find(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, opts Option
 	if sums == nil {
 		sums = taint.NewSummaryCache()
 	}
+	bud := opts.Budget
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -140,13 +163,46 @@ func Find(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, opts Option
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	// Step pools drain in job order: force serial extraction so exhaustion
+	// always cuts the job list at the same deterministic prefix.
+	if bud.HasStepLimits() && workers > 1 {
+		workers = 1
+	}
 
 	fanStart := time.Now()
 	results := make([]*Transaction, len(jobs))
+	diags := make([]*budget.Diagnostic, len(jobs))
 	runJob := func(i int, stats *obs.Shard) {
-		t0 := time.Now()
 		j := jobs[i]
-		results[i] = buildTransaction(p, model, cg, opts, j, stats, sums)
+		defer func() {
+			if r := recover(); r != nil {
+				results[i] = nil
+				d := budget.PanicDiag(budget.PhaseSlice, j.id(), r)
+				diags[i] = &d
+			}
+		}()
+		if ex := bud.SliceExhausted(j.id()); ex != nil {
+			d := budget.SkippedDiag(budget.PhaseSlice, j.id(), ex.Limit)
+			diags[i] = &d
+			return
+		}
+		if ex := bud.Over(budget.PhaseSlice, j.id()); ex != nil {
+			d := budget.SkippedDiag(budget.PhaseSlice, j.id(), ex.Limit)
+			diags[i] = &d
+			return
+		}
+		bud.MaybePanic(budget.PhaseSlice, j.id())
+		t0 := time.Now()
+		tx := buildTransaction(p, model, cg, opts, j, stats, sums)
+		if ex := truncatedBy(tx); ex != nil {
+			// A partial slice would produce a wrong signature: drop the
+			// transaction and say exactly what was lost.
+			d := budget.ExceededDiag(ex)
+			d.Site = j.id()
+			diags[i] = &d
+			tx = nil
+		}
+		results[i] = tx
 		stats.Add(obs.CtrSliceJobs, 1)
 		stats.Add(obs.CtrSliceBusyNS, time.Since(t0).Nanoseconds())
 	}
@@ -208,7 +264,28 @@ func Find(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, opts Option
 		tx.ID = len(out) + 1
 		out = append(out, tx)
 	}
-	return out
+	var degraded []budget.Diagnostic
+	for _, d := range diags {
+		if d != nil {
+			degraded = append(degraded, *d)
+		}
+	}
+	return out, degraded
+}
+
+// truncatedBy returns the budget error that cut one of tx's slices short,
+// nil for complete (or absent) transactions.
+func truncatedBy(tx *Transaction) *budget.Exceeded {
+	if tx == nil {
+		return nil
+	}
+	if tx.Request != nil && tx.Request.Truncated != nil {
+		return tx.Request.Truncated
+	}
+	if tx.Response != nil && tx.Response.Truncated != nil {
+		return tx.Response.Truncated
+	}
+	return nil
 }
 
 func buildTransaction(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
@@ -226,6 +303,8 @@ func buildTransaction(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	eng.Universe = j.universe
 	eng.Stats = stats
 	eng.Summaries = sums
+	eng.Budget = opts.Budget
+	eng.BudgetPhase = budget.PhaseSlice
 
 	// Request side.
 	if mm.ReqArg >= 0 && mm.ReqArg < len(in.Args) {
@@ -234,6 +313,11 @@ func buildTransaction(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 		stats.Add(obs.CtrSlicesBackward, 1)
 	} else {
 		return nil
+	}
+	if tx.Request.Truncated != nil {
+		// The request slice is already partial; skip the remaining phases
+		// of this job — the caller drops it with a diagnostic.
+		return tx
 	}
 
 	// Response side.

@@ -17,7 +17,7 @@ func (e *Engine) Backward(dp StmtID, reg int) *Result {
 	w := &worklist{seen: map[fact]bool{}}
 	res.Stmts[dp] = true
 	w.push(fact{kind: factLocal, method: dp.Method, reg: reg})
-	e.run(w, res, dirBackward)
+	e.run(w, res, dirBackward, dp.Method)
 	return res
 }
 

@@ -18,7 +18,7 @@ func (e *Engine) Forward(origin StmtID, reg int) *Result {
 	w := &worklist{seen: map[fact]bool{}}
 	res.Stmts[origin] = true
 	w.push(fact{kind: factLocal, method: origin.Method, reg: reg})
-	e.run(w, res, dirForward)
+	e.run(w, res, dirForward, origin.Method)
 	return res
 }
 
@@ -28,11 +28,17 @@ func (e *Engine) Forward(origin StmtID, reg int) *Result {
 func (e *Engine) ForwardFacts(seeds map[StmtID]int) *Result {
 	res := newResult()
 	w := &worklist{seen: map[fact]bool{}}
+	// The fixpoint site must be deterministic for fault probes and
+	// diagnostics: use the lexicographically first seed method.
+	site := "flow-check"
 	for s, reg := range seeds {
 		res.Stmts[s] = true
 		w.push(fact{kind: factLocal, method: s.Method, reg: reg})
+		if site == "flow-check" || s.Method < site {
+			site = s.Method
+		}
 	}
-	e.run(w, res, dirForward)
+	e.run(w, res, dirForward, site)
 	return res
 }
 

@@ -21,6 +21,7 @@ package taint
 import (
 	"sort"
 
+	"extractocol/internal/budget"
 	"extractocol/internal/callgraph"
 	"extractocol/internal/ir"
 	"extractocol/internal/obs"
@@ -47,6 +48,10 @@ type Result struct {
 	Sinks map[string]bool
 	// Sources are data origins observed in the slice ("microphone", ...).
 	Sources map[string]bool
+	// Truncated is non-nil when a budget limit stopped propagation before
+	// the fixpoint completed: the slice is partial and must not feed
+	// signature construction.
+	Truncated *budget.Exceeded
 }
 
 func newResult() *Result {
@@ -98,6 +103,9 @@ func (r *Result) Merge(o *Result) {
 	for k := range o.Sources {
 		r.Sources[k] = true
 	}
+	if r.Truncated == nil {
+		r.Truncated = o.Truncated
+	}
 }
 
 // Engine performs taint propagation over one program.
@@ -126,6 +134,15 @@ type Engine struct {
 	// private cache; callers analyzing many slices over one program should
 	// install a shared one so later slices reuse earlier traversals.
 	Summaries *SummaryCache
+
+	// Budget, when non-nil, bounds every fixpoint this engine runs: the
+	// worklist polls it at the loop head and stops with Result.Truncated
+	// set once a limit trips. Nil means unlimited.
+	Budget *budget.Budget
+	// BudgetPhase labels budget errors from this engine's fixpoints
+	// ("slice" draws from the shared slice-step pool, "pairing" does not);
+	// empty defaults to "taint".
+	BudgetPhase string
 }
 
 // NewEngine creates an engine with the given configuration.
@@ -155,15 +172,41 @@ const (
 	dirForward
 )
 
+// budgetPhase is the phase label for this engine's budget accounting.
+func (e *Engine) budgetPhase() string {
+	if e.BudgetPhase != "" {
+		return e.BudgetPhase
+	}
+	return budget.PhaseTaint
+}
+
 // run drains the worklist, replaying the memoized transfer summary (or heap
-// access index) for each popped fact.
-func (e *Engine) run(w *worklist, res *Result, dir direction) {
+// access index) for each popped fact. site names the fixpoint (the slicing
+// origin's method) for budget errors and fault probes. When a budget limit
+// trips mid-run the partial result is marked Truncated and returned as-is.
+func (e *Engine) run(w *worklist, res *Result, dir direction, site string) {
 	sums := e.Summaries
 	if sums == nil {
 		sums = NewSummaryCache()
 		e.Summaries = sums
 	}
+	ck := e.Budget.Checker(e.budgetPhase(), site)
+	e.Budget.MaybePanic(budget.PhaseTaint, site)
+	if e.Budget.Hang(budget.PhaseTaint, site) {
+		// Injected divergence: spin through the checker so the hang is
+		// observable yet stoppable by any armed deadline or step budget.
+		for {
+			if err := ck.Step(); err != nil {
+				res.Truncated = ck.Exceeded()
+				return
+			}
+		}
+	}
 	for {
+		if err := ck.Step(); err != nil {
+			res.Truncated = ck.Exceeded()
+			return
+		}
 		f, ok := w.pop()
 		if !ok {
 			break
