@@ -128,6 +128,28 @@ func TestBenchRegressionGuard(t *testing.T) {
 	}
 }
 
+// ---- Disabled-tracer zero-allocation guard ------------------------------------
+
+// TestTracerDisabledZeroAlloc pins the tentpole's zero-cost contract
+// absolutely (no slack factors): the span-instrumented hot path must not
+// allocate at all when tracing is off. Any alloc here multiplies by every
+// taint fact of every slice of every app.
+func TestTracerDisabledZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on instrumented paths")
+	}
+	res := testing.Benchmark(BenchmarkTracerDisabled)
+	if res.N == 0 {
+		t.Fatal("benchmark failed to run")
+	}
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Errorf("disabled-tracer hot path makes %d allocs/op, want 0", a)
+	}
+}
+
 // ---- Slicing-component guard -------------------------------------------------
 //
 // TestSliceBenchGuard pins the three slicing microbenchmarks

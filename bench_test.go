@@ -18,6 +18,7 @@ import (
 	"extractocol/internal/httpsim"
 	"extractocol/internal/ir"
 	"extractocol/internal/obfuscate"
+	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
 	"extractocol/internal/siglang"
 	"extractocol/internal/slice"
@@ -452,6 +453,28 @@ func benchIntents(b *testing.B, model bool) {
 		if model && rep.CountByMethod()["GET"] <= 3 {
 			b.Fatal("intent modeling gained no transactions")
 		}
+	}
+}
+
+// ---- Observability: tracing must be free when disabled -------------------------
+
+// BenchmarkTracerDisabled measures the span-instrumented hot path — start a
+// span, bump a counter, end the span — on an untraced shard, exactly what
+// every taint fixpoint and worker job executes when no -trace flag is given.
+// The contract (pinned by TestTracerDisabledZeroAlloc) is 0 allocs/op: with
+// no tracer bound, Span is a nil check returning a value-type ActiveSpan and
+// End is a nil check, so instrumentation costs nothing when off.
+func BenchmarkTracerDisabled(b *testing.B) {
+	s := obs.NewShard()
+	// Pre-insert the counter key: incrementing an existing map key does not
+	// allocate, and the steady state is what the hot loops see.
+	s.Add(obs.CtrTaintFacts, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := s.Span(obs.CatTaintBackward, "bench")
+		s.Add(obs.CtrTaintFacts, 1)
+		sp.End()
 	}
 }
 

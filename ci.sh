@@ -14,6 +14,16 @@ if [ "${1:-}" = "quick" ]; then
     exec go test -short ./...
 fi
 
+echo "== gofmt"
+# Fail on any unformatted file; gofmt -l prints offenders but exits 0, so
+# turn non-empty output into a failure explicitly.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:"
+    echo "$unformatted"
+    exit 1
+fi
+
 echo "== go build"
 go build ./...
 

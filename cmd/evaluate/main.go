@@ -20,6 +20,9 @@
 //	                             diagnostics, and apps that fail outright
 //	                             are reported on stderr without aborting
 //	                             the rest of the corpus
+//	evaluate -trace corpus.json  write one Chrome trace-event JSON timeline
+//	                             covering every corpus app (one process
+//	                             track per app; load in Perfetto)
 package main
 
 import (
@@ -38,22 +41,23 @@ func main() {
 	profile := flag.Bool("profile", false, "emit per-phase observability JSON")
 	serial := flag.Bool("serial", false, "disable per-app parallelism")
 	deadline := flag.Duration("deadline", 0, "per-app analysis deadline (0 = unlimited)")
+	traceFile := flag.String("trace", "", "write a corpus-wide Chrome trace-event JSON timeline to this file")
 	flag.Parse()
-	if err := run(*only, *profile, *serial, *deadline); err != nil {
+	if err := run(*only, *profile, *serial, *deadline, *traceFile); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(only string, profile, serial bool, deadline time.Duration) error {
+func run(only string, profile, serial bool, deadline time.Duration, traceFile string) error {
 	want := func(name string) bool { return only == "" || only == name }
 
 	var results []*evaluate.AppResult
 	var pstats *evaluate.ParallelStats
 	needCorpus := only == "" || only == "table1" || only == "table2" ||
 		only == "figure6" || only == "figure7" || only == "validity" || only == "timing"
-	if needCorpus || profile {
-		cfg := evaluate.RunConfig{Deadline: deadline}
+	if needCorpus || profile || traceFile != "" {
+		cfg := evaluate.RunConfig{Deadline: deadline, Trace: traceFile != ""}
 		if serial {
 			cfg.Workers = 1
 		}
@@ -71,6 +75,11 @@ func run(only string, profile, serial bool, deadline time.Duration) error {
 
 	if profile {
 		if err := printProfiles(results, pstats); err != nil {
+			return err
+		}
+	}
+	if traceFile != "" {
+		if err := writeCorpusTrace(traceFile, results); err != nil {
 			return err
 		}
 	}
@@ -179,4 +188,21 @@ func printProfiles(results []*evaluate.AppResult, pstats *evaluate.ParallelStats
 	}
 	fmt.Println(string(data))
 	return nil
+}
+
+// writeCorpusTrace merges every app's span timeline into one Chrome
+// trace-event document, one process track per app in corpus order.
+func writeCorpusTrace(path string, results []*evaluate.AppResult) error {
+	merged := &obs.Trace{DisplayTimeUnit: "ms"}
+	for i, r := range results {
+		if r.Tracer == nil {
+			continue
+		}
+		merged.Merge(r.Tracer.Export(int64(i+1), r.App.Spec.Name))
+	}
+	data, err := merged.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

@@ -22,6 +22,13 @@
 //	                        diagnostics section instead of hanging
 //	-slice-budget n         cap cumulative slicing steps (0 = unlimited)
 //	-fixpoint-budget n      cap taint fixpoint iterations (0 = unlimited)
+//	-trace file             write a Chrome trace-event JSON timeline of the
+//	                        run (load in Perfetto / chrome://tracing): one
+//	                        span per phase, per-transaction job, and taint
+//	                        fixpoint, on per-worker tracks
+//	-explain                append the provenance chain of every
+//	                        transaction (entry point, slice sizes, pairing
+//	                        witness, signature cost, dependency origins)
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 
 	"extractocol/internal/core"
 	"extractocol/internal/dex"
+	"extractocol/internal/obs"
 	"extractocol/internal/report"
 )
 
@@ -43,6 +51,8 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "analysis deadline (0 = unlimited)")
 	sliceBudget := flag.Int64("slice-budget", 0, "cumulative slice step budget (0 = unlimited)")
 	fixBudget := flag.Int64("fixpoint-budget", 0, "taint fixpoint iteration budget (0 = unlimited)")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	explain := flag.Bool("explain", false, "append per-transaction provenance chains")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -51,7 +61,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := budgets{deadline: *deadline, sliceSteps: *sliceBudget, fixIters: *fixBudget}
-	if err := run(flag.Arg(0), *format, *scope, *hops, *profile, cfg); err != nil {
+	if err := run(flag.Arg(0), *format, *scope, *hops, *profile, *explain, *traceFile, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "extractocol:", err)
 		os.Exit(1)
 	}
@@ -64,7 +74,7 @@ type budgets struct {
 	fixIters   int64
 }
 
-func run(path, format, scope string, hops int, profile bool, cfg budgets) error {
+func run(path, format, scope string, hops int, profile, explain bool, traceFile string, cfg budgets) error {
 	prog, err := dex.ReadFile(path)
 	if err != nil {
 		return err
@@ -75,6 +85,10 @@ func run(path, format, scope string, hops int, profile bool, cfg budgets) error 
 	opts.Deadline = cfg.deadline
 	opts.MaxSliceSteps = cfg.sliceSteps
 	opts.MaxFixpointIters = cfg.fixIters
+	opts.Explain = explain
+	if traceFile != "" {
+		opts.Tracer = obs.NewTracer()
+	}
 	rep, err := core.Analyze(prog, opts)
 	if err != nil {
 		return err
@@ -101,6 +115,26 @@ func run(path, format, scope string, hops int, profile bool, cfg budgets) error 
 			return err
 		}
 		fmt.Println(string(data))
+	}
+	if explain {
+		if format == "json" {
+			data, err := report.ExplainJSON(rep)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+		} else {
+			fmt.Print(report.ExplainText(rep))
+		}
+	}
+	if traceFile != "" {
+		data, err := opts.Tracer.Export(1, rep.Package).JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(traceFile, data, 0o644); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"extractocol/internal/budget"
 	"extractocol/internal/core"
 	"extractocol/internal/corpus"
 	"extractocol/internal/obs"
@@ -50,6 +51,50 @@ func TestParallelAnalyzeDeterministic(t *testing.T) {
 			s, p := normalizeReport(report.Text(serial)), normalizeReport(report.Text(parallel))
 			if s != p {
 				t.Errorf("parallel report differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+			}
+		})
+	}
+}
+
+// TestBudgetedParallelDeterministic extends the determinism contract to
+// degraded runs: with stateless fault rules armed at fixed probe sites,
+// serial and parallel analyses must render byte-identical reports including
+// the diagnostics section — which pins the (phase, site, detail) sort of
+// Report.Diagnostics against worker-completion order. The rules deliberately
+// use only phase+site addressing (no After/Once counters), because probe
+// counting is scheduling-dependent under a parallel pool.
+func TestBudgetedParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analyzes the whole corpus twice")
+	}
+	// Fresh injector per run: rule state (probe counts) is per-instance.
+	faults := func() *budget.FaultInjector {
+		return budget.NewFaultInjector(
+			budget.Fault{Phase: budget.PhaseSlice, Site: "@1", Kind: budget.FaultPanic},
+			budget.Fault{Phase: budget.PhaseSigbuild, Site: "@2", Kind: budget.FaultPanic},
+			budget.Fault{Phase: budget.PhasePairing, Site: "@3", Kind: budget.FaultPanic},
+		)
+	}
+	for _, app := range corpus.Apps() {
+		app := app
+		t.Run(app.Spec.Name, func(t *testing.T) {
+			t.Parallel()
+			serialOpts := core.NewOptions()
+			serialOpts.Workers = 1
+			serialOpts.Faults = faults()
+			serial, err := core.Analyze(app.Prog, serialOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parOpts := core.NewOptions()
+			parOpts.Faults = faults()
+			parallel, err := core.Analyze(app.Prog, parOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, p := normalizeReport(report.Text(serial)), normalizeReport(report.Text(parallel))
+			if s != p {
+				t.Errorf("budgeted parallel report differs from serial\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
 			}
 		})
 	}

@@ -15,6 +15,7 @@ import (
 	"extractocol/internal/core"
 	"extractocol/internal/corpus"
 	"extractocol/internal/dex"
+	"extractocol/internal/obs"
 )
 
 func FuzzAnalyzeDecoded(f *testing.F) {
@@ -50,10 +51,18 @@ func FuzzAnalyzeDecoded(f *testing.F) {
 		opts.Deadline = 500 * time.Millisecond
 		opts.MaxSliceSteps = 20000
 		opts.MaxFixpointIters = 2000
+		// The tracing + explain layer rides along on every fuzz input: span
+		// teardown (shard flush on panicking/truncated jobs) and evidence
+		// assembly must survive whatever the decoder accepts, too.
+		opts.Tracer = obs.NewTracer()
+		opts.Explain = true
 		start := time.Now()
 		rep, err := core.Analyze(prog, opts)
 		if err == nil && rep == nil {
 			t.Fatal("analysis returned neither report nor error")
+		}
+		if _, jerr := opts.Tracer.Export(1, "fuzz").JSON(); jerr != nil {
+			t.Fatalf("trace export failed: %v", jerr)
 		}
 		// The deadline is polled at every loop head, so even a degenerate
 		// program cannot hold the pipeline much past it.

@@ -67,6 +67,16 @@ type Options struct {
 	// Faults injects deterministic panics and hangs at pipeline probe
 	// points (see budget.FaultInjector); tests only.
 	Faults *budget.FaultInjector
+
+	// Tracer, when non-nil, records hierarchical spans (run → phase →
+	// per-transaction job → taint fixpoint) on the same per-worker shards
+	// that carry counters; export with Tracer.Export after Analyze returns.
+	// Nil costs nothing on the hot path.
+	Tracer *obs.Tracer
+	// Explain attaches an Evidence provenance record to every reported
+	// transaction (entry point, slice sizes, pairing witness, signature
+	// cost). Off by default so reports stay byte-identical.
+	Explain bool
 }
 
 // NewOptions returns the default configuration (async heuristic enabled).
@@ -119,6 +129,10 @@ type Transaction struct {
 	// Entries lists every entry point producing this signature when
 	// duplicates were folded.
 	Entries []string
+
+	// Evidence is the provenance chain behind this transaction (its
+	// canonical pre-fold instance); nil unless Options.Explain was set.
+	Evidence *Evidence
 }
 
 // URIRegex renders the request URI signature as an anchored regex.
@@ -166,9 +180,55 @@ type Report struct {
 	Profile *obs.Profile
 
 	// Diagnostics records every degradation event of the run — skipped
-	// jobs, truncated slices, recovered panics, exceeded phases — in
-	// pipeline order. Empty for healthy unbudgeted runs.
+	// jobs, truncated slices, recovered panics, exceeded phases — sorted
+	// by (phase, site, detail) so parallel runs report identically.
+	// Empty for healthy unbudgeted runs.
 	Diagnostics []budget.Diagnostic
+}
+
+// Evidence is the provenance record behind one reported transaction: where
+// the analysis entered, what it sliced, how pairing was confirmed, and what
+// signature construction cost. Attached only under Options.Explain; nil
+// otherwise, and never rendered by the default report formats.
+type Evidence struct {
+	// Entry is the entry-point method whose slice produced the transaction,
+	// with its lifecycle/event kind and registration label.
+	Entry      string `json:"entry"`
+	EntryKind  string `json:"entryKind"`
+	EntryLabel string `json:"entryLabel,omitempty"`
+	// DP is the demarcation point site ("method@index"), DPRef the modeled
+	// API performing the network I/O there.
+	DP    string `json:"dp"`
+	DPRef string `json:"dpRef"`
+
+	// ReqStmts / RespStmts count statements in the final (augmented)
+	// request and response slices; ReqSliced / RespSliced are the sizes
+	// before object-aware augmentation, so the difference is what
+	// augmentation added. ReqMethods / RespMethods count methods touched.
+	ReqStmts    int `json:"reqStmts"`
+	ReqSliced   int `json:"reqSliced"`
+	ReqMethods  int `json:"reqMethods"`
+	RespStmts   int `json:"respStmts,omitempty"`
+	RespSliced  int `json:"respSliced,omitempty"`
+	RespMethods int `json:"respMethods,omitempty"`
+
+	// HeapReads / HeapWrites are the heap locations bridging asynchronous
+	// events into and out of the slices (§3.4) — the raw material of
+	// inter-transaction dependency edges.
+	HeapReads  []string `json:"heapReads,omitempty"`
+	HeapWrites []string `json:"heapWrites,omitempty"`
+
+	// FlowSeeds is how many disjoint request statements seeded the Fig. 5
+	// pairing flow check; FlowWitness ("method@index") is the smallest
+	// response statement the flow reached, empty when unconfirmed.
+	FlowSeeds   int    `json:"flowSeeds,omitempty"`
+	FlowWitness string `json:"flowWitness,omitempty"`
+
+	// SigMethods counts abstract method interpretations spent building the
+	// signature; SigPrePass of the interpreted methods ran outside the
+	// entry context to pre-populate the cross-event heap.
+	SigMethods int `json:"sigMethods"`
+	SigPrePass int `json:"sigPrePass,omitempty"`
 }
 
 // Analyze runs the full pipeline over a decoded application binary. Every
@@ -189,13 +249,19 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 		}
 	}()
 	col := obs.NewCollector()
+	col.SetTracer(opts.Tracer)
+	// The run span brackets the whole pipeline on the coordinator track;
+	// nil-safe and free when tracing is off.
+	endRun := opts.Tracer.Span(obs.CatRun, p.Manifest.Package)
+	defer endRun()
 	model := opts.Model
 	if model == nil {
 		model = semmodel.Default()
 	}
 
-	// diags accumulates degradation events in pipeline order; counting
-	// happens here (not in the phases) so each event is tallied exactly once.
+	// diags accumulates degradation events (sorted before report assembly);
+	// counting happens here (not in the phases) so each event is tallied
+	// exactly once.
 	var diags []budget.Diagnostic
 	note := func(ds ...budget.Diagnostic) {
 		for _, d := range ds {
@@ -266,7 +332,7 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 
 	endDedup := col.Phase(obs.PhaseDedup)
 	sliceStmts := map[taint.StmtID]bool{}
-	out := foldTransactions(txs, results, pairByTx, sliceStmts, col)
+	out := foldTransactions(txs, results, pairByTx, sliceStmts, col, opts.Explain)
 	dpSites := map[string]bool{}
 	for _, tx := range txs {
 		dpSites[fmt.Sprintf("%s@%d", tx.DP.Method, tx.DP.Index)] = true
@@ -311,6 +377,20 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 	cg.DrainCacheCounters(col)
 	sums.DrainCounters(col)
 
+	// Workers complete in scheduling order, so diags arrive nondeterministically
+	// under parallel runs; sort by (phase, site, detail) so the report is
+	// byte-identical regardless of worker count.
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.Detail < b.Detail
+	})
+
 	return &Report{
 		Package:       p.Manifest.Package,
 		AppName:       p.Manifest.AppName,
@@ -329,6 +409,7 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 type built struct {
 	req  *sigbuild.RequestSig
 	resp *sigbuild.ResponseSig
+	info sigbuild.BuildInfo
 	err  error
 }
 
@@ -375,9 +456,11 @@ func buildSignatures(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 			stats.Add(obs.CtrSigbuildErrors, 1)
 			return
 		}
+		sp := stats.Span(obs.CatSigbuildJob, site)
+		defer sp.End()
 		t0 := time.Now()
-		r, rs, err := sigbuild.BuildBudgeted(p, model, cg, txs[i], stats, bud)
-		results[i] = built{r, rs, err}
+		r, rs, info, err := sigbuild.BuildTraced(p, model, cg, txs[i], stats, bud)
+		results[i] = built{r, rs, info, err}
 		stats.Add(obs.CtrSigbuildJobs, 1)
 		stats.Add(obs.CtrSigbuildBusyNS, time.Since(t0).Nanoseconds())
 		if err != nil {
@@ -442,10 +525,12 @@ func buildSignatures(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 // merging their Entries, Sinks and Sources (all kept sorted so folded
 // transactions render deterministically regardless of slice discovery
 // order). sliceStmts accumulates every statement covered by a kept slice;
-// col (optional) receives dedup counters.
+// col (optional) receives dedup counters. explain attaches an Evidence
+// record to each kept transaction (the canonical pre-fold instance; later
+// folds merge entries but keep the first instance's evidence).
 func foldTransactions(txs []*slice.Transaction, results []built,
 	pairByTx map[*slice.Transaction]pairing.Pair,
-	sliceStmts map[taint.StmtID]bool, col *obs.Collector) []*Transaction {
+	sliceStmts map[taint.StmtID]bool, col *obs.Collector, explain bool) []*Transaction {
 
 	var out []*Transaction
 	dedup := map[string]*Transaction{}
@@ -479,6 +564,33 @@ func foldTransactions(txs []*slice.Transaction, results []built,
 			Sinks:         sortedSet(tx.Sinks),
 			Sources:       sortedSet(tx.Sources),
 			Entries:       []string{tx.Entry.Method},
+		}
+		if explain {
+			ev := &Evidence{
+				Entry:      tx.Entry.Method,
+				EntryKind:  tx.Entry.Kind.String(),
+				EntryLabel: tx.Entry.Label,
+				DP:         t.DP,
+				DPRef:      tx.DPRef,
+				ReqStmts:   tx.Request.Size(),
+				ReqSliced:  tx.ReqStmtsSliced,
+				ReqMethods: len(tx.Request.Methods()),
+				HeapReads:  sortedSet(tx.Request.HeapReads),
+				FlowSeeds:  pr.FlowSeeds,
+				SigMethods: results[i].info.MethodsEvaluated,
+				SigPrePass: results[i].info.PrePassMethods,
+			}
+			if tx.Response != nil {
+				ev.RespStmts = tx.Response.Size()
+				ev.RespSliced = tx.RespStmtsSliced
+				ev.RespMethods = len(tx.Response.Methods())
+				ev.HeapWrites = sortedSet(tx.Response.HeapWrites)
+			}
+			if pr.FlowConfirmed {
+				ev.FlowWitness = fmt.Sprintf("%s@%d",
+					pr.FlowWitness.Method, pr.FlowWitness.Index)
+			}
+			t.Evidence = ev
 		}
 		key := t.Key()
 		if prev, ok := dedup[key]; ok {

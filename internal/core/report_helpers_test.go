@@ -181,7 +181,7 @@ func TestFoldTransactionsMergesDuplicates(t *testing.T) {
 	sliceStmts := map[taint.StmtID]bool{}
 	col := obs.NewCollector()
 
-	out := foldTransactions(txs, results, pairByTx, sliceStmts, col)
+	out := foldTransactions(txs, results, pairByTx, sliceStmts, col, false)
 
 	if len(out) != 2 {
 		t.Fatalf("folded to %d transactions, want 2", len(out))
@@ -228,7 +228,7 @@ func TestFoldTransactionsEntriesStaySorted(t *testing.T) {
 		results = append(results, built{req: litReq("https://x/1")})
 	}
 	out := foldTransactions(txs, results, map[*slice.Transaction]pairing.Pair{},
-		map[taint.StmtID]bool{}, nil)
+		map[taint.StmtID]bool{}, nil, false)
 	if len(out) != 1 {
 		t.Fatalf("folded to %d transactions, want 1", len(out))
 	}
@@ -239,7 +239,7 @@ func TestFoldTransactionsEntriesStaySorted(t *testing.T) {
 }
 
 func TestFoldTransactionsEmpty(t *testing.T) {
-	out := foldTransactions(nil, nil, nil, map[taint.StmtID]bool{}, nil)
+	out := foldTransactions(nil, nil, nil, map[taint.StmtID]bool{}, nil, false)
 	if len(out) != 0 {
 		t.Fatalf("foldTransactions(nil) = %v, want empty", out)
 	}
@@ -248,7 +248,7 @@ func TestFoldTransactionsEmpty(t *testing.T) {
 func TestFoldTransactionsNilResponse(t *testing.T) {
 	txs := []*slice.Transaction{sliceTx("a.m", 1, "app.E", nil, nil, nil)}
 	results := []built{{req: litReq("https://x/1")}} // resp nil
-	out := foldTransactions(txs, results, nil, map[taint.StmtID]bool{}, nil)
+	out := foldTransactions(txs, results, nil, map[taint.StmtID]bool{}, nil, false)
 	if len(out) != 1 {
 		t.Fatalf("got %d transactions, want 1", len(out))
 	}

@@ -44,6 +44,9 @@ type AppResult struct {
 	Report *core.Report
 	Manual []trace.Entry
 	Auto   []trace.Entry
+	// Tracer holds the app's span timeline when RunConfig.Trace was set
+	// (export with Tracer.Export, one pid per app); nil otherwise.
+	Tracer *obs.Tracer
 }
 
 // RunConfig parameterizes a corpus evaluation: worker count plus the
@@ -59,6 +62,8 @@ type RunConfig struct {
 	MaxFixpointIters int64
 	// Faults injects deterministic failures for robustness testing.
 	Faults *budget.FaultInjector
+	// Trace records a span timeline per app (see AppResult.Tracer).
+	Trace bool
 }
 
 // RunApp analyzes one app and runs both fuzzing baselines.
@@ -73,11 +78,14 @@ func RunAppConfig(app *corpus.App, cfg RunConfig) (*AppResult, error) {
 	opts.MaxSliceSteps = cfg.MaxSliceSteps
 	opts.MaxFixpointIters = cfg.MaxFixpointIters
 	opts.Faults = cfg.Faults
+	if cfg.Trace {
+		opts.Tracer = obs.NewTracer()
+	}
 	rep, err := core.Analyze(app.Prog, opts)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", app.Spec.Name, err)
 	}
-	res := &AppResult{App: app, Report: rep}
+	res := &AppResult{App: app, Report: rep, Tracer: opts.Tracer}
 
 	mn := app.NewNetwork()
 	if _, err := fuzz.Run(app.Prog, mn, fuzz.Manual); err != nil {

@@ -14,6 +14,7 @@
 package obs
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -104,6 +105,11 @@ const (
 type Collector struct {
 	start time.Time
 
+	// tr, when non-nil, turns the collector's phases into spans and binds
+	// every shard it hands out to a tracer track (see trace.go). Set once
+	// before the pipeline starts; nil keeps tracing strictly zero-cost.
+	tr *Tracer
+
 	mu       sync.Mutex
 	order    []string
 	phaseNS  map[string]int64
@@ -121,14 +127,35 @@ func NewCollector() *Collector {
 	}
 }
 
+// SetTracer attaches a span tracer: phases become coordinator spans with a
+// ReadMemStats heap gauge sampled at each phase end, and shards created
+// afterwards record worker spans. A nil tracer (the default) is free.
+func (c *Collector) SetTracer(tr *Tracer) {
+	if c == nil {
+		return
+	}
+	c.tr = tr
+}
+
 // Phase starts timing the named phase and returns the function that stops
-// it. Re-entering a phase name accumulates into the same entry.
+// it. Re-entering a phase name accumulates into the same entry. With a
+// tracer attached the phase is also recorded as a coordinator span, and
+// the post-phase heap size lands in the GaugeHeapAllocAfter gauges.
 func (c *Collector) Phase(name string) func() {
 	if c == nil {
 		return func() {}
 	}
 	t0 := time.Now()
-	return func() { c.AddPhaseNS(name, time.Since(t0).Nanoseconds()) }
+	endSpan := c.tr.Span(CatPhase, name)
+	return func() {
+		c.AddPhaseNS(name, time.Since(t0).Nanoseconds())
+		if c.tr != nil {
+			endSpan()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			c.Gauge(GaugeHeapAllocAfter+name, float64(ms.HeapAlloc))
+		}
+	}
 }
 
 // AddPhaseNS adds ns nanoseconds to the named phase.
@@ -165,11 +192,21 @@ func (c *Collector) Gauge(name string, v float64) {
 }
 
 // NewShard returns an unsynchronized counter shard. The shard must be
-// owned by exactly one goroutine until it is passed to Drain.
-func (c *Collector) NewShard() *Shard { return &Shard{counts: map[string]int64{}} }
+// owned by exactly one goroutine until it is passed to Drain. When a
+// tracer is attached, the shard is bound to a fresh tracer track so the
+// owning worker's spans render on their own row.
+func (c *Collector) NewShard() *Shard {
+	s := &Shard{counts: map[string]int64{}}
+	if c != nil && c.tr != nil {
+		s.tr = c.tr
+		s.tid = c.tr.allocTID()
+	}
+	return s
+}
 
-// Drain merges a shard's counts into the collector and resets the shard.
-// The shard's owner must have stopped writing (e.g. after wg.Wait).
+// Drain merges a shard's counts into the collector, flushes its span
+// buffer into the tracer, and resets the shard. The shard's owner must
+// have stopped writing (e.g. after wg.Wait).
 func (c *Collector) Drain(s *Shard) {
 	if c == nil || s == nil {
 		return
@@ -180,13 +217,41 @@ func (c *Collector) Drain(s *Shard) {
 	}
 	c.mu.Unlock()
 	s.counts = map[string]int64{}
+	s.flushSpans()
 }
 
-// Shard is a single-goroutine counter buffer: no locks, no atomics. A nil
-// *Shard is a no-op, so instrumented code never needs to branch on
-// configuration.
+// Shard is a single-goroutine counter and span buffer: no locks, no
+// atomics. A nil *Shard is a no-op, so instrumented code never needs to
+// branch on configuration.
 type Shard struct {
 	counts map[string]int64
+
+	// tr/tid bind the shard to a tracer track; nil tr (the default for
+	// standalone shards and untraced collectors) makes Span a no-op.
+	tr    *Tracer
+	tid   int64
+	spans []spanRec
+}
+
+// Span starts a worker span on this shard's tracer track. With no tracer
+// bound (or a nil shard) it returns the zero ActiveSpan and performs no
+// allocation, so hot loops may call it unconditionally.
+func (s *Shard) Span(cat, name string) ActiveSpan {
+	if s == nil || s.tr == nil {
+		return ActiveSpan{}
+	}
+	s.spans = append(s.spans, spanRec{cat: cat, name: name, start: s.tr.since()})
+	return ActiveSpan{s: s, idx: len(s.spans) - 1}
+}
+
+// flushSpans moves the shard's span buffer into its tracer (no-op when
+// untraced). The shard must be quiescent.
+func (s *Shard) flushSpans() {
+	if s == nil || s.tr == nil || len(s.spans) == 0 {
+		return
+	}
+	s.tr.flush(s.tid, s.spans)
+	s.spans = nil
 }
 
 // NewShard returns a standalone shard not yet bound to a collector.
@@ -210,7 +275,8 @@ func (s *Shard) Count(name string) int64 {
 
 // Merge adds o's counts into s and resets o. Both shards must be quiescent
 // (their owning goroutines done writing); used to fold worker shards into a
-// caller-owned shard when no Collector is threaded through.
+// caller-owned shard when no Collector is threaded through. Spans recorded
+// on o flush straight to its own tracer track.
 func (s *Shard) Merge(o *Shard) {
 	if s == nil || o == nil {
 		return
@@ -219,6 +285,7 @@ func (s *Shard) Merge(o *Shard) {
 		s.counts[k] += v
 	}
 	o.counts = map[string]int64{}
+	o.flushSpans()
 }
 
 // PhaseProfile is one timed pipeline stage.

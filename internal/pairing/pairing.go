@@ -41,6 +41,12 @@ type Pair struct {
 	// from the disjoint request segment reaches the response slice — the
 	// paper's Fig. 5 pairing check.
 	FlowConfirmed bool
+	// FlowSeeds is how many disjoint request statements seeded that check,
+	// and FlowWitness is the smallest (method, index) response-slice
+	// statement the flow reached — the concrete witness behind
+	// FlowConfirmed, surfaced by the explain layer. Zero when unconfirmed.
+	FlowSeeds   int
+	FlowWitness taint.StmtID
 }
 
 // Analyze computes pairing facts for every transaction.
@@ -182,6 +188,8 @@ func verifyPairFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 		}
 	}()
 	bud.MaybePanic(budget.PhasePairing, site)
+	sp := stats.Span(obs.CatPairFlow, site)
+	defer sp.End()
 
 	stats.Add(obs.CtrPairFlowChecks, 1)
 	eng := taint.NewEngine(p, model, cg)
@@ -209,6 +217,7 @@ func verifyPairFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	if len(seeds) == 0 {
 		return nil
 	}
+	pr.FlowSeeds = len(seeds)
 	flow := eng.ForwardFacts(seeds)
 	if flow.Truncated != nil {
 		d := budget.ExceededDiag(flow.Truncated)
@@ -216,13 +225,26 @@ func verifyPairFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 		d.Site = site
 		return &d
 	}
+	// Keep the smallest reached statement as the deterministic witness of
+	// the confirmation (map iteration order must not leak into provenance).
 	for s := range pr.Tx.Response.Stmts {
-		if flow.Stmts[s] {
-			pr.FlowConfirmed = true
-			break
+		if !flow.Stmts[s] {
+			continue
 		}
+		if !pr.FlowConfirmed || stmtLess(s, pr.FlowWitness) {
+			pr.FlowWitness = s
+		}
+		pr.FlowConfirmed = true
 	}
 	return nil
+}
+
+// stmtLess orders statements by (method, index).
+func stmtLess(a, b taint.StmtID) bool {
+	if a.Method != b.Method {
+		return a.Method < b.Method
+	}
+	return a.Index < b.Index
 }
 
 func equalStmts(a, b map[taint.StmtID]bool) bool {

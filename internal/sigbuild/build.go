@@ -90,6 +90,29 @@ func BuildObs(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 // (the orchestrator records the diagnostic). A nil budget is unlimited.
 func BuildBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	tx *slice.Transaction, stats *obs.Shard, bud *budget.Budget) (*RequestSig, *ResponseSig, error) {
+	req, resp, _, err := BuildTraced(p, model, cg, tx, stats, bud)
+	return req, resp, err
+}
+
+// BuildInfo is the provenance record of one signature construction,
+// consumed by the explain layer: how much abstract interpretation the
+// transaction's signature cost and how much of it ran outside the entry
+// context (the cross-event heap pre-pass).
+type BuildInfo struct {
+	// MethodsEvaluated counts abstract method interpretations performed
+	// (method × calling context, including nested calls and pre-pass
+	// rounds).
+	MethodsEvaluated int
+	// PrePassMethods is the number of distinct slice methods interpreted
+	// outside the entry context to populate the abstract heap first.
+	PrePassMethods int
+}
+
+// BuildTraced is BuildBudgeted plus the BuildInfo provenance record. The
+// record is a value — computing it costs two counters, so it is always
+// returned and callers discard it when the explain layer is off.
+func BuildTraced(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
+	tx *slice.Transaction, stats *obs.Shard, bud *budget.Budget) (*RequestSig, *ResponseSig, BuildInfo, error) {
 
 	site := fmt.Sprintf("%s@%d", tx.DP.Method, tx.DP.Index)
 	bud.MaybePanic(budget.PhaseSigbuild, site)
@@ -106,7 +129,7 @@ func BuildBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 
 	dpm := model.Lookup(tx.DPRef)
 	if dpm == nil {
-		return nil, nil, fmt.Errorf("sigbuild: unmodeled DP %s", tx.DPRef)
+		return nil, nil, BuildInfo{}, fmt.Errorf("sigbuild: unmodeled DP %s", tx.DPRef)
 	}
 	ev := newEvaluator(p, model, tx.DP, dpm, filter)
 	ev.stats = stats
@@ -135,18 +158,21 @@ func BuildBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 		}
 	}
 
+	info := BuildInfo{PrePassMethods: len(pre)}
+
 	// Main pass from the transaction's entry point.
 	entry := p.Method(tx.Entry.Method)
 	if entry == nil {
-		return nil, nil, fmt.Errorf("sigbuild: entry %s not found", tx.Entry.Method)
+		return nil, nil, info, fmt.Errorf("sigbuild: entry %s not found", tx.Entry.Method)
 	}
 	ev.evalMethod(entry, seedArgs(p, entry, ev))
+	info.MethodsEvaluated = ev.methods
 
 	if ev.truncated != nil {
-		return nil, nil, ev.truncated
+		return nil, nil, info, ev.truncated
 	}
 	if ev.req == nil {
-		return nil, nil, fmt.Errorf("sigbuild: demarcation point %s@%d never reached from %s",
+		return nil, nil, info, fmt.Errorf("sigbuild: demarcation point %s@%d never reached from %s",
 			tx.DP.Method, tx.DP.Index, tx.Entry.Method)
 	}
 
@@ -155,7 +181,7 @@ func BuildBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	if tx.Response != nil {
 		resp = assembleResponse(ev, tx)
 	}
-	return req, resp, nil
+	return req, resp, info, nil
 }
 
 // seedArgs builds entry argument values: typed unknowns, with instance

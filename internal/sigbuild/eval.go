@@ -40,8 +40,10 @@ type evaluator struct {
 	nextAlloc int // allocation-site counter for object identity
 
 	// stats counts methods abstractly interpreted; owned by the worker
-	// goroutine running this evaluator. Nil disables counting.
-	stats *obs.Shard
+	// goroutine running this evaluator. Nil disables counting. methods is
+	// the same count kept per-evaluator for the BuildInfo provenance.
+	stats   *obs.Shard
+	methods int
 
 	// cg, when non-nil, supplies memoized per-method register types
 	// (BuildObs sets it); nil falls back to direct inference.
@@ -101,6 +103,7 @@ func (ev *evaluator) evalMethod(m *ir.Method, args []aval) aval {
 		return unknownVal(siglang.VAny, "recursion")
 	}
 	ev.stats.Add(obs.CtrSigbuildMethods, 1)
+	ev.methods++
 	ev.active[m.Ref()] = true
 	ev.depth++
 	defer func() {

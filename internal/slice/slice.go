@@ -50,6 +50,13 @@ type Transaction struct {
 	Sinks map[string]bool
 	// Sources observed while constructing the request (microphone, ...).
 	Sources map[string]bool
+
+	// ReqStmtsSliced / RespStmtsSliced are the slice sizes as taint
+	// propagation produced them, before object-aware augmentation inflated
+	// them with initialization context — provenance for the explain layer
+	// (how much of each slice is propagation versus augmentation).
+	ReqStmtsSliced  int
+	RespStmtsSliced int
 }
 
 // Key returns a stable identity for deduplication across entry points.
@@ -174,37 +181,48 @@ func FindBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, opt
 	diags := make([]*budget.Diagnostic, len(jobs))
 	runJob := func(i int, stats *obs.Shard) {
 		j := jobs[i]
+		id := j.id()
 		defer func() {
 			if r := recover(); r != nil {
 				results[i] = nil
-				d := budget.PanicDiag(budget.PhaseSlice, j.id(), r)
+				d := budget.PanicDiag(budget.PhaseSlice, id, r)
 				diags[i] = &d
 			}
 		}()
-		if ex := bud.SliceExhausted(j.id()); ex != nil {
-			d := budget.SkippedDiag(budget.PhaseSlice, j.id(), ex.Limit)
+		if ex := bud.SliceExhausted(id); ex != nil {
+			d := budget.SkippedDiag(budget.PhaseSlice, id, ex.Limit)
 			diags[i] = &d
 			return
 		}
-		if ex := bud.Over(budget.PhaseSlice, j.id()); ex != nil {
-			d := budget.SkippedDiag(budget.PhaseSlice, j.id(), ex.Limit)
+		if ex := bud.Over(budget.PhaseSlice, id); ex != nil {
+			d := budget.SkippedDiag(budget.PhaseSlice, id, ex.Limit)
 			diags[i] = &d
 			return
 		}
-		bud.MaybePanic(budget.PhaseSlice, j.id())
+		bud.MaybePanic(budget.PhaseSlice, id)
+		sp := stats.Span(obs.CatSliceJob, id)
+		defer sp.End()
 		t0 := time.Now()
 		tx := buildTransaction(p, model, cg, opts, j, stats, sums)
 		if ex := truncatedBy(tx); ex != nil {
 			// A partial slice would produce a wrong signature: drop the
 			// transaction and say exactly what was lost.
 			d := budget.ExceededDiag(ex)
-			d.Site = j.id()
+			d.Site = id
 			diags[i] = &d
 			tx = nil
 		}
 		results[i] = tx
 		stats.Add(obs.CtrSliceJobs, 1)
 		stats.Add(obs.CtrSliceBusyNS, time.Since(t0).Nanoseconds())
+	}
+	// Shards come from the collector when one is threaded through, so each
+	// worker lands on its own tracer track; standalone shards stay untraced.
+	newShard := func() *obs.Shard {
+		if opts.Col != nil {
+			return opts.Col.NewShard()
+		}
+		return obs.NewShard()
 	}
 	drain := func(s *obs.Shard) {
 		if opts.Col != nil {
@@ -219,7 +237,7 @@ func FindBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, opt
 		ch := make(chan int)
 		shards := make([]*obs.Shard, workers)
 		for w := 0; w < workers; w++ {
-			shard := obs.NewShard()
+			shard := newShard()
 			shards[w] = shard
 			wg.Add(1)
 			go func() {
@@ -238,7 +256,7 @@ func FindBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, opt
 			drain(shard)
 		}
 	} else {
-		shard := obs.NewShard()
+		shard := newShard()
 		for i := range jobs {
 			runJob(i, shard)
 		}
@@ -339,8 +357,12 @@ func buildTransaction(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 		stats.Add(obs.CtrSlicesForward, 1)
 	}
 
-	// Object-aware augmentation: make slices self-contained (§3.1).
+	// Object-aware augmentation: make slices self-contained (§3.1). The
+	// pre-augmentation sizes are kept as provenance, so the explain layer
+	// can attribute slice statements to propagation versus augmentation.
+	tx.ReqStmtsSliced = tx.Request.Size()
 	if tx.Response != nil {
+		tx.RespStmtsSliced = tx.Response.Size()
 		Augment(p, model, tx.Response)
 	}
 	Augment(p, model, tx.Request)

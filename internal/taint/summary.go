@@ -237,9 +237,9 @@ func (b *sumBuilder) flush() {
 	}
 }
 
-func (b *sumBuilder) include(inc sumInclude)  { b.cur.includes = append(b.cur.includes, inc) }
-func (b *sumBuilder) heapRead(loc string)     { b.cur.heapReads = append(b.cur.heapReads, loc) }
-func (b *sumBuilder) heapWrite(loc string)    { b.cur.heapWrites = append(b.cur.heapWrites, loc) }
+func (b *sumBuilder) include(inc sumInclude) { b.cur.includes = append(b.cur.includes, inc) }
+func (b *sumBuilder) heapRead(loc string)    { b.cur.heapReads = append(b.cur.heapReads, loc) }
+func (b *sumBuilder) heapWrite(loc string)   { b.cur.heapWrites = append(b.cur.heapWrites, loc) }
 func (b *sumBuilder) push(method string, reg int) {
 	b.cur.pushes = append(b.cur.pushes, sumPush{method: method, reg: reg})
 }

@@ -190,6 +190,14 @@ func (e *Engine) run(w *worklist, res *Result, dir direction, site string) {
 		sums = NewSummaryCache()
 		e.Summaries = sums
 	}
+	// One span per fixpoint run, nested inside the job span of whichever
+	// worker owns this engine's shard. Free when tracing is off.
+	cat := obs.CatTaintBackward
+	if dir == dirForward {
+		cat = obs.CatTaintForward
+	}
+	sp := e.Stats.Span(cat, site)
+	defer sp.End()
 	ck := e.Budget.Checker(e.budgetPhase(), site)
 	e.Budget.MaybePanic(budget.PhaseTaint, site)
 	if e.Budget.Hang(budget.PhaseTaint, site) {

@@ -1,0 +1,95 @@
+// MatchReport edge cases: an empty trace, signatures that never see
+// traffic, and the byte accounting of unmatched entries. These pin the
+// denominators of the §5.1 validity summary — a signature without observed
+// traffic must be excluded from SigsWithTraffic rather than counted valid,
+// and unmatched exchanges must not leak bytes into the Table 2 statistics.
+package trace
+
+import (
+	"testing"
+
+	"extractocol/internal/core"
+	"extractocol/internal/sigbuild"
+	"extractocol/internal/siglang"
+)
+
+func litTx(id int, method, uri string) *core.Transaction {
+	return &core.Transaction{ID: id, Request: &sigbuild.RequestSig{
+		Method: method, URI: &siglang.Lit{Val: uri}}}
+}
+
+func TestMatchReportEmptyTrace(t *testing.T) {
+	rep := &core.Report{Transactions: []*core.Transaction{
+		litTx(1, "GET", "https://a.example.com/x"),
+	}}
+	res := MatchReport(rep, nil)
+	if res.TraceEntries != 0 || res.MatchedEntries != 0 {
+		t.Fatalf("entry counts = %+v", res)
+	}
+	if res.SigsWithTraffic != 0 || res.SigsValid != 0 {
+		t.Fatalf("a signature without traffic was counted: %+v", res)
+	}
+	if len(res.Unmatched) != 0 {
+		t.Fatalf("unmatched = %v, want none", res.Unmatched)
+	}
+	if res.URIStats.Total()+res.ReqStats.Total()+res.RespStats.Total() != 0 {
+		t.Fatalf("empty trace accounted bytes: %+v", res)
+	}
+}
+
+func TestMatchReportSignatureWithoutTraffic(t *testing.T) {
+	// Two signatures, traffic for one: only the exercised signature enters
+	// the validity denominator, and it is valid.
+	rep := &core.Report{Transactions: []*core.Transaction{
+		litTx(1, "GET", "https://a.example.com/seen"),
+		litTx(2, "POST", "https://a.example.com/never"),
+	}}
+	es := []Entry{
+		{Method: "GET", URL: "https://a.example.com/seen", Status: 200, RouteID: "GET /seen"},
+		{Method: "GET", URL: "https://a.example.com/seen", Status: 404, RouteID: "GET /seen"}, // errors are skipped
+	}
+	res := MatchReport(rep, es)
+	if res.TraceEntries != 1 || res.MatchedEntries != 1 {
+		t.Fatalf("entry counts = %+v", res)
+	}
+	if res.SigsWithTraffic != 1 {
+		t.Fatalf("SigsWithTraffic = %d, want 1 (the POST sig saw no traffic)", res.SigsWithTraffic)
+	}
+	if res.SigsValid != 1 {
+		t.Fatalf("SigsValid = %d, want 1", res.SigsValid)
+	}
+	// The matched literal URI is all key bytes.
+	if res.URIStats.Key == 0 || res.URIStats.None != 0 {
+		t.Fatalf("uri stats = %+v", res.URIStats)
+	}
+}
+
+func TestMatchReportUnmatchedEntryByteAccounting(t *testing.T) {
+	rep := &core.Report{Transactions: []*core.Transaction{
+		litTx(1, "GET", "https://a.example.com/known"),
+	}}
+	es := []Entry{
+		// Unmatched by URL, carrying request and response payloads that must
+		// NOT be accounted anywhere.
+		{Method: "GET", URL: "https://other.example.com/mystery", Status: 200,
+			ReqBody: "k=v&x=y", RespType: "json", RespBody: `{"a":1}`,
+			RouteID: "GET /mystery"},
+		// Unmatched by method.
+		{Method: "DELETE", URL: "https://a.example.com/known", Status: 200,
+			RouteID: "DELETE /known"},
+	}
+	res := MatchReport(rep, es)
+	if res.TraceEntries != 2 || res.MatchedEntries != 0 {
+		t.Fatalf("entry counts = %+v", res)
+	}
+	if len(res.Unmatched) != 2 ||
+		res.Unmatched[0] != "GET /mystery" || res.Unmatched[1] != "DELETE /known" {
+		t.Fatalf("unmatched = %v", res.Unmatched)
+	}
+	if res.SigsWithTraffic != 0 || res.SigsValid != 0 {
+		t.Fatalf("unmatched traffic reached a signature: %+v", res)
+	}
+	if got := res.URIStats.Total() + res.ReqStats.Total() + res.RespStats.Total(); got != 0 {
+		t.Fatalf("unmatched entries accounted %d bytes, want 0", got)
+	}
+}

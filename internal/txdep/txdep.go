@@ -6,6 +6,7 @@
 package txdep
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -29,6 +30,18 @@ type Dep struct {
 	FromField string // response tree path ("" = whole body)
 	ToPart    string // "uri", "body", "body:<field>", "header:<name>"
 	Via       string
+}
+
+// Explain renders the edge as a human-readable provenance line for the
+// explain layer, naming the destination part, the source field, and the
+// carrier location.
+func (d Dep) Explain() string {
+	field := d.FromField
+	if field == "" {
+		field = "(whole body)"
+	}
+	return fmt.Sprintf("%s <- tx#%d response field %s via %s",
+		d.ToPart, d.From, field, d.Via)
 }
 
 // Infer computes all dependency edges among the transactions.

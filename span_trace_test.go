@@ -1,0 +1,258 @@
+// Tentpole acceptance tests for the span-tracing + provenance layer:
+//   - a traced corpus analysis exports structurally valid Chrome trace-event
+//     JSON covering every pipeline phase and the worker-level jobs;
+//   - tracing and explain leave the default report byte-identical;
+//   - every reported transaction carries a complete evidence chain under
+//     -explain, rendered by both ExplainText and ExplainJSON.
+package extractocol
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"extractocol/internal/core"
+	"extractocol/internal/corpus"
+	"extractocol/internal/obs"
+	"extractocol/internal/report"
+)
+
+// tracedApp analyzes one corpus app with tracing and explain enabled.
+func tracedApp(t *testing.T, name string) (*core.Report, *obs.Tracer) {
+	t.Helper()
+	app, err := corpus.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.NewOptions()
+	opts.Tracer = obs.NewTracer()
+	opts.Explain = true
+	rep, err := core.Analyze(app.Prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, opts.Tracer
+}
+
+// chromeTrace mirrors the subset of the Chrome trace-event JSON object form
+// that Perfetto requires: a traceEvents array of ph/ts/dur/pid/tid records.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int64          `json:"pid"`
+		TID  int64          `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestSpanTraceExportStructure(t *testing.T) {
+	rep, tr := tracedApp(t, "radio reddit")
+
+	data, err := tr.Export(1, rep.Package).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("export is not valid trace-event JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+
+	byCat := map[string]int{}
+	phaseSpans := map[string]bool{}
+	var runStart, runEnd float64
+	haveRun := false
+	procNamed := false
+	threadNames := map[int64]string{}
+	for _, e := range doc.TraceEvents {
+		if e.PID != 1 {
+			t.Fatalf("event %q carries pid %d, want 1", e.Name, e.PID)
+		}
+		switch e.Ph {
+		case "M":
+			switch e.Name {
+			case "process_name":
+				if e.Args["name"] == rep.Package {
+					procNamed = true
+				}
+			case "thread_name":
+				threadNames[e.TID], _ = e.Args["name"].(string)
+			}
+		case "X":
+			byCat[e.Cat]++
+			if e.Cat == obs.CatPhase {
+				phaseSpans[e.Name] = true
+				if e.TID != 0 {
+					t.Errorf("phase span %q on track %d, want coordinator track 0", e.Name, e.TID)
+				}
+			}
+			if e.Cat == obs.CatRun {
+				haveRun, runStart, runEnd = true, e.TS, e.TS+e.Dur
+				if e.Name != rep.Package {
+					t.Errorf("run span named %q, want %q", e.Name, rep.Package)
+				}
+			}
+		default:
+			t.Errorf("unexpected event phase %q", e.Ph)
+		}
+	}
+	if !procNamed {
+		t.Error("no process_name metadata event for the app package")
+	}
+	if threadNames[0] != "coordinator" {
+		t.Errorf("track 0 named %q, want coordinator", threadNames[0])
+	}
+	if !haveRun {
+		t.Fatal("no run span exported")
+	}
+	for _, name := range []string{
+		obs.PhaseValidate, obs.PhaseCallgraph, obs.PhaseSlice, obs.PhasePairing,
+		obs.PhaseSigbuild, obs.PhaseDedup, obs.PhaseTxdep,
+	} {
+		if !phaseSpans[name] {
+			t.Errorf("phase %q has no span", name)
+		}
+	}
+	for _, cat := range []string{obs.CatSliceJob, obs.CatSigbuildJob, obs.CatTaintBackward} {
+		if byCat[cat] == 0 {
+			t.Errorf("no %q spans recorded", cat)
+		}
+	}
+	// Hierarchy: every phase span nests inside the run span.
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Cat != obs.CatPhase {
+			continue
+		}
+		if e.TS < runStart || e.TS+e.Dur > runEnd {
+			t.Errorf("phase span %q [%v, %v] escapes run span [%v, %v]",
+				e.Name, e.TS, e.TS+e.Dur, runStart, runEnd)
+		}
+	}
+	// Worker spans land on named worker tracks.
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.TID == 0 {
+			continue
+		}
+		if name := threadNames[e.TID]; !strings.HasPrefix(name, "worker-") {
+			t.Errorf("span %q on track %d named %q, want worker-*", e.Name, e.TID, name)
+		}
+	}
+
+	// Per-phase heap gauges ride in the profile when traced.
+	heapGauges := 0
+	for name := range rep.Profile.Gauges {
+		if strings.HasPrefix(name, obs.GaugeHeapAllocAfter) {
+			heapGauges++
+		}
+	}
+	if heapGauges < 7 {
+		t.Errorf("%d heap gauges recorded, want one per phase (>= 7)", heapGauges)
+	}
+}
+
+func TestTracingKeepsDefaultReportIdentical(t *testing.T) {
+	app, err := corpus.ByName("radio reddit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := core.Analyze(app.Prog, core.NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, _ := tracedApp(t, "radio reddit")
+
+	p, q := normalizeReport(report.Text(plain)), normalizeReport(report.Text(traced))
+	if p != q {
+		t.Errorf("traced+explain run changes the default report\n--- plain ---\n%s\n--- traced ---\n%s", p, q)
+	}
+	// The default run carries no evidence and no heap gauges: nothing of the
+	// new layer leaks into untraced output.
+	for _, tx := range plain.Transactions {
+		if tx.Evidence != nil {
+			t.Errorf("tx #%d has evidence without Options.Explain", tx.ID)
+		}
+	}
+	for name := range plain.Profile.Gauges {
+		if strings.HasPrefix(name, obs.GaugeHeapAllocAfter) {
+			t.Errorf("untraced run recorded heap gauge %q", name)
+		}
+	}
+}
+
+func TestExplainCoversEveryTransaction(t *testing.T) {
+	rep, _ := tracedApp(t, "radio reddit")
+	if len(rep.Transactions) == 0 {
+		t.Fatal("no transactions to explain")
+	}
+
+	text := report.ExplainText(rep)
+	for _, tx := range rep.Transactions {
+		ev := tx.Evidence
+		if ev == nil {
+			t.Fatalf("tx #%d has no evidence under Options.Explain", tx.ID)
+		}
+		if ev.Entry == "" || ev.EntryKind == "" || ev.DP == "" || ev.DPRef == "" {
+			t.Errorf("tx #%d evidence incomplete: %+v", tx.ID, ev)
+		}
+		if ev.ReqStmts == 0 || ev.ReqMethods == 0 || ev.ReqSliced == 0 {
+			t.Errorf("tx #%d request slice provenance empty: %+v", tx.ID, ev)
+		}
+		if ev.ReqSliced > ev.ReqStmts {
+			t.Errorf("tx #%d pre-augmentation slice (%d) larger than final (%d)",
+				tx.ID, ev.ReqSliced, ev.ReqStmts)
+		}
+		if ev.SigMethods == 0 {
+			t.Errorf("tx #%d signature cost unrecorded", tx.ID)
+		}
+		if tx.FlowConfirmed && ev.FlowWitness == "" {
+			t.Errorf("tx #%d flow-confirmed without a witness", tx.ID)
+		}
+		if !strings.Contains(text, fmt.Sprintf("#%d %s", tx.ID, tx.Request.Method)) {
+			t.Errorf("ExplainText omits tx #%d", tx.ID)
+		}
+		if !strings.Contains(text, "entry: "+ev.Entry) {
+			t.Errorf("ExplainText omits tx #%d's entry point", tx.ID)
+		}
+	}
+
+	data, err := report.ExplainJSON(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Transactions []struct {
+			ID       int            `json:"id"`
+			Evidence *core.Evidence `json:"evidence"`
+		} `json:"transactions"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("ExplainJSON output invalid: %v", err)
+	}
+	if len(doc.Transactions) != len(rep.Transactions) {
+		t.Fatalf("ExplainJSON covers %d transactions, report has %d",
+			len(doc.Transactions), len(rep.Transactions))
+	}
+	for _, jt := range doc.Transactions {
+		if jt.Evidence == nil {
+			t.Errorf("ExplainJSON tx #%d has null evidence", jt.ID)
+		}
+	}
+
+	// Dependency edges render through Dep.Explain on an app that has them.
+	ted, _ := tracedApp(t, "TED")
+	if len(ted.Deps) == 0 {
+		t.Fatal("TED reports no dependency edges")
+	}
+	tedText := report.ExplainText(ted)
+	if !strings.Contains(tedText, "depends: ") {
+		t.Error("ExplainText renders no dependency provenance for TED")
+	}
+}
