@@ -238,3 +238,79 @@ func TestSliceBenchGuard(t *testing.T) {
 		}
 	}
 }
+
+// ---- Pairing + warm-cache guard ------------------------------------------------
+//
+// TestPairingBenchGuard pins the two hot paths this PR optimized — the
+// indexed pairing group analysis and the fully warm cached analysis —
+// against BENCH_pairing.json, with the same slack factors and the same
+// EXTRACTOCOL_BENCH_BASELINE=write regeneration convention as the guards
+// above.
+
+const pairingBaselinePath = "BENCH_pairing.json"
+
+func measurePairingOps(t *testing.T) sliceBenchBaseline {
+	t.Helper()
+	bl := sliceBenchBaseline{App: guardApp, Ops: map[string]sliceOpBaseline{}}
+	for name, fn := range map[string]func(*testing.B){
+		"pairing_analyze": BenchmarkPairingAnalyze,
+		"cache_warm_run":  BenchmarkCacheWarmRun,
+	} {
+		res := testing.Benchmark(fn)
+		if res.N == 0 {
+			t.Fatalf("benchmark %q failed to run", name)
+		}
+		bl.Ops[name] = sliceOpBaseline{NsPerOp: res.NsPerOp(), AllocsPerOp: res.AllocsPerOp()}
+	}
+	return bl
+}
+
+func TestPairingBenchGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews timing and allocation counts")
+	}
+
+	cur := measurePairingOps(t)
+
+	data, err := os.ReadFile(pairingBaselinePath)
+	if os.IsNotExist(err) || os.Getenv("EXTRACTOCOL_BENCH_BASELINE") == "write" {
+		out, merr := json.MarshalIndent(cur, "", "  ")
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if werr := os.WriteFile(pairingBaselinePath, append(out, '\n'), 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		t.Logf("wrote %s: %s", pairingBaselinePath, out)
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base sliceBenchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("corrupt %s: %v", pairingBaselinePath, err)
+	}
+	if base.App != cur.App {
+		t.Fatalf("baseline measures %q, guard measures %q; regenerate the baseline", base.App, cur.App)
+	}
+
+	for name, b := range base.Ops {
+		got, ok := cur.Ops[name]
+		if !ok {
+			t.Errorf("op %q vanished from the guard; regenerate %s if intentional", name, pairingBaselinePath)
+			continue
+		}
+		if got.NsPerOp > b.NsPerOp*nsSlack {
+			t.Errorf("%s takes %d ns/op, baseline %d (limit %dx): investigate or regenerate %s",
+				name, got.NsPerOp, b.NsPerOp, nsSlack, pairingBaselinePath)
+		}
+		if got.AllocsPerOp > b.AllocsPerOp*allocsSlack {
+			t.Errorf("%s makes %d allocs/op, baseline %d (limit %dx): investigate or regenerate %s",
+				name, got.AllocsPerOp, b.AllocsPerOp, allocsSlack, pairingBaselinePath)
+		}
+	}
+}

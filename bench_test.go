@@ -19,6 +19,8 @@ import (
 	"extractocol/internal/ir"
 	"extractocol/internal/obfuscate"
 	"extractocol/internal/obs"
+	"extractocol/internal/pairing"
+	"extractocol/internal/resultcache"
 	"extractocol/internal/semmodel"
 	"extractocol/internal/siglang"
 	"extractocol/internal/slice"
@@ -422,6 +424,65 @@ func BenchmarkAugment(b *testing.B) {
 		slice.Augment(app.Prog, model, res)
 		if len(res.Stmts) < len(seed.Stmts) {
 			b.Fatal("augment shrank the slice")
+		}
+	}
+}
+
+// ---- §3.3 pairing: indexed group analysis -------------------------------------
+
+// BenchmarkPairingAnalyze measures the pairing group analysis over real
+// slicer output (the running example's transaction set). This is the hot
+// path the inverted-index rewrite de-quadratized; TestPairingBenchGuard
+// pins it against BENCH_pairing.json.
+func BenchmarkPairingAnalyze(b *testing.B) {
+	app := corpus.RadioReddit()
+	model := semmodel.Default()
+	cg := callgraph.Build(app.Prog, model)
+	txs := slice.Find(app.Prog, model, cg, slice.Options{MaxAsyncHops: 1})
+	if len(txs) == 0 {
+		b.Fatal("no transactions")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pairs := pairing.Analyze(txs)
+		if len(pairs) != len(txs) {
+			b.Fatalf("pairs = %d, txs = %d", len(pairs), len(txs))
+		}
+	}
+}
+
+// ---- Persistent result cache: warm-path analysis ------------------------------
+
+// BenchmarkCacheWarmRun measures a fully warm core.Analyze: the report is
+// served from a primed persistent cache, so each iteration is one key
+// lookup, one entry read, and one decode — the steady-state cost of
+// re-analyzing an unchanged binary.
+func BenchmarkCacheWarmRun(b *testing.B) {
+	app := corpus.RadioReddit()
+	cache, err := resultcache.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.NewOptions()
+	key, err := resultcache.KeyForProgram(app.Prog, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts.Cache = cache
+	opts.CacheKey = key
+	if _, err := core.Analyze(app.Prog, opts); err != nil { // prime
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Analyze(app.Prog, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Profile.Counters[obs.CtrCacheReportHits] != 1 {
+			b.Fatal("warm run missed the cache")
 		}
 	}
 }

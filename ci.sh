@@ -39,6 +39,23 @@ go test -race -run 'TestFaultInjection|TestDecodeFault|TestInjectedHang|TestEval
 echo "== go test -race"
 go test -race ./...
 
+echo "== result cache smoke under -race"
+# End-to-end warm-path gate on the real binaries: analyze the same .apkb
+# twice into one cache directory; the second (warm) run must produce an
+# identical report — modulo the run-local timing lines — and its profile
+# must record exactly one report-cache hit.
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+go run -race ./cmd/apkgen -out "$smoke" "radio reddit"
+apkb=$(ls "$smoke"/*.apkb)
+go run -race ./cmd/extractocol -cache "$smoke/cache" "$apkb" \
+    | grep -v -e 'analysis time' -e 'phases:' > "$smoke/cold.txt"
+go run -race ./cmd/extractocol -cache "$smoke/cache" "$apkb" \
+    | grep -v -e 'analysis time' -e 'phases:' > "$smoke/warm.txt"
+diff "$smoke/cold.txt" "$smoke/warm.txt"
+go run -race ./cmd/extractocol -cache "$smoke/cache" -profile "$apkb" \
+    | grep -q '"cache_report_hits": 1'
+
 echo "== bench smoke"
 go test -run=NONE -bench=. -benchtime=1x .
 

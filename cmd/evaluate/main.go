@@ -23,6 +23,9 @@
 //	evaluate -trace corpus.json  write one Chrome trace-event JSON timeline
 //	                             covering every corpus app (one process
 //	                             track per app; load in Perfetto)
+//	evaluate -cache dir          persistent report cache shared by all
+//	                             corpus apps; a warm re-evaluation serves
+//	                             every unchanged app's report from disk
 package main
 
 import (
@@ -42,14 +45,15 @@ func main() {
 	serial := flag.Bool("serial", false, "disable per-app parallelism")
 	deadline := flag.Duration("deadline", 0, "per-app analysis deadline (0 = unlimited)")
 	traceFile := flag.String("trace", "", "write a corpus-wide Chrome trace-event JSON timeline to this file")
+	cacheDir := flag.String("cache", "", "persistent report cache directory (empty = off)")
 	flag.Parse()
-	if err := run(*only, *profile, *serial, *deadline, *traceFile); err != nil {
+	if err := run(*only, *profile, *serial, *deadline, *traceFile, *cacheDir); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(only string, profile, serial bool, deadline time.Duration, traceFile string) error {
+func run(only string, profile, serial bool, deadline time.Duration, traceFile, cacheDir string) error {
 	want := func(name string) bool { return only == "" || only == name }
 
 	var results []*evaluate.AppResult
@@ -57,7 +61,7 @@ func run(only string, profile, serial bool, deadline time.Duration, traceFile st
 	needCorpus := only == "" || only == "table1" || only == "table2" ||
 		only == "figure6" || only == "figure7" || only == "validity" || only == "timing"
 	if needCorpus || profile || traceFile != "" {
-		cfg := evaluate.RunConfig{Deadline: deadline, Trace: traceFile != ""}
+		cfg := evaluate.RunConfig{Deadline: deadline, Trace: traceFile != "", CacheDir: cacheDir}
 		if serial {
 			cfg.Workers = 1
 		}

@@ -29,6 +29,9 @@
 //	-explain                append the provenance chain of every
 //	                        transaction (entry point, slice sizes, pairing
 //	                        witness, signature cost, dependency origins)
+//	-cache dir              persistent report cache: re-analyzing an
+//	                        unchanged binary with unchanged options serves
+//	                        the stored report instead of recomputing
 package main
 
 import (
@@ -41,6 +44,7 @@ import (
 	"extractocol/internal/dex"
 	"extractocol/internal/obs"
 	"extractocol/internal/report"
+	"extractocol/internal/resultcache"
 )
 
 func main() {
@@ -53,6 +57,7 @@ func main() {
 	fixBudget := flag.Int64("fixpoint-budget", 0, "taint fixpoint iteration budget (0 = unlimited)")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	explain := flag.Bool("explain", false, "append per-transaction provenance chains")
+	cacheDir := flag.String("cache", "", "persistent report cache directory (empty = off)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -61,7 +66,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := budgets{deadline: *deadline, sliceSteps: *sliceBudget, fixIters: *fixBudget}
-	if err := run(flag.Arg(0), *format, *scope, *hops, *profile, *explain, *traceFile, cfg); err != nil {
+	if err := run(flag.Arg(0), *format, *scope, *hops, *profile, *explain, *traceFile, *cacheDir, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "extractocol:", err)
 		os.Exit(1)
 	}
@@ -74,8 +79,12 @@ type budgets struct {
 	fixIters   int64
 }
 
-func run(path, format, scope string, hops int, profile, explain bool, traceFile string, cfg budgets) error {
-	prog, err := dex.ReadFile(path)
+func run(path, format, scope string, hops int, profile, explain bool, traceFile, cacheDir string, cfg budgets) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := dex.Decode(data)
 	if err != nil {
 		return err
 	}
@@ -88,6 +97,16 @@ func run(path, format, scope string, hops int, profile, explain bool, traceFile 
 	opts.Explain = explain
 	if traceFile != "" {
 		opts.Tracer = obs.NewTracer()
+	}
+	if cacheDir != "" {
+		cache, err := resultcache.Open(cacheDir)
+		if err != nil {
+			return err
+		}
+		opts.Cache = cache
+		// KeyFor folds in every report-affecting option, so it must run
+		// after the options above are final.
+		opts.CacheKey = resultcache.KeyFor(resultcache.HashBytes(data), opts)
 	}
 	rep, err := core.Analyze(prog, opts)
 	if err != nil {

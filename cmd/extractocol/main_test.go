@@ -28,7 +28,7 @@ func writeApp(t *testing.T, name string) string {
 func TestRunAllFormats(t *testing.T) {
 	path := writeApp(t, "radio reddit")
 	for _, format := range []string{"text", "json", "dot"} {
-		if err := run(path, format, "", 1, false, false, "", budgets{}); err != nil {
+		if err := run(path, format, "", 1, false, false, "", "", budgets{}); err != nil {
 			t.Errorf("format %s: %v", format, err)
 		}
 	}
@@ -36,20 +36,20 @@ func TestRunAllFormats(t *testing.T) {
 
 func TestRunScoped(t *testing.T) {
 	path := writeApp(t, "KAYAK")
-	if err := run(path, "text", "com.kayak.", 1, false, false, "", budgets{}); err != nil {
+	if err := run(path, "text", "com.kayak.", 1, false, false, "", "", budgets{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadFormat(t *testing.T) {
 	path := writeApp(t, "blippex")
-	if err := run(path, "yaml", "", 1, false, false, "", budgets{}); err == nil {
+	if err := run(path, "yaml", "", 1, false, false, "", "", budgets{}); err == nil {
 		t.Fatal("accepted unknown format")
 	}
 }
 
 func TestRunRejectsMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing.apkb"), "text", "", 1, false, false, "", budgets{}); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing.apkb"), "text", "", 1, false, false, "", "", budgets{}); err == nil {
 		t.Fatal("accepted missing file")
 	}
 }
@@ -60,7 +60,7 @@ func TestRunRejectsMissingFile(t *testing.T) {
 func TestRunProfileEmitsPhaseBreakdown(t *testing.T) {
 	path := writeApp(t, "radio reddit")
 	out := captureStdout(t, func() {
-		if err := run(path, "dot", "", 1, true, false, "", budgets{}); err != nil {
+		if err := run(path, "dot", "", 1, true, false, "", "", budgets{}); err != nil {
 			t.Error(err)
 		}
 	})
@@ -85,6 +85,48 @@ func TestRunProfileEmitsPhaseBreakdown(t *testing.T) {
 	}
 	if len(doc.Profile.Counters) == 0 {
 		t.Fatal("profile has no counters")
+	}
+}
+
+// TestRunCacheWarmServesIdenticalReport drives the -cache flag end to end:
+// a cold run fills the cache directory, the warm run prints the identical
+// report, and its profile shows the hit.
+func TestRunCacheWarmServesIdenticalReport(t *testing.T) {
+	path := writeApp(t, "radio reddit")
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	cold := captureStdout(t, func() {
+		if err := run(path, "text", "", 1, false, false, "", cacheDir, budgets{}); err != nil {
+			t.Error(err)
+		}
+	})
+	warm := captureStdout(t, func() {
+		if err := run(path, "text", "", 1, false, false, "", cacheDir, budgets{}); err != nil {
+			t.Error(err)
+		}
+	})
+	// Timing and phase lines are run-local by design (a warm run reports
+	// its own, fresh measurements); everything else must match byte for
+	// byte. ci.sh applies the same normalization.
+	stripRunLocal := func(out []byte) []byte {
+		var kept [][]byte
+		for _, line := range bytes.Split(out, []byte("\n")) {
+			if bytes.Contains(line, []byte("analysis time")) || bytes.Contains(line, []byte("phases:")) {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return bytes.Join(kept, []byte("\n"))
+	}
+	if !bytes.Equal(stripRunLocal(cold), stripRunLocal(warm)) {
+		t.Error("warm -cache run printed a different report")
+	}
+	profiled := captureStdout(t, func() {
+		if err := run(path, "dot", "", 1, true, false, "", cacheDir, budgets{}); err != nil {
+			t.Error(err)
+		}
+	})
+	if !bytes.Contains(profiled, []byte(`"cache_report_hits": 1`)) {
+		t.Errorf("warm profile lacks the cache hit:\n%s", profiled)
 	}
 }
 

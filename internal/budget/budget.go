@@ -34,6 +34,9 @@ const (
 	PhasePairing  = "pairing"
 	PhaseSigbuild = "sigbuild"
 	PhaseTxdep    = "txdep"
+	// PhaseCache is the persistent result-cache lookup/store stage that
+	// brackets the pipeline (see internal/resultcache).
+	PhaseCache = "cache"
 )
 
 // Limit names identifying which budget an *Exceeded tripped.
@@ -245,6 +248,11 @@ const (
 	// DiagSkipped records work never started because the budget was
 	// already spent at the job boundary.
 	DiagSkipped = "skipped"
+	// DiagCache records a persistent result-cache entry that could not be
+	// served (corrupt, truncated, wrong format version) or stored; the
+	// analysis fell back to — or remained — a full recompute, so the report
+	// itself is unaffected.
+	DiagCache = "cache"
 )
 
 // Diagnostic is one degradation event surfaced in Report.Diagnostics: what
@@ -278,4 +286,10 @@ func ExceededDiag(e *Exceeded) Diagnostic {
 // SkippedDiag records work dropped before it started.
 func SkippedDiag(phase, site, why string) Diagnostic {
 	return Diagnostic{Phase: phase, Kind: DiagSkipped, Site: site, Detail: why}
+}
+
+// CacheDiag records an unusable or unwritable persistent-cache entry. The
+// site is the content-addressed cache key the entry lived under.
+func CacheDiag(site, why string) Diagnostic {
+	return Diagnostic{Phase: PhaseCache, Kind: DiagCache, Site: site, Detail: why}
 }

@@ -77,6 +77,30 @@ type Options struct {
 	// transaction (entry point, slice sizes, pairing witness, signature
 	// cost). Off by default so reports stay byte-identical.
 	Explain bool
+
+	// Cache, when non-nil together with a non-empty CacheKey, serves and
+	// stores whole reports across Analyze calls: a hit skips every pipeline
+	// phase and returns the stored report (Duration and Profile are always
+	// recomputed — a warm profile records only the resultcache phase). Only
+	// clean runs (no diagnostics) are stored, so degraded or fault-injected
+	// reports never poison the cache.
+	Cache ReportCache
+	// CacheKey is the content address of this (binary, options) pair —
+	// compute it with resultcache.KeyFor / resultcache.KeyForProgram after
+	// every report-affecting option is set. Empty disables the cache.
+	CacheKey string
+}
+
+// ReportCache serves complete reports for repeated analyses of the same
+// binary + options pair. Implemented by internal/resultcache; declared here
+// so core stays independent of the cache's on-disk format.
+type ReportCache interface {
+	// Get returns (report, true, nil) on a hit, (nil, false, nil) on a
+	// miss, and a non-nil error when an entry exists under key but cannot
+	// be decoded (corrupt, truncated, wrong format version).
+	Get(key string) (*Report, bool, error)
+	// Put stores r under key.
+	Put(key string, r *Report) error
 }
 
 // NewOptions returns the default configuration (async heuristic enabled).
@@ -278,6 +302,30 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 		}
 	}
 
+	// Warm path: a cache hit replaces the entire pipeline, so repeated
+	// analyses of the same binary under the same options cost one disk read
+	// and one decode. The lookup is bracketed by its own phase so -profile
+	// and -trace distinguish warm from cold runs; an unusable entry (corrupt,
+	// truncated, wrong format version) degrades to a full recompute with a
+	// typed diagnostic, never an error or a wrong report.
+	if opts.Cache != nil && opts.CacheKey != "" {
+		endCache := col.Phase(obs.PhaseResultCache)
+		cached, hit, cerr := opts.Cache.Get(opts.CacheKey)
+		endCache()
+		switch {
+		case hit:
+			col.Add(obs.CtrCacheReportHits, 1)
+			cached.Duration = time.Since(start)
+			cached.Profile = col.Snapshot()
+			return cached, nil
+		case cerr != nil:
+			col.Add(obs.CtrCacheReportInvalid, 1)
+			note(budget.CacheDiag(opts.CacheKey, cerr.Error()))
+		default:
+			col.Add(obs.CtrCacheReportMisses, 1)
+		}
+	}
+
 	endValidate := col.Phase(obs.PhaseValidate)
 	bud.MaybePanic(budget.PhaseValidate, p.Manifest.Package)
 	verr := p.Validate()
@@ -377,6 +425,42 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 	cg.DrainCacheCounters(col)
 	sums.DrainCounters(col)
 
+	rep = &Report{
+		Package:       p.Manifest.Package,
+		AppName:       p.Manifest.AppName,
+		Transactions:  out,
+		Deps:          deps,
+		SliceFraction: frac,
+		DPCount:       len(dpSites),
+	}
+
+	// Store clean cold runs back into the cache. Degraded runs (any
+	// analysis diagnostic) are never stored: a deadline-truncated report
+	// reflects this machine's clock, not the binary, and must not be served
+	// later as if it were complete. Cache-phase diagnostics don't count —
+	// a corrupt entry degrades only the lookup, and the recompute it forced
+	// is exactly the report that should repair the entry. Duration and
+	// Profile are excluded from the encoding, so the order (store, then
+	// snapshot) loses nothing.
+	clean := true
+	for _, d := range diags {
+		if d.Phase != budget.PhaseCache {
+			clean = false
+			break
+		}
+	}
+	if opts.Cache != nil && opts.CacheKey != "" && clean {
+		endCache := col.Phase(obs.PhaseResultCache)
+		perr := opts.Cache.Put(opts.CacheKey, rep)
+		endCache()
+		if perr != nil {
+			col.Add(obs.CtrCacheReportInvalid, 1)
+			note(budget.CacheDiag(opts.CacheKey, "store failed: "+perr.Error()))
+		} else {
+			col.Add(obs.CtrCacheReportWrites, 1)
+		}
+	}
+
 	// Workers complete in scheduling order, so diags arrive nondeterministically
 	// under parallel runs; sort by (phase, site, detail) so the report is
 	// byte-identical regardless of worker count.
@@ -391,17 +475,10 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 		return a.Detail < b.Detail
 	})
 
-	return &Report{
-		Package:       p.Manifest.Package,
-		AppName:       p.Manifest.AppName,
-		Duration:      time.Since(start),
-		Transactions:  out,
-		Deps:          deps,
-		SliceFraction: frac,
-		DPCount:       len(dpSites),
-		Profile:       col.Snapshot(),
-		Diagnostics:   diags,
-	}, nil
+	rep.Duration = time.Since(start)
+	rep.Diagnostics = diags
+	rep.Profile = col.Snapshot()
+	return rep, nil
 }
 
 // built is one sigbuild result, positionally aligned with the transaction

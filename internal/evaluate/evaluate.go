@@ -20,6 +20,7 @@ import (
 	"extractocol/internal/corpus"
 	"extractocol/internal/fuzz"
 	"extractocol/internal/obs"
+	"extractocol/internal/resultcache"
 	"extractocol/internal/siglang"
 	"extractocol/internal/trace"
 )
@@ -64,6 +65,10 @@ type RunConfig struct {
 	Faults *budget.FaultInjector
 	// Trace records a span timeline per app (see AppResult.Tracer).
 	Trace bool
+	// CacheDir roots a persistent report cache shared by every app in the
+	// run ("" = off): a warm corpus evaluation serves each app's report
+	// from disk instead of re-analyzing it.
+	CacheDir string
 }
 
 // RunApp analyzes one app and runs both fuzzing baselines.
@@ -80,6 +85,18 @@ func RunAppConfig(app *corpus.App, cfg RunConfig) (*AppResult, error) {
 	opts.Faults = cfg.Faults
 	if cfg.Trace {
 		opts.Tracer = obs.NewTracer()
+	}
+	if cfg.CacheDir != "" {
+		cache, err := resultcache.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.Spec.Name, err)
+		}
+		key, err := resultcache.KeyForProgram(app.Prog, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.Spec.Name, err)
+		}
+		opts.Cache = cache
+		opts.CacheKey = key
 	}
 	rep, err := core.Analyze(app.Prog, opts)
 	if err != nil {

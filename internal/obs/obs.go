@@ -29,6 +29,9 @@ const (
 	PhaseSigbuild  = "sigbuild"
 	PhaseDedup     = "dedup"
 	PhaseTxdep     = "txdep"
+	// PhaseResultCache brackets persistent report-cache lookups and stores
+	// (see internal/resultcache); it is the only phase a warm run records.
+	PhaseResultCache = "resultcache"
 )
 
 // Counter names recorded by the pipeline.
@@ -57,6 +60,14 @@ const (
 	CtrCacheInferTypesMisses = "cache_infertypes_misses"
 	CtrCacheSummaryHits      = "cache_summaries_hits"
 	CtrCacheSummaryMisses    = "cache_summaries_misses"
+	// Persistent report-cache counters (internal/resultcache): whole-report
+	// hits and misses keyed by (binary hash, options fingerprint), entries
+	// written back after cold runs, and entries found but unusable
+	// (corrupt, truncated, wrong format version).
+	CtrCacheReportHits    = "cache_report_hits"
+	CtrCacheReportMisses  = "cache_report_misses"
+	CtrCacheReportWrites  = "cache_report_writes"
+	CtrCacheReportInvalid = "cache_report_invalid"
 	// CtrPairFlowChecks counts information-flow pairing verifications run.
 	CtrPairFlowChecks = "pairing_flow_checks"
 	// CtrSigbuildJobs counts signature-extraction jobs executed by the

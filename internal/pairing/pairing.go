@@ -50,23 +50,54 @@ type Pair struct {
 }
 
 // Analyze computes pairing facts for every transaction.
+//
+// Group analysis is indexed, not pairwise: for each demarcation-point group
+// it builds two inverted owner-count indexes (statement → number of group
+// transactions whose request/response slice contains it) and an
+// equality-class partition of the response statement sets, all in one pass
+// over the group's statements. Disjoint segments then fall out of a single
+// scan of each transaction's own slice (a statement is disjoint exactly
+// when its owner count is 1), and shared-handler detection is a lookup in
+// the precomputed partition — O(total statements) per group where the
+// previous implementation re-ran pairwise set scans per transaction,
+// O(n²·|stmts|) in group size. Results are identical (pairing_oracle_test.go
+// keeps the old implementation as an equivalence oracle).
 func Analyze(txs []*slice.Transaction) []Pair {
 	byDP := map[taint.StmtID][]*slice.Transaction{}
 	for _, tx := range txs {
 		byDP[tx.DP] = append(byDP[tx.DP], tx)
 	}
+	indexes := make(map[taint.StmtID]*groupIndex, len(byDP))
 	out := make([]Pair, 0, len(txs))
 	for _, tx := range txs {
 		group := byDP[tx.DP]
+		if len(group) == 1 {
+			// Singleton groups (the common case) need no index: every
+			// statement is trivially disjoint and no handler can be shared.
+			p := Pair{
+				Tx:               tx,
+				HasResponse:      tx.Response != nil && tx.Response.Size() > 0,
+				DisjointRequest:  copyStmts(tx.Request),
+				DisjointResponse: copyStmts(tx.Response),
+			}
+			p.OneToOne = p.HasResponse
+			out = append(out, p)
+			continue
+		}
+		gi := indexes[tx.DP]
+		if gi == nil {
+			gi = indexGroup(group)
+			indexes[tx.DP] = gi
+		}
 		p := Pair{
 			Tx:               tx,
 			HasResponse:      tx.Response != nil && tx.Response.Size() > 0,
-			DisjointRequest:  disjoint(tx.Request, requestsOf(group, tx)),
-			DisjointResponse: disjoint(tx.Response, responsesOf(group, tx)),
+			DisjointRequest:  ownedStmts(tx.Request, gi.reqOwners),
+			DisjointResponse: ownedStmts(tx.Response, gi.respOwners),
 		}
-		p.OneToOne = p.HasResponse && (len(group) == 1 || len(p.DisjointResponse) > 0)
-		if p.HasResponse && len(group) > 1 && len(p.DisjointResponse) == 0 {
-			p.SharedHandler = sameStmtsAsAnother(tx, group)
+		p.OneToOne = p.HasResponse && len(p.DisjointResponse) > 0
+		if p.HasResponse && len(p.DisjointResponse) == 0 {
+			p.SharedHandler = gi.sharedHandler[tx]
 		}
 		out = append(out, p)
 	}
@@ -74,57 +105,146 @@ func Analyze(txs []*slice.Transaction) []Pair {
 	return out
 }
 
-func requestsOf(group []*slice.Transaction, skip *slice.Transaction) []*taint.Result {
-	var rs []*taint.Result
-	for _, t := range group {
-		if t != skip && t.Request != nil {
-			rs = append(rs, t.Request)
-		}
-	}
-	return rs
+// groupIndex carries the per-group inverted indexes: how many transactions'
+// request/response slices own each statement, and which transactions share
+// their exact response statement set with another group member.
+type groupIndex struct {
+	reqOwners     map[taint.StmtID]int
+	respOwners    map[taint.StmtID]int
+	sharedHandler map[*slice.Transaction]bool
 }
 
-func responsesOf(group []*slice.Transaction, skip *slice.Transaction) []*taint.Result {
-	var rs []*taint.Result
+// indexGroup builds the indexes for one multi-transaction demarcation-point
+// group: one counting pass over the group's slice statements, then a
+// partition of the duplicate-candidate response sets.
+func indexGroup(group []*slice.Transaction) *groupIndex {
+	nreq, nresp := 0, 0
 	for _, t := range group {
-		if t != skip && t.Response != nil {
-			rs = append(rs, t.Response)
+		if t.Request != nil {
+			nreq += len(t.Request.Stmts)
+		}
+		if t.Response != nil {
+			nresp += len(t.Response.Stmts)
 		}
 	}
-	return rs
-}
-
-// disjoint returns the statements of r not present in any other slice.
-func disjoint(r *taint.Result, others []*taint.Result) map[taint.StmtID]bool {
-	out := map[taint.StmtID]bool{}
-	if r == nil {
-		return out
+	gi := &groupIndex{
+		reqOwners:  make(map[taint.StmtID]int, nreq),
+		respOwners: make(map[taint.StmtID]int, nresp),
 	}
-	for s := range r.Stmts {
-		shared := false
-		for _, o := range others {
-			if o.Stmts[s] {
-				shared = true
+	hashes := make([]uint64, len(group))
+	for i, t := range group {
+		if t.Request != nil {
+			for s := range t.Request.Stmts {
+				gi.reqOwners[s]++
+			}
+		}
+		if t.Response == nil {
+			continue
+		}
+		var h uint64
+		for s := range t.Response.Stmts {
+			gi.respOwners[s]++
+			h ^= stmtHash(s)
+		}
+		hashes[i] = h
+	}
+
+	// Shared-handler detection partitions response sets into equality
+	// classes, but only duplicate candidates — non-empty sets with no
+	// uniquely owned statement — can be flagged, and a set equal to a
+	// candidate shares all its owner counts and is therefore a candidate
+	// itself, so non-candidates need never be compared. Candidates are
+	// bucketed by an order-independent shape key (size + folded statement
+	// hash); exact set equality is only verified inside a bucket.
+	type shape struct {
+		n int
+		h uint64
+	}
+	var classes map[shape][][]*slice.Transaction
+	for i, t := range group {
+		if t.Response == nil || len(t.Response.Stmts) == 0 {
+			continue
+		}
+		candidate := true
+		for s := range t.Response.Stmts {
+			if gi.respOwners[s] == 1 {
+				candidate = false
 				break
 			}
 		}
-		if !shared {
+		if !candidate {
+			continue
+		}
+		if classes == nil {
+			classes = map[shape][][]*slice.Transaction{}
+		}
+		key := shape{n: len(t.Response.Stmts), h: hashes[i]}
+		placed := false
+		for j, class := range classes[key] {
+			if equalStmts(t.Response.Stmts, class[0].Response.Stmts) {
+				classes[key][j] = append(class, t)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			classes[key] = append(classes[key], []*slice.Transaction{t})
+		}
+	}
+	for _, buckets := range classes {
+		for _, class := range buckets {
+			if len(class) < 2 {
+				continue
+			}
+			if gi.sharedHandler == nil {
+				gi.sharedHandler = make(map[*slice.Transaction]bool, len(class))
+			}
+			for _, t := range class {
+				gi.sharedHandler[t] = true
+			}
+		}
+	}
+	return gi
+}
+
+// copyStmts clones a slice's statement set (the whole set is disjoint when
+// no other transaction shares the demarcation point).
+func copyStmts(r *taint.Result) map[taint.StmtID]bool {
+	if r == nil {
+		return map[taint.StmtID]bool{}
+	}
+	out := make(map[taint.StmtID]bool, len(r.Stmts))
+	for s := range r.Stmts {
+		out[s] = true
+	}
+	return out
+}
+
+// ownedStmts returns the statements of r owned by no other slice in the
+// group: exactly those whose owner count is 1 (r itself).
+func ownedStmts(r *taint.Result, owners map[taint.StmtID]int) map[taint.StmtID]bool {
+	if r == nil {
+		return map[taint.StmtID]bool{}
+	}
+	out := make(map[taint.StmtID]bool, len(r.Stmts))
+	for s := range r.Stmts {
+		if owners[s] == 1 {
 			out[s] = true
 		}
 	}
 	return out
 }
 
-func sameStmtsAsAnother(tx *slice.Transaction, group []*slice.Transaction) bool {
-	for _, o := range group {
-		if o == tx || o.Response == nil || tx.Response == nil {
-			continue
-		}
-		if equalStmts(tx.Response.Stmts, o.Response.Stmts) {
-			return true
-		}
+// stmtHash folds a statement identity into an order-independent set hash
+// (FNV-1a over the method name, mixed with the index).
+func stmtHash(s taint.StmtID) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s.Method); i++ {
+		h ^= uint64(s.Method[i])
+		h *= 1099511628211
 	}
-	return false
+	h ^= uint64(s.Index) * 0x9e3779b97f4a7c15
+	return h
 }
 
 // VerifyFlow runs the paper's information-flow pairing check: the disjoint
