@@ -314,3 +314,80 @@ func TestPairingBenchGuard(t *testing.T) {
 		}
 	}
 }
+
+// ---- Generated-corpus guard ----------------------------------------------------
+//
+// TestGenBenchGuard pins generation and end-to-end analysis of the fixed
+// 100-app seeded corpus (BenchmarkGenCorpusRand, BenchmarkGenCorpusAnalyze)
+// against BENCH_gen.json, with the same slack factors and the same
+// EXTRACTOCOL_BENCH_BASELINE=write regeneration convention as the guards
+// above. It keeps the differential harness affordable: a quadratic slip in
+// generation or analysis multiplies across every equivalence axis.
+
+const genBaselinePath = "BENCH_gen.json"
+
+func measureGenOps(t *testing.T) sliceBenchBaseline {
+	t.Helper()
+	bl := sliceBenchBaseline{App: "gen-1729-100", Ops: map[string]sliceOpBaseline{}}
+	for name, fn := range map[string]func(*testing.B){
+		"gen_corpus_rand":    BenchmarkGenCorpusRand,
+		"gen_corpus_analyze": BenchmarkGenCorpusAnalyze,
+	} {
+		res := testing.Benchmark(fn)
+		if res.N == 0 {
+			t.Fatalf("benchmark %q failed to run", name)
+		}
+		bl.Ops[name] = sliceOpBaseline{NsPerOp: res.NsPerOp(), AllocsPerOp: res.AllocsPerOp()}
+	}
+	return bl
+}
+
+func TestGenBenchGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews timing and allocation counts")
+	}
+
+	cur := measureGenOps(t)
+
+	data, err := os.ReadFile(genBaselinePath)
+	if os.IsNotExist(err) || os.Getenv("EXTRACTOCOL_BENCH_BASELINE") == "write" {
+		out, merr := json.MarshalIndent(cur, "", "  ")
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if werr := os.WriteFile(genBaselinePath, append(out, '\n'), 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		t.Logf("wrote %s: %s", genBaselinePath, out)
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base sliceBenchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("corrupt %s: %v", genBaselinePath, err)
+	}
+	if base.App != cur.App {
+		t.Fatalf("baseline measures %q, guard measures %q; regenerate the baseline", base.App, cur.App)
+	}
+
+	for name, b := range base.Ops {
+		got, ok := cur.Ops[name]
+		if !ok {
+			t.Errorf("op %q vanished from the guard; regenerate %s if intentional", name, genBaselinePath)
+			continue
+		}
+		if got.NsPerOp > b.NsPerOp*nsSlack {
+			t.Errorf("%s takes %d ns/op, baseline %d (limit %dx): investigate or regenerate %s",
+				name, got.NsPerOp, b.NsPerOp, nsSlack, genBaselinePath)
+		}
+		if got.AllocsPerOp > b.AllocsPerOp*allocsSlack {
+			t.Errorf("%s makes %d allocs/op, baseline %d (limit %dx): investigate or regenerate %s",
+				name, got.AllocsPerOp, b.AllocsPerOp, allocsSlack, genBaselinePath)
+		}
+	}
+}

@@ -317,6 +317,49 @@ func BenchmarkCorpusGeneration(b *testing.B) {
 	}
 }
 
+// ---- Seeded generative corpus -------------------------------------------------
+
+// The generated-corpus fixture is built once: a fixed 100-app seed, the
+// same corpus the ci.sh differential stage exercises.
+var (
+	genFixtureOnce sync.Once
+	genFixture     []*corpus.App
+)
+
+func genApps(b *testing.B) []*corpus.App {
+	b.Helper()
+	genFixtureOnce.Do(func() { genFixture = corpus.Rand(1729, 100) })
+	return genFixture
+}
+
+// BenchmarkGenCorpusRand measures pure generation throughput: specs drawn
+// from the seed stream plus program construction, 100 apps per op.
+func BenchmarkGenCorpusRand(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		apps := corpus.Rand(1729, 100)
+		if len(apps) != 100 {
+			b.Fatalf("apps = %d", len(apps))
+		}
+	}
+}
+
+// BenchmarkGenCorpusAnalyze measures end-to-end analysis over the fixed
+// 100-app generated corpus (serial, default options) — the workload the
+// differential harness replays per axis and TestGenBenchGuard pins.
+func BenchmarkGenCorpusAnalyze(b *testing.B) {
+	apps := genApps(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, app := range apps {
+			if _, err := core.Analyze(app.Prog, core.NewOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // ---- §3.1 slicing: worker pool and shared analysis caches ---------------------
 
 // firstDP locates the first demarcation-point invoke of an app in program

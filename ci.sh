@@ -56,6 +56,14 @@ diff "$smoke/cold.txt" "$smoke/warm.txt"
 go run -race ./cmd/extractocol -cache "$smoke/cache" -profile "$apkb" \
     | grep -q '"cache_report_hits": 1'
 
+echo "== differential harness under -race"
+# Correctness gate over the seeded generative corpus: 100 generated apps,
+# every equivalence axis (same-seed regeneration, serial/parallel,
+# cold/warm cache, budgeted/unbudgeted, oracle/indexed pairing) must be
+# byte-identical. The deadline feeds the budgeted axis; generous on
+# purpose — a budget that trips under -race is itself a mismatch.
+go run -race ./cmd/evaluate -gen 1729:100 -deadline 5m
+
 echo "== bench smoke"
 go test -run=NONE -bench=. -benchtime=1x .
 

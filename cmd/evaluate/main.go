@@ -26,6 +26,13 @@
 //	evaluate -cache dir          persistent report cache shared by all
 //	                             corpus apps; a warm re-evaluation serves
 //	                             every unchanged app's report from disk
+//	evaluate -gen 1729:500       differential-testing harness: generate a
+//	                             500-app corpus from seed 1729 and assert
+//	                             byte-identical reports across every
+//	                             equivalence axis (same-seed regeneration,
+//	                             serial/parallel, cold/warm cache,
+//	                             budgeted/unbudgeted, oracle/indexed
+//	                             pairing); exits nonzero on any mismatch
 package main
 
 import (
@@ -33,6 +40,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"extractocol/internal/evaluate"
@@ -46,11 +55,47 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "per-app analysis deadline (0 = unlimited)")
 	traceFile := flag.String("trace", "", "write a corpus-wide Chrome trace-event JSON timeline to this file")
 	cacheDir := flag.String("cache", "", "persistent report cache directory (empty = off)")
+	gen := flag.String("gen", "", "run the differential harness over a generated corpus, as seed:N (e.g. 1729:500)")
 	flag.Parse()
+	if *gen != "" {
+		if err := runDifferential(*gen, *deadline); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*only, *profile, *serial, *deadline, *traceFile, *cacheDir); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
+}
+
+// runDifferential parses "seed:N" and runs the differential-testing
+// harness; any cross-axis mismatch is an error (nonzero exit).
+func runDifferential(spec string, deadline time.Duration) error {
+	seedStr, nStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("-gen wants seed:N, got %q", spec)
+	}
+	seed, err := strconv.ParseUint(seedStr, 10, 64)
+	if err != nil {
+		return fmt.Errorf("-gen seed: %w", err)
+	}
+	n, err := strconv.Atoi(nStr)
+	if err != nil || n <= 0 {
+		return fmt.Errorf("-gen wants a positive app count, got %q", nStr)
+	}
+	res, err := evaluate.RunDifferential(evaluate.DiffConfig{
+		Seed: seed, N: n, BudgetDeadline: deadline,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(evaluate.FormatDifferential(res))
+	if m := res.Mismatches(); m > 0 {
+		return fmt.Errorf("%d differential mismatches", m)
+	}
+	return nil
 }
 
 func run(only string, profile, serial bool, deadline time.Duration, traceFile, cacheDir string) error {

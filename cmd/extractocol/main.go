@@ -32,6 +32,10 @@
 //	-cache dir              persistent report cache: re-analyzing an
 //	                        unchanged binary with unchanged options serves
 //	                        the stored report instead of recomputing
+//	-security               annotate transactions with the security lens:
+//	                        cleartext-HTTP transport plus credential- and
+//	                        PII-shaped request field keys (text and json
+//	                        formats; rendered only when non-empty)
 package main
 
 import (
@@ -58,6 +62,7 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	explain := flag.Bool("explain", false, "append per-transaction provenance chains")
 	cacheDir := flag.String("cache", "", "persistent report cache directory (empty = off)")
+	security := flag.Bool("security", false, "annotate transactions with the security lens")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -66,7 +71,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := budgets{deadline: *deadline, sliceSteps: *sliceBudget, fixIters: *fixBudget}
-	if err := run(flag.Arg(0), *format, *scope, *hops, *profile, *explain, *traceFile, *cacheDir, cfg); err != nil {
+	if err := run(flag.Arg(0), *format, *scope, *hops, *profile, *explain, *security, *traceFile, *cacheDir, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "extractocol:", err)
 		os.Exit(1)
 	}
@@ -79,7 +84,7 @@ type budgets struct {
 	fixIters   int64
 }
 
-func run(path, format, scope string, hops int, profile, explain bool, traceFile, cacheDir string, cfg budgets) error {
+func run(path, format, scope string, hops int, profile, explain, security bool, traceFile, cacheDir string, cfg budgets) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -112,9 +117,10 @@ func run(path, format, scope string, hops int, profile, explain bool, traceFile,
 	if err != nil {
 		return err
 	}
+	ropts := report.Options{Security: security}
 	switch format {
 	case "json":
-		data, err := report.JSON(rep)
+		data, err := report.JSONOpts(rep, ropts)
 		if err != nil {
 			return err
 		}
@@ -124,7 +130,7 @@ func run(path, format, scope string, hops int, profile, explain bool, traceFile,
 	case "disasm":
 		fmt.Print(prog.Disassemble())
 	case "text":
-		fmt.Print(report.Text(rep))
+		fmt.Print(report.TextOpts(rep, ropts))
 	default:
 		return fmt.Errorf("unknown format %q", format)
 	}

@@ -28,7 +28,7 @@ func writeApp(t *testing.T, name string) string {
 func TestRunAllFormats(t *testing.T) {
 	path := writeApp(t, "radio reddit")
 	for _, format := range []string{"text", "json", "dot"} {
-		if err := run(path, format, "", 1, false, false, "", "", budgets{}); err != nil {
+		if err := run(path, format, "", 1, false, false, false, "", "", budgets{}); err != nil {
 			t.Errorf("format %s: %v", format, err)
 		}
 	}
@@ -36,20 +36,20 @@ func TestRunAllFormats(t *testing.T) {
 
 func TestRunScoped(t *testing.T) {
 	path := writeApp(t, "KAYAK")
-	if err := run(path, "text", "com.kayak.", 1, false, false, "", "", budgets{}); err != nil {
+	if err := run(path, "text", "com.kayak.", 1, false, false, false, "", "", budgets{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadFormat(t *testing.T) {
 	path := writeApp(t, "blippex")
-	if err := run(path, "yaml", "", 1, false, false, "", "", budgets{}); err == nil {
+	if err := run(path, "yaml", "", 1, false, false, false, "", "", budgets{}); err == nil {
 		t.Fatal("accepted unknown format")
 	}
 }
 
 func TestRunRejectsMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing.apkb"), "text", "", 1, false, false, "", "", budgets{}); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing.apkb"), "text", "", 1, false, false, false, "", "", budgets{}); err == nil {
 		t.Fatal("accepted missing file")
 	}
 }
@@ -60,7 +60,7 @@ func TestRunRejectsMissingFile(t *testing.T) {
 func TestRunProfileEmitsPhaseBreakdown(t *testing.T) {
 	path := writeApp(t, "radio reddit")
 	out := captureStdout(t, func() {
-		if err := run(path, "dot", "", 1, true, false, "", "", budgets{}); err != nil {
+		if err := run(path, "dot", "", 1, true, false, false, "", "", budgets{}); err != nil {
 			t.Error(err)
 		}
 	})
@@ -95,12 +95,12 @@ func TestRunCacheWarmServesIdenticalReport(t *testing.T) {
 	path := writeApp(t, "radio reddit")
 	cacheDir := filepath.Join(t.TempDir(), "cache")
 	cold := captureStdout(t, func() {
-		if err := run(path, "text", "", 1, false, false, "", cacheDir, budgets{}); err != nil {
+		if err := run(path, "text", "", 1, false, false, false, "", cacheDir, budgets{}); err != nil {
 			t.Error(err)
 		}
 	})
 	warm := captureStdout(t, func() {
-		if err := run(path, "text", "", 1, false, false, "", cacheDir, budgets{}); err != nil {
+		if err := run(path, "text", "", 1, false, false, false, "", cacheDir, budgets{}); err != nil {
 			t.Error(err)
 		}
 	})
@@ -121,7 +121,7 @@ func TestRunCacheWarmServesIdenticalReport(t *testing.T) {
 		t.Error("warm -cache run printed a different report")
 	}
 	profiled := captureStdout(t, func() {
-		if err := run(path, "dot", "", 1, true, false, "", cacheDir, budgets{}); err != nil {
+		if err := run(path, "dot", "", 1, true, false, false, "", cacheDir, budgets{}); err != nil {
 			t.Error(err)
 		}
 	})

@@ -1,0 +1,79 @@
+// FuzzCorpusSpec drives the generative corpus from raw bytes: any input
+// decodes (via corpus.DecodeSpec) into a clamped, generatable AppSpec, and
+// the resulting app must survive the full pipeline. Two properties are
+// pinned for every input: a budgeted core.Analyze finishes without
+// panicking, and a warm-cache replay of the same program reproduces the
+// stored report byte-for-byte (the codec round-trip on arbitrary trait
+// combinations, not just the hand-built corpus).
+package extractocol
+
+import (
+	"testing"
+	"time"
+
+	"extractocol/internal/core"
+	"extractocol/internal/corpus"
+	"extractocol/internal/evaluate"
+	"extractocol/internal/resultcache"
+)
+
+func FuzzCorpusSpec(f *testing.F) {
+	// Seeds spanning the trait space: empty, single-byte, every-scenario
+	// bitmask, and a long mixed draw.
+	f.Add([]byte{})
+	f.Add([]byte{7})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 0x3f})
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec := corpus.DecodeSpec(data)
+		app := corpus.Generate(spec)
+
+		// Budgeted analysis must degrade, never panic: wall-clock plus
+		// deterministic step budgets tight enough that hostile trait
+		// combinations actually trip them.
+		budgeted := core.NewOptions()
+		budgeted.Deadline = 10 * time.Second
+		budgeted.MaxSliceSteps = 200_000
+		budgeted.MaxFixpointIters = 100_000
+		if _, err := core.Analyze(app.Prog, budgeted); err != nil {
+			t.Fatalf("budgeted analyze: %v", err)
+		}
+
+		// Warm-cache replay: store on the first clean run, load on the
+		// second, and require byte-identical canonical reports. Only
+		// deterministic options participate — a deadline could make the
+		// stored run time-dependent.
+		cache, err := resultcache.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := core.NewOptions()
+		key, err := resultcache.KeyForProgram(app.Prog, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Cache = cache
+		opts.CacheKey = key
+		cold, err := core.Analyze(app.Prog, opts)
+		if err != nil {
+			t.Fatalf("cold analyze: %v", err)
+		}
+		warm, err := core.Analyze(app.Prog, opts)
+		if err != nil {
+			t.Fatalf("warm analyze: %v", err)
+		}
+		cb, err := evaluate.CanonicalReport(cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := evaluate.CanonicalReport(warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(cb) != string(wb) {
+			t.Fatalf("warm-cache replay diverges for %q:\n--- cold ---\n%s\n--- warm ---\n%s",
+				spec.Name, cb, wb)
+		}
+	})
+}

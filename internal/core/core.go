@@ -44,6 +44,11 @@ type Options struct {
 	ModelIntents bool
 	// Model overrides the semantic model; nil uses semmodel.Default().
 	Model *semmodel.Model
+	// PairingOracle swaps the inverted-index pairing analysis for the
+	// reference pairwise-scan implementation (pairing.AnalyzeOracle). The
+	// two are held to identical output by the differential harness; the
+	// oracle is quadratic and exists for equivalence checking only.
+	PairingOracle bool
 	// Workers bounds the intra-app worker pools (slice extraction and
 	// signature building): 0 means GOMAXPROCS, 1 forces serial execution.
 	// Output is deterministic regardless.
@@ -357,7 +362,11 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 
 	endPairing := col.Phase(obs.PhasePairing)
 	pairStats := col.NewShard()
-	pairs := pairing.Analyze(txs)
+	analyzePairs := pairing.Analyze
+	if opts.PairingOracle {
+		analyzePairs = pairing.AnalyzeOracle
+	}
+	pairs := analyzePairs(txs)
 	note(pairing.VerifyFlowBudgeted(p, model, cg, pairs, pairStats, sums, bud)...)
 	col.Drain(pairStats)
 	pairByTx := map[*slice.Transaction]pairing.Pair{}

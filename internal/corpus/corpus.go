@@ -82,6 +82,15 @@ type AppSpec struct {
 
 	// Handwritten marks the four case-study apps built by dedicated code.
 	Handwritten bool
+
+	// Scenarios lists protocol-surface extensions to append as extra
+	// transactions ("gzip", "chunked", "multipart", "cookie", "token",
+	// "paginate"); see planScenarios. The Table 1 specs leave it empty.
+	Scenarios []string
+
+	// Obfuscated applies ProGuard-style renaming to the generated program
+	// (a generative-corpus trait; analysis output must be invariant).
+	Obfuscated bool
 }
 
 // App is a fully built corpus application.

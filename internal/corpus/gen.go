@@ -6,6 +6,7 @@ import (
 
 	"extractocol/internal/httpsim"
 	"extractocol/internal/ir"
+	"extractocol/internal/obfuscate"
 )
 
 // TxSpec describes one generated transaction.
@@ -24,12 +25,33 @@ type TxSpec struct {
 	// creating an inter-transaction dependency.
 	StoreField string
 	UseField   string
+
+	// Scenario marks protocol-surface extensions: "gzip" and "chunked"
+	// (framed response bodies read through stream decorators), "multipart"
+	// (form-data upload), "cookie"/"token" (session headers), "paginate"
+	// (cursor threaded through the URI). Empty is a plain transaction.
+	Scenario string
+	// UsePart places UseField's value: "" or "body" (last body value),
+	// "header" (request header HeaderName), "uri" (query-string cursor).
+	UsePart    string
+	HeaderName string
+	// Library overrides the app-wide HTTP stack for this transaction
+	// ("" keeps the app's library).
+	Library string
+}
+
+// fieldInBody reports whether UseField substitutes the last body value.
+func (t TxSpec) fieldInBody() bool {
+	return t.UseField != "" && (t.UsePart == "" || t.UsePart == "body")
 }
 
 // Generate builds a corpus app from its spec.
 func Generate(spec AppSpec) *App {
 	txs := planTransactions(spec)
 	prog, newNet := buildProgram(spec, txs)
+	if spec.Obfuscated {
+		obfuscate.Apply(prog, obfuscate.Options{KeepEntryPoints: true})
+	}
 	return &App{Spec: spec, Prog: prog, NewNetwork: newNet, Truth: deriveTruth(spec, txs)}
 }
 
@@ -61,6 +83,12 @@ func planTransactions(spec AppSpec) []TxSpec {
 	var slots []slot
 	unfuzzable := []ir.EventKind{ir.EventTimer, ir.EventServerPush, ir.EventAction}
 	hidden := []ir.EventKind{ir.EventCustomUI, ir.EventLogin}
+	// Determinism invariant: spec.Counts is a map, so it is never ranged —
+	// verbs iterate in this fixed order and the map is only indexed. Every
+	// rng draw downstream depends on ordered state alone; same-seed corpora
+	// must stay byte-identical across runs and platforms (the differential
+	// harness's regeneration axis and TestGenProgramsDeterministic enforce
+	// this).
 	for _, method := range []string{"GET", "POST", "PUT", "DELETE"} {
 		c, ok := spec.Counts[method]
 		if !ok {
@@ -178,7 +206,80 @@ func planTransactions(spec AppSpec) []TxSpec {
 			}
 		}
 	}
+	txs = append(txs, planScenarios(spec, r, len(txs))...)
 	return txs
+}
+
+// planScenarios expands spec.Scenarios into additional transactions
+// exercising the widened protocol surface. The 34 Table 1 specs never set
+// Scenarios, so their output is unchanged; the generative corpus draws
+// freely from the scenario list.
+func planScenarios(spec AppSpec, r *rng, startID int) []TxSpec {
+	// Header-carrying and body-building idioms need an explicitly modeled
+	// header API; volley has none, so scenario transactions pin a library.
+	headerLibs := []string{"apache", "urlconn", "okhttp"}
+	var out []TxSpec
+	add := func(tx TxSpec) {
+		tx.ID = startID + len(out) + 1
+		tx.Trait = ir.EventClick
+		out = append(out, tx)
+	}
+	for _, sc := range spec.Scenarios {
+		switch sc {
+		case "gzip":
+			add(TxSpec{Method: "GET", Path: "/gz/" + r.pick(resourceWords),
+				Scenario: "gzip", Library: "urlconn",
+				RespKind: "json", RespKeys: pickKeys(r, respWords, 2+r.intn(2))})
+		case "chunked":
+			add(TxSpec{Method: "GET", Path: "/stream/" + r.pick(resourceWords),
+				Scenario: "chunked", Library: "urlconn",
+				RespKind: "json", RespKeys: pickKeys(r, respWords, 2+r.intn(2))})
+		case "multipart":
+			add(TxSpec{Method: "POST", Path: "/upload/" + r.pick(resourceWords),
+				Scenario: "multipart", Library: "apache",
+				BodyKind: "multipart", BodyKeys: pickKeys(r, keyWords, 2+r.intn(2)),
+				RespKind: "json", RespKeys: pickKeys(r, respWords, 2)})
+		case "cookie":
+			add(TxSpec{Method: "POST", Path: "/account/login",
+				Scenario: "cookie", Library: "apache",
+				BodyKind: "query", BodyKeys: []string{"user", "password"},
+				RespKind: "json", RespKeys: append([]string{"session_id"}, pickKeys(r, respWords, 1)...),
+				StoreField: "cookieSid"})
+			add(TxSpec{Method: "GET", Path: "/account/" + r.pick(resourceWords),
+				Scenario: "cookie", Library: headerLibs[r.intn(len(headerLibs))],
+				UseField: "cookieSid", UsePart: "header", HeaderName: "Cookie",
+				RespKind: "json", RespKeys: pickKeys(r, respWords, 2)})
+		case "token":
+			// OAuth-style refresh chain: obtain, spend (as a header), refresh
+			// (the stale token travels in the body and is re-stored).
+			add(TxSpec{Method: "POST", Path: "/oauth/token",
+				Scenario: "token", Library: "apache",
+				BodyKind: "query", BodyKeys: []string{"client_id", "client_secret"},
+				RespKind: "json", RespKeys: []string{"access_token", "expires"},
+				StoreField: "accessToken"})
+			add(TxSpec{Method: "GET", Path: "/secure/" + r.pick(resourceWords),
+				Scenario: "token", Library: headerLibs[r.intn(len(headerLibs))],
+				UseField: "accessToken", UsePart: "header", HeaderName: "Authorization",
+				RespKind: "json", RespKeys: pickKeys(r, respWords, 2)})
+			add(TxSpec{Method: "POST", Path: "/oauth/refresh",
+				Scenario: "token", Library: "apache",
+				BodyKind: "query", BodyKeys: []string{"grant_type", "refresh_token"},
+				UseField: "accessToken", UsePart: "body",
+				RespKind: "json", RespKeys: []string{"access_token", "expires"},
+				StoreField: "accessToken"})
+		case "paginate":
+			add(TxSpec{Method: "GET", Path: "/list/" + r.pick(resourceWords),
+				Scenario: "paginate", Library: headerLibs[r.intn(len(headerLibs))],
+				QueryKeys: []string{"limit"},
+				RespKind:  "json", RespKeys: append([]string{"next_page"}, pickKeys(r, respWords, 1)...),
+				StoreField: "pageCursor"})
+			add(TxSpec{Method: "GET", Path: "/page/" + r.pick(resourceWords),
+				Scenario: "paginate", Library: headerLibs[r.intn(len(headerLibs))],
+				UseField: "pageCursor", UsePart: "uri",
+				RespKind: "json", RespKeys: pickKeys(r, respWords, 2)})
+		}
+	}
+	return out
 }
 
 func pickKeys(r *rng, words []string, n int) []string {
@@ -283,6 +384,10 @@ func buildProgram(spec AppSpec, txs []TxSpec) (*ir.Program, func() *httpsim.Netw
 // emitTransaction writes one handler method + entry point implementing tx.
 func emitTransaction(p *ir.Program, cls *ir.Class, spec AppSpec, base string, tx TxSpec) {
 	name := fmt.Sprintf("onTx%d", tx.ID)
+	library := spec.Library
+	if tx.Library != "" {
+		library = tx.Library
+	}
 	var params []string
 	for range tx.QueryKeys {
 		params = append(params, "java.lang.String")
@@ -307,6 +412,16 @@ func emitTransaction(p *ir.Program, cls *ir.Class, spec AppSpec, base string, tx
 		enc := b.InvokeStatic("java.net.URLEncoder.encode", b.Param(i))
 		b.InvokeVoid("java.lang.StringBuilder.append", sb, enc)
 	}
+	if tx.UseField != "" && tx.UsePart == "uri" {
+		sep := "?"
+		if len(tx.QueryKeys) > 0 {
+			sep = "&"
+		}
+		ks := b.ConstStr(sep + "cursor=")
+		b.InvokeVoid("java.lang.StringBuilder.append", sb, ks)
+		fv := b.StaticGet(cls.Name + "." + tx.UseField)
+		b.InvokeVoid("java.lang.StringBuilder.append", sb, fv)
+	}
 	uri := b.Invoke("java.lang.StringBuilder.toString", sb)
 
 	// Request body.
@@ -318,7 +433,7 @@ func emitTransaction(p *ir.Program, cls *ir.Class, spec AppSpec, base string, tx
 		for i, k := range tx.BodyKeys {
 			kr := b.ConstStr(k)
 			var vr int
-			if tx.UseField != "" && i == len(tx.BodyKeys)-1 {
+			if tx.fieldInBody() && i == len(tx.BodyKeys)-1 {
 				vr = b.StaticGet(cls.Name + "." + tx.UseField)
 			} else {
 				vr = b.Param(len(tx.QueryKeys) + i)
@@ -336,14 +451,14 @@ func emitTransaction(p *ir.Program, cls *ir.Class, spec AppSpec, base string, tx
 		for i, k := range tx.BodyKeys {
 			kr := b.ConstStr(k)
 			var vr int
-			if tx.UseField != "" && i == len(tx.BodyKeys)-1 {
+			if tx.fieldInBody() && i == len(tx.BodyKeys)-1 {
 				vr = b.StaticGet(cls.Name + "." + tx.UseField)
 			} else {
 				vr = b.Param(len(tx.QueryKeys) + i)
 			}
 			b.InvokeVoid("org.json.JSONObject.put", js, kr, vr)
 		}
-		if spec.Library == "volley" {
+		if library == "volley" {
 			bodyReg = js // volley takes the JSONObject itself
 		} else {
 			raw := b.Invoke("org.json.JSONObject.toString", js)
@@ -351,13 +466,26 @@ func emitTransaction(p *ir.Program, cls *ir.Class, spec AppSpec, base string, tx
 			b.InvokeSpecial("org.apache.http.entity.StringEntity.<init>", ent, raw)
 			bodyReg = ent
 		}
+	case "multipart":
+		mb := b.InvokeStatic("org.apache.http.entity.mime.MultipartEntityBuilder.create")
+		for i, k := range tx.BodyKeys {
+			kr := b.ConstStr(k)
+			var vr int
+			if tx.fieldInBody() && i == len(tx.BodyKeys)-1 {
+				vr = b.StaticGet(cls.Name + "." + tx.UseField)
+			} else {
+				vr = b.Param(len(tx.QueryKeys) + i)
+			}
+			b.InvokeVoid("org.apache.http.entity.mime.MultipartEntityBuilder.addTextBody", mb, kr, vr)
+		}
+		bodyReg = b.Invoke("org.apache.http.entity.mime.MultipartEntityBuilder.build", mb)
 	}
 
-	respReg := emitSend(b, spec.Library, tx.Method, uri, bodyReg, p, cls, tx)
+	respReg := emitSend(b, library, tx.Method, uri, bodyReg, p, cls, tx)
 
 	// Response processing (for synchronous libraries).
-	if respReg != ir.NoReg && tx.RespKind != "" && spec.Library != "volley" {
-		emitRespParse(b, cls, respReg, tx, spec.Library)
+	if respReg != ir.NoReg && tx.RespKind != "" && library != "volley" {
+		emitRespParse(b, cls, respReg, tx, library)
 	}
 	b.ReturnVoid()
 	b.Done()
@@ -377,6 +505,15 @@ func emitTransaction(p *ir.Program, cls *ir.Class, spec AppSpec, base string, tx
 // register holding the raw response body string (NoReg when the library
 // delivers the response through a callback).
 func emitSend(b *ir.B, library, method string, uri, bodyReg int, p *ir.Program, cls *ir.Class, tx TxSpec) int {
+	// Session headers (cookie / bearer-token scenarios): the value comes
+	// from the static field a prior transaction's response populated.
+	headerArgs := func() (int, int) {
+		hk := b.ConstStr(tx.HeaderName)
+		hv := b.StaticGet(cls.Name + "." + tx.UseField)
+		return hk, hv
+	}
+	sendsHeader := tx.UseField != "" && tx.UsePart == "header"
+
 	switch library {
 	case "urlconn":
 		u := b.New("java.net.URL")
@@ -386,6 +523,10 @@ func emitSend(b *ir.B, library, method string, uri, bodyReg int, p *ir.Program, 
 			m := b.ConstStr(method)
 			b.InvokeVoid("java.net.HttpURLConnection.setRequestMethod", conn, m)
 		}
+		if sendsHeader {
+			hk, hv := headerArgs()
+			b.InvokeVoid("java.net.HttpURLConnection.setRequestProperty", conn, hk, hv)
+		}
 		if bodyReg != ir.NoReg {
 			out := b.Invoke("java.net.HttpURLConnection.getOutputStream", conn)
 			b.InvokeVoid("java.io.OutputStream.write", out, bodyReg)
@@ -394,12 +535,30 @@ func emitSend(b *ir.B, library, method string, uri, bodyReg int, p *ir.Program, 
 		if tx.RespKind == "" {
 			return ir.NoReg // response ignored by the app
 		}
+		switch tx.Scenario {
+		case "gzip":
+			// Content-Encoding: gzip — decompress through a decorator.
+			gz := b.New("java.util.zip.GZIPInputStream")
+			b.InvokeSpecial("java.util.zip.GZIPInputStream.<init>", gz, in)
+			return b.Invoke("java.io.InputStream.readAll", gz)
+		case "chunked":
+			// Transfer-Encoding: chunked — read through a buffered reader.
+			isr := b.New("java.io.InputStreamReader")
+			b.InvokeSpecial("java.io.InputStreamReader.<init>", isr, in)
+			br := b.New("java.io.BufferedReader")
+			b.InvokeSpecial("java.io.BufferedReader.<init>", br, isr)
+			return b.Invoke("java.io.BufferedReader.readLine", br)
+		}
 		return b.Invoke("java.io.InputStream.readAll", in)
 
 	case "okhttp":
 		rb := b.New("okhttp3.Request$Builder")
 		b.InvokeSpecial("okhttp3.Request$Builder.<init>", rb)
 		b.InvokeVoid("okhttp3.Request$Builder.url", rb, uri)
+		if sendsHeader {
+			hk, hv := headerArgs()
+			b.InvokeVoid("okhttp3.Request$Builder.header", rb, hk, hv)
+		}
 		if bodyReg != ir.NoReg {
 			b.InvokeVoid("okhttp3.Request$Builder.post", rb, bodyReg)
 		}
@@ -461,6 +620,10 @@ func emitSend(b *ir.B, library, method string, uri, bodyReg int, p *ir.Program, 
 		default:
 			req = b.New("org.apache.http.client.methods.HttpGet")
 			b.InvokeSpecial("org.apache.http.client.methods.HttpGet.<init>", req, uri)
+		}
+		if sendsHeader {
+			hk, hv := headerArgs()
+			b.InvokeVoid("org.apache.http.client.methods.HttpUriRequest.addHeader", req, hk, hv)
 		}
 		if bodyReg != ir.NoReg {
 			b.InvokeVoid("org.apache.http.client.methods.HttpEntityEnclosingRequestBase.setEntity", req, bodyReg)
@@ -560,6 +723,10 @@ func registerRoute(s *httpsim.Server, tx TxSpec) {
 				return httpsim.Error(400, "missing field "+k)
 			}
 		}
+		// Session scenarios require their header (cookie / bearer token).
+		if tx.UseField != "" && tx.UsePart == "header" && r.Headers[tx.HeaderName] == "" {
+			return httpsim.Error(401, "missing header "+tx.HeaderName)
+		}
 		switch tx.RespKind {
 		case "json":
 			var b strings.Builder
@@ -571,6 +738,12 @@ func registerRoute(s *httpsim.Server, tx TxSpec) {
 				fmt.Fprintf(&b, "%q:%q", k, "v-"+k)
 			}
 			b.WriteString("}")
+			switch tx.Scenario {
+			case "gzip":
+				return httpsim.GzipJSON(b.String())
+			case "chunked":
+				return httpsim.ChunkedJSON(b.String(), 16)
+			}
 			return httpsim.JSON(b.String())
 		case "xml":
 			var b strings.Builder

@@ -1,0 +1,113 @@
+package httpsim
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Wire-format helpers widening the protocol surface the simulated servers
+// can express: gzip-compressed bodies, chunked transfer framing, and
+// multipart/form-data request bodies. Clients see the framed bytes and must
+// decode them through the matching stream decorators.
+
+// GzipJSON builds a 200 JSON response whose body is gzip-compressed and
+// carries Content-Encoding: gzip; clients read it through a GZIPInputStream.
+func GzipJSON(body string) *Response {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte(body))
+	zw.Close()
+	return &Response{Status: 200, Body: buf.String(), Type: "json",
+		Headers: map[string]string{
+			"Content-Type":     "application/json",
+			"Content-Encoding": "gzip",
+		}}
+}
+
+// ChunkedJSON builds a 200 JSON response framed as chunked transfer
+// encoding: hex-size CRLF chunks of at most chunk bytes, ending with a
+// zero-length chunk.
+func ChunkedJSON(body string, chunk int) *Response {
+	if chunk <= 0 {
+		chunk = 8
+	}
+	var b strings.Builder
+	for len(body) > 0 {
+		n := chunk
+		if n > len(body) {
+			n = len(body)
+		}
+		fmt.Fprintf(&b, "%x\r\n%s\r\n", n, body[:n])
+		body = body[n:]
+	}
+	b.WriteString("0\r\n\r\n")
+	return &Response{Status: 200, Body: b.String(), Type: "json",
+		Headers: map[string]string{
+			"Content-Type":      "application/json",
+			"Transfer-Encoding": "chunked",
+		}}
+}
+
+// DecodeBody undoes the wire framing a response declares in its headers
+// (chunked transfer encoding, then gzip content encoding) and reports
+// whether any decoding applied. It is what the client-side stream
+// decorators (GZIPInputStream, BufferedReader) perform.
+func DecodeBody(r *Response) (string, bool) {
+	body, decoded := r.Body, false
+	if strings.EqualFold(r.Headers["Transfer-Encoding"], "chunked") {
+		if d, ok := dechunk(body); ok {
+			body, decoded = d, true
+		}
+	}
+	if strings.EqualFold(r.Headers["Content-Encoding"], "gzip") {
+		zr, err := gzip.NewReader(strings.NewReader(body))
+		if err == nil {
+			if d, err := io.ReadAll(zr); err == nil {
+				body, decoded = string(d), true
+			}
+		}
+	}
+	return body, decoded
+}
+
+// dechunk parses chunked transfer framing.
+func dechunk(s string) (string, bool) {
+	var out strings.Builder
+	for {
+		nl := strings.Index(s, "\r\n")
+		if nl < 0 {
+			return "", false
+		}
+		n, err := strconv.ParseInt(s[:nl], 16, 32)
+		if err != nil || n < 0 {
+			return "", false
+		}
+		s = s[nl+2:]
+		if n == 0 {
+			return out.String(), true
+		}
+		if int(n)+2 > len(s) {
+			return "", false
+		}
+		out.WriteString(s[:n])
+		s = s[int(n)+2:]
+	}
+}
+
+// MultipartBoundary is the fixed boundary the simulated clients use.
+const MultipartBoundary = "----extractocol-boundary"
+
+// MultipartBody renders multipart/form-data text parts.
+func MultipartBody(parts [][2]string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		fmt.Fprintf(&b, "--%s\r\nContent-Disposition: form-data; name=%q\r\n\r\n%s\r\n",
+			MultipartBoundary, p[0], p[1])
+	}
+	fmt.Fprintf(&b, "--%s--\r\n", MultipartBoundary)
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package pairing
+
+import (
+	"sort"
+
+	"extractocol/internal/slice"
+	"extractocol/internal/taint"
+)
+
+// AnalyzeOracle is the reference pairwise-scan implementation of Analyze,
+// kept verbatim from before the inverted-index rewrite. It is quadratic in
+// the per-DP group size but trivially auditable; the equivalence tests and
+// the differential-testing harness (internal/evaluate) hold Analyze to
+// deep-equal output on every input.
+func AnalyzeOracle(txs []*slice.Transaction) []Pair {
+	byDP := map[taint.StmtID][]*slice.Transaction{}
+	for _, tx := range txs {
+		byDP[tx.DP] = append(byDP[tx.DP], tx)
+	}
+	out := make([]Pair, 0, len(txs))
+	for _, tx := range txs {
+		group := byDP[tx.DP]
+		p := Pair{
+			Tx:               tx,
+			HasResponse:      tx.Response != nil && tx.Response.Size() > 0,
+			DisjointRequest:  oracleDisjoint(tx.Request, oracleRequestsOf(group, tx)),
+			DisjointResponse: oracleDisjoint(tx.Response, oracleResponsesOf(group, tx)),
+		}
+		p.OneToOne = p.HasResponse && (len(group) == 1 || len(p.DisjointResponse) > 0)
+		if p.HasResponse && len(group) > 1 && len(p.DisjointResponse) == 0 {
+			p.SharedHandler = oracleSameStmtsAsAnother(tx, group)
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tx.ID < out[j].Tx.ID })
+	return out
+}
+
+func oracleRequestsOf(group []*slice.Transaction, skip *slice.Transaction) []*taint.Result {
+	var rs []*taint.Result
+	for _, t := range group {
+		if t != skip && t.Request != nil {
+			rs = append(rs, t.Request)
+		}
+	}
+	return rs
+}
+
+func oracleResponsesOf(group []*slice.Transaction, skip *slice.Transaction) []*taint.Result {
+	var rs []*taint.Result
+	for _, t := range group {
+		if t != skip && t.Response != nil {
+			rs = append(rs, t.Response)
+		}
+	}
+	return rs
+}
+
+func oracleDisjoint(r *taint.Result, others []*taint.Result) map[taint.StmtID]bool {
+	out := map[taint.StmtID]bool{}
+	if r == nil {
+		return out
+	}
+	for s := range r.Stmts {
+		shared := false
+		for _, o := range others {
+			if o.Stmts[s] {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			out[s] = true
+		}
+	}
+	return out
+}
+
+func oracleSameStmtsAsAnother(tx *slice.Transaction, group []*slice.Transaction) bool {
+	for _, o := range group {
+		if o == tx || o.Response == nil || tx.Response == nil {
+			continue
+		}
+		if equalStmts(tx.Response.Stmts, o.Response.Stmts) {
+			return true
+		}
+	}
+	return false
+}

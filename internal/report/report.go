@@ -20,6 +20,12 @@ import (
 
 // Text renders the full report as human-readable text.
 func Text(r *core.Report) string {
+	return TextOpts(r, Options{})
+}
+
+// TextOpts is Text with optional report layers enabled. The zero Options
+// value renders exactly what Text renders.
+func TextOpts(r *core.Report, o Options) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Extractocol report for %s (%s)\n", r.AppName, r.Package)
 	fmt.Fprintf(&b, "  transactions: %d   pairs: %d   dependencies: %d\n",
@@ -69,6 +75,11 @@ func Text(r *core.Report) string {
 		}
 		if len(tx.Sources) > 0 {
 			fmt.Fprintf(&b, "    request data from: %s\n", strings.Join(tx.Sources, ", "))
+		}
+		if o.Security {
+			if info := SecurityFor(tx); info != nil {
+				fmt.Fprintf(&b, "    security: %s\n", securityLine(info))
+			}
 		}
 		seen := map[string]bool{}
 		for _, d := range depsFor(r, tx.ID) {
@@ -135,6 +146,7 @@ type jsonTx struct {
 	Sinks      []string          `json:"sinks,omitempty"`
 	Sources    []string          `json:"sources,omitempty"`
 	DP         string            `json:"demarcation_point"`
+	Security   *SecurityInfo     `json:"security,omitempty"`
 }
 
 type jsonDep struct {
@@ -159,6 +171,12 @@ type jsonReport struct {
 
 // JSON renders the report as indented JSON.
 func JSON(r *core.Report) ([]byte, error) {
+	return JSONOpts(r, Options{})
+}
+
+// JSONOpts is JSON with optional report layers enabled. The zero Options
+// value renders exactly what JSON renders.
+func JSONOpts(r *core.Report, o Options) ([]byte, error) {
 	out := jsonReport{
 		Package:       r.Package,
 		App:           r.AppName,
@@ -178,6 +196,9 @@ func JSON(r *core.Report) ([]byte, error) {
 			Sinks:    tx.Sinks,
 			Sources:  tx.Sources,
 			DP:       tx.DP,
+		}
+		if o.Security {
+			jt.Security = SecurityFor(tx)
 		}
 		if len(tx.Request.Headers) > 0 {
 			jt.Headers = map[string]string{}

@@ -1,0 +1,163 @@
+package report
+
+import (
+	"sort"
+	"strings"
+
+	"extractocol/internal/core"
+	"extractocol/internal/siglang"
+)
+
+// The security lens classifies each reconstructed transaction along two
+// protocol-behavior axes the signatures already expose: the transport
+// scheme (cleartext HTTP vs HTTPS) and the shape of request field keys
+// (credential-shaped: tokens, passwords, API keys, session cookies;
+// PII-shaped: email, phone, location, device identity). It is strictly
+// opt-in (Options.Security); default reports render byte-identically to
+// the historical output.
+
+// Options selects optional report layers. The zero value reproduces the
+// historical Text/JSON output byte-for-byte.
+type Options struct {
+	// Security annotates each transaction with its transport scheme and
+	// any credential- or PII-shaped request field keys. Annotations render
+	// only when non-empty: a cleartext transaction, or one carrying
+	// sensitive-shaped keys.
+	Security bool
+}
+
+// SecurityInfo is the lens verdict for one transaction.
+type SecurityInfo struct {
+	// Scheme is the request URI scheme ("http", "https"); empty when the
+	// reconstructed URI has no absolute scheme prefix.
+	Scheme string `json:"scheme,omitempty"`
+	// Cleartext marks transactions sent over unencrypted HTTP.
+	Cleartext bool `json:"cleartext,omitempty"`
+	// CredentialKeys are request field keys shaped like secrets (token,
+	// password, api_key, session id, auth headers), sorted.
+	CredentialKeys []string `json:"credential_keys,omitempty"`
+	// PIIKeys are request field keys shaped like personal data (email,
+	// phone, location, device identity), sorted.
+	PIIKeys []string `json:"pii_keys,omitempty"`
+}
+
+// credTokens and piiTokens classify one underscore/dash/dot-separated
+// component of a field key. "api_key" is handled by the api+key pair rule
+// in classifyKey, because a bare "key" component is too generic.
+var credTokens = map[string]bool{
+	"token": true, "auth": true, "authorization": true, "bearer": true,
+	"secret": true, "password": true, "passwd": true, "pwd": true,
+	"credential": true, "credentials": true, "session": true, "sid": true,
+	"signature": true, "apikey": true, "cookie": true, "otp": true,
+}
+
+var piiTokens = map[string]bool{
+	"email": true, "phone": true, "mobile": true, "address": true,
+	"street": true, "city": true, "zip": true, "postal": true,
+	"lat": true, "lon": true, "lng": true, "latitude": true,
+	"longitude": true, "location": true, "gps": true, "device": true,
+	"imei": true, "imsi": true, "ssn": true, "dob": true,
+	"birthday": true, "gender": true,
+}
+
+// classifyKey reports whether a request field key is credential- or
+// PII-shaped. Matching is per component, so "access_token", "session_id"
+// and "X-Api-Key" classify without enumerating every compound.
+func classifyKey(key string) (cred, pii bool) {
+	parts := strings.FieldsFunc(strings.ToLower(key), func(r rune) bool {
+		return r == '_' || r == '-' || r == '.'
+	})
+	hasAPI, hasKey := false, false
+	for _, p := range parts {
+		if credTokens[p] {
+			cred = true
+		}
+		if piiTokens[p] {
+			pii = true
+		}
+		if p == "api" {
+			hasAPI = true
+		}
+		if p == "key" {
+			hasKey = true
+		}
+	}
+	if hasAPI && hasKey {
+		cred = true
+	}
+	return cred, pii
+}
+
+// requestKeys collects every field key a transaction sends: URI query
+// keys, body keys (query-string or JSON/XML), and header names.
+func requestKeys(tx *core.Transaction) []string {
+	set := map[string]bool{}
+	for _, k := range siglang.Keywords(tx.Request.URI) {
+		set[k] = true
+	}
+	if tx.Request.BodyKind != "" {
+		for _, k := range siglang.Keywords(tx.Request.Body) {
+			set[k] = true
+		}
+	}
+	for _, h := range tx.Request.Headers {
+		set[h.Key] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// txScheme extracts the URI scheme from the rendered regex (unescaping
+// the regex quoting first, as GroupByPrefix does).
+func txScheme(tx *core.Transaction) string {
+	s := strings.NewReplacer(`\.`, ".", `\?`, "?", `\/`, "/").
+		Replace(siglang.RegexBody(tx.Request.URI))
+	switch {
+	case strings.HasPrefix(s, "https://"):
+		return "https"
+	case strings.HasPrefix(s, "http://"):
+		return "http"
+	default:
+		return ""
+	}
+}
+
+// SecurityFor runs the lens over one transaction. It returns nil when
+// there is nothing to report — encrypted transport and no sensitive-shaped
+// keys — so both renderers emit annotations only when non-empty.
+func SecurityFor(tx *core.Transaction) *SecurityInfo {
+	info := &SecurityInfo{Scheme: txScheme(tx)}
+	info.Cleartext = info.Scheme == "http"
+	for _, k := range requestKeys(tx) {
+		cred, pii := classifyKey(k)
+		if cred {
+			info.CredentialKeys = append(info.CredentialKeys, k)
+		}
+		if pii {
+			info.PIIKeys = append(info.PIIKeys, k)
+		}
+	}
+	if !info.Cleartext && len(info.CredentialKeys) == 0 && len(info.PIIKeys) == 0 {
+		return nil
+	}
+	return info
+}
+
+// securityLine renders the lens verdict as one text-report line body.
+func securityLine(info *SecurityInfo) string {
+	var parts []string
+	if info.Cleartext {
+		parts = append(parts, "cleartext http")
+	}
+	if len(info.CredentialKeys) > 0 {
+		parts = append(parts, "credential keys: "+strings.Join(info.CredentialKeys, ", "))
+	}
+	if len(info.PIIKeys) > 0 {
+		parts = append(parts, "pii keys: "+strings.Join(info.PIIKeys, ", "))
+	}
+	return strings.Join(parts, "; ")
+}

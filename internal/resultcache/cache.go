@@ -123,9 +123,12 @@ func HashBytes(data []byte) string {
 // clean-runs-only store policy). The deterministic step budgets DO
 // participate, because a truncating budget changes which transactions
 // survive. A custom semantic model makes the options non-cacheable (second
-// return false): two distinct models would collide on one fingerprint.
+// return false): two distinct models would collide on one fingerprint. The
+// same policy covers PairingOracle: the oracle is a differential-testing
+// reference path, and caching it would either collide with indexed-pairing
+// entries or double every fingerprint for a mode no production run uses.
 func Fingerprint(opts core.Options) (string, bool) {
-	if opts.Model != nil {
+	if opts.Model != nil || opts.PairingOracle {
 		return "", false
 	}
 	var b strings.Builder

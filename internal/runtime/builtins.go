@@ -206,6 +206,52 @@ func (vm *VM) builtin(sym string, args []value) (handled bool, ret value, err er
 			return true, recv.resp.Body, nil
 		}
 		return true, "", nil
+	case semmodel.KStreamWrap:
+		// Stream decorator constructor: alias the wrapped stream's state;
+		// gzip and chunked framings declared by the response headers are
+		// decoded so reads through the wrapper see the payload.
+		if recv != nil {
+			if w := obj(1); w != nil {
+				recv.req, recv.stream, recv.entity = w.req, w.stream, w.entity
+				recv.resp = w.resp
+				if w.resp != nil {
+					if body, ok := httpsim.DecodeBody(w.resp); ok {
+						cp := *w.resp
+						cp.Body = body
+						recv.resp = &cp
+					}
+				}
+			}
+		}
+		return true, nil, nil
+
+	// ---- Multipart request bodies ---------------------------------------------
+	case semmodel.KMultipartCreate:
+		b := vm.newObject("org.apache.http.entity.mime.MultipartEntityBuilder")
+		b.kv = map[string]value{}
+		return true, b, nil
+	case semmodel.KMultipartAddPart:
+		if recv != nil && len(args) > 2 {
+			k := str(args[1])
+			if recv.kv == nil {
+				recv.kv = map[string]value{}
+			}
+			if _, dup := recv.kv[k]; !dup {
+				recv.kvOrd = append(recv.kvOrd, k)
+			}
+			recv.kv[k] = args[2]
+		}
+		return true, args[0], nil
+	case semmodel.KMultipartBuild:
+		e := vm.newObject("org.apache.http.HttpEntity")
+		var parts [][2]string
+		if recv != nil {
+			for _, k := range recv.kvOrd {
+				parts = append(parts, [2]string{k, str(recv.kv[k])})
+			}
+		}
+		e.entity = &entityState{body: httpsim.MultipartBody(parts)}
+		return true, e, nil
 
 	// ---- okhttp ---------------------------------------------------------------
 	case semmodel.KOkRequestBuilder:

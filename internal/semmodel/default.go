@@ -117,6 +117,23 @@ func Default() *Model {
 	m.add(&Method{Ref: "java.io.BufferedReader.readLine", Kind: KReadStream})
 	m.add(&Method{Ref: "android.util.StreamUtils.readFully", Kind: KReadStream})
 
+	// --- Stream decorators (gzip / chunked transfer reading) -----------------
+	for _, ref := range []string{
+		"java.util.zip.GZIPInputStream.<init>",
+		"java.util.zip.GZIPOutputStream.<init>",
+		"java.io.InputStreamReader.<init>",
+		"java.io.BufferedReader.<init>",
+		"java.io.BufferedInputStream.<init>",
+	} {
+		m.add(&Method{Ref: ref, Kind: KStreamWrap})
+	}
+
+	// --- Multipart bodies (org.apache.http.entity.mime) ----------------------
+	m.add(&Method{Ref: "org.apache.http.entity.mime.MultipartEntityBuilder.create", Kind: KMultipartCreate})
+	m.add(&Method{Ref: "org.apache.http.entity.mime.MultipartEntityBuilder.addTextBody", Kind: KMultipartAddPart})
+	m.add(&Method{Ref: "org.apache.http.entity.mime.MultipartEntityBuilder.addPart", Kind: KMultipartAddPart})
+	m.add(&Method{Ref: "org.apache.http.entity.mime.MultipartEntityBuilder.build", Kind: KMultipartBuild})
+
 	// --- okhttp (v2 com.squareup and v3 okhttp3) ----------------------------
 	for _, pkg := range []string{"okhttp3", "com.squareup.okhttp"} {
 		m.add(&Method{Ref: pkg + ".Request$Builder.<init>", Kind: KOkRequestBuilder})

@@ -133,6 +133,15 @@ const (
 	// Intents: recognized but intentionally NOT modeled by the analyzer,
 	// matching the paper's stated limitation (§4).
 	KIntentSend
+
+	// Stream decorators (gzip / chunked readers): the wrapper aliases the
+	// wrapped stream, so reads and writes flow through transparently.
+	KStreamWrap // new GZIPInputStream(in) / new BufferedReader(rdr) / ...
+
+	// Multipart request bodies (org.apache.http.entity.mime).
+	KMultipartCreate  // MultipartEntityBuilder.create() -> builder
+	KMultipartAddPart // builder.addTextBody(name, value) -> builder
+	KMultipartBuild   // builder.build() -> entity
 )
 
 // Role names the position of a method argument in Args (receiver included

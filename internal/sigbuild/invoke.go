@@ -347,6 +347,43 @@ func (ev *evaluator) evalModeled(m *ir.Method, idx int, in *ir.Instr, en env,
 				o.pairs[k] = v
 			}
 		}
+	case semmodel.KMultipartCreate:
+		setDst(aval{obj: &aobj{kind: oEntity, bodyKind: "multipart"}})
+	case semmodel.KMultipartAddPart:
+		if recv.obj != nil && recv.obj.kind == oEntity {
+			recv.obj.elems = append(recv.obj.elems,
+				aval{obj: &aobj{kind: oNVPair, key: arg(1), val: arg(2)}})
+			if loop >= 0 {
+				recv.obj.open = true
+			}
+		}
+		setDst(recv)
+	case semmodel.KMultipartBuild:
+		if recv.obj != nil && recv.obj.kind == oEntity {
+			var parts []siglang.Sig
+			for i, el := range recv.obj.elems {
+				if i > 0 {
+					parts = append(parts, siglang.Str("&"))
+				}
+				if el.obj != nil && el.obj.kind == oNVPair {
+					parts = append(parts, el.obj.key.sigOf(), siglang.Str("="), el.obj.val.sigOf())
+					if k, ok := el.obj.key.constString(); ok {
+						if recv.obj.pairs == nil {
+							recv.obj.pairs = map[string]aval{}
+						}
+						recv.obj.pairs[k] = el.obj.val
+					}
+				} else {
+					parts = append(parts, el.sigOf())
+				}
+			}
+			body := siglang.Cat(parts...)
+			if recv.obj.open {
+				body = siglang.Repeat(body)
+			}
+			recv.obj.text = body
+		}
+		setDst(recv)
 	case semmodel.KNVPairInit:
 		o := recv.obj
 		if o == nil {
@@ -402,6 +439,14 @@ func (ev *evaluator) evalModeled(m *ir.Method, idx int, in *ir.Instr, en env,
 			return
 		}
 		setDst(unknownVal(siglang.VAny, "stream"))
+	case semmodel.KStreamWrap:
+		// Stream decorator constructor (GZIPInputStream, BufferedReader,
+		// InputStreamReader, ...): the wrapper aliases the wrapped stream,
+		// so reads and writes reach the underlying response or request
+		// entity transparently.
+		if len(in.Args) > 1 && in.Args[0] != ir.NoReg {
+			en[in.Args[0]] = arg(1)
+		}
 	case semmodel.KStreamWrite:
 		if recv.obj != nil && recv.obj.kind == oEntity {
 			v := arg(1)

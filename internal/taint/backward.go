@@ -93,7 +93,8 @@ func (e *Engine) sumBackwardInvokeDef(b *sumBuilder, m *ir.Method, idx int, in *
 			semmodel.KJSONGetInt, semmodel.KJSONGetBool, semmodel.KJSONGetObj,
 			semmodel.KJSONGetArr, semmodel.KJSONArrGet, semmodel.KJSONArrLen,
 			semmodel.KOpenConnection, semmodel.KConnGetOutput, semmodel.KConnGetInput,
-			semmodel.KXMLGetTag, semmodel.KXMLGetAttr, semmodel.KXMLGetText:
+			semmodel.KXMLGetTag, semmodel.KXMLGetAttr, semmodel.KXMLGetText,
+			semmodel.KMultipartBuild:
 			pushArg(0)
 		case semmodel.KValueOf, semmodel.KURLEncode, semmodel.KJSONParse,
 			semmodel.KXMLParse, semmodel.KStringFormatIdentity:
@@ -106,7 +107,8 @@ func (e *Engine) sumBackwardInvokeDef(b *sumBuilder, m *ir.Method, idx int, in *
 			pushArg(0)
 		case semmodel.KOkNewCall:
 			pushArg(1)
-		case semmodel.KOkURL, semmodel.KOkPost, semmodel.KOkHeader:
+		case semmodel.KOkURL, semmodel.KOkPost, semmodel.KOkHeader,
+			semmodel.KStreamWrap, semmodel.KMultipartAddPart:
 			pushAll(0)
 		case semmodel.KResGetString:
 			if len(in.Args) >= 2 {
@@ -221,7 +223,8 @@ func isMutator(k semmodel.Kind) bool {
 		semmodel.KConnSetMethod, semmodel.KConnSetHeader, semmodel.KOkURL,
 		semmodel.KOkPost, semmodel.KOkHeader, semmodel.KStreamWrite,
 		semmodel.KStringBuilderInit, semmodel.KHTTPReqInit, semmodel.KStringEntityInit,
-		semmodel.KFormEntityInit, semmodel.KNVPairInit, semmodel.KURLInit:
+		semmodel.KFormEntityInit, semmodel.KNVPairInit, semmodel.KURLInit,
+		semmodel.KStreamWrap, semmodel.KMultipartAddPart:
 		return true
 	}
 	return false

@@ -122,7 +122,7 @@ func (e *Engine) sumForwardInvoke(b *sumBuilder, m *ir.Method, idx int, in *ir.I
 		case semmodel.KJSONPut, semmodel.KListAdd, semmodel.KMapPut, semmodel.KCVPut,
 			semmodel.KHTTPSetEntity, semmodel.KHTTPAddHeader,
 			semmodel.KOkURL, semmodel.KOkPost, semmodel.KOkHeader,
-			semmodel.KStreamWrite,
+			semmodel.KStreamWrite, semmodel.KStreamWrap, semmodel.KMultipartAddPart,
 			semmodel.KHTTPReqInit, semmodel.KStringEntityInit, semmodel.KFormEntityInit,
 			semmodel.KNVPairInit, semmodel.KURLInit, semmodel.KSocketInit,
 			semmodel.KStringBuilderInit:
