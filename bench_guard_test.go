@@ -237,6 +237,31 @@ func TestSliceBenchGuard(t *testing.T) {
 				name, got.AllocsPerOp, b.AllocsPerOp, allocsSlack, sliceBaselinePath)
 		}
 	}
+
+	// Absolute allocs/op ceilings on the de-stringed hot paths. Unlike the
+	// slack checks above, these never move when the baseline file is
+	// regenerated, so an allocation regression cannot be laundered through
+	// EXTRACTOCOL_BENCH_BASELINE=write.
+	for name, budget := range hotPathAllocBudgets {
+		got, ok := cur.Ops[name]
+		if !ok {
+			t.Errorf("budgeted op %q missing from the guard", name)
+			continue
+		}
+		if got.AllocsPerOp > budget {
+			t.Errorf("%s makes %d allocs/op, absolute budget %d: the interned hot path has re-grown string churn",
+				name, got.AllocsPerOp, budget)
+		}
+	}
+}
+
+// hotPathAllocBudgets pins the interning refactor's allocation contract as
+// absolute ceilings: slice_find sits 5x under its pre-interning baseline
+// (2919 allocs/op, see EXPERIMENTS.md) with headroom over the measured ~400;
+// taint_backward covers a fresh engine's summary build (measured 26).
+var hotPathAllocBudgets = map[string]int64{
+	"slice_find":     583,
+	"taint_backward": 40,
 }
 
 // ---- Pairing + warm-cache guard ------------------------------------------------
@@ -388,6 +413,84 @@ func TestGenBenchGuard(t *testing.T) {
 		if got.AllocsPerOp > b.AllocsPerOp*allocsSlack {
 			t.Errorf("%s makes %d allocs/op, baseline %d (limit %dx): investigate or regenerate %s",
 				name, got.AllocsPerOp, b.AllocsPerOp, allocsSlack, genBaselinePath)
+		}
+	}
+}
+
+// ---- Interned-symbol guard -----------------------------------------------------
+//
+// TestInternBenchGuard pins the interning layer's own costs — the one-time
+// dense-index build and the bitset algebra the hot loops run on
+// (BenchmarkInternIndex, BenchmarkInternBitsUnion) — against
+// BENCH_intern.json, with the same slack factors and the same
+// EXTRACTOCOL_BENCH_BASELINE=write regeneration convention as the guards
+// above. The layer buys its speedup with a fixed per-program cost; this
+// guard keeps that cost fixed.
+
+const internBaselinePath = "BENCH_intern.json"
+
+func measureInternOps(t *testing.T) sliceBenchBaseline {
+	t.Helper()
+	bl := sliceBenchBaseline{App: guardApp, Ops: map[string]sliceOpBaseline{}}
+	for name, fn := range map[string]func(*testing.B){
+		"intern_index":      BenchmarkInternIndex,
+		"intern_bits_union": BenchmarkInternBitsUnion,
+	} {
+		res := testing.Benchmark(fn)
+		if res.N == 0 {
+			t.Fatalf("benchmark %q failed to run", name)
+		}
+		bl.Ops[name] = sliceOpBaseline{NsPerOp: res.NsPerOp(), AllocsPerOp: res.AllocsPerOp()}
+	}
+	return bl
+}
+
+func TestInternBenchGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews timing and allocation counts")
+	}
+
+	cur := measureInternOps(t)
+
+	data, err := os.ReadFile(internBaselinePath)
+	if os.IsNotExist(err) || os.Getenv("EXTRACTOCOL_BENCH_BASELINE") == "write" {
+		out, merr := json.MarshalIndent(cur, "", "  ")
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if werr := os.WriteFile(internBaselinePath, append(out, '\n'), 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		t.Logf("wrote %s: %s", internBaselinePath, out)
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base sliceBenchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("corrupt %s: %v", internBaselinePath, err)
+	}
+	if base.App != cur.App {
+		t.Fatalf("baseline measures %q, guard measures %q; regenerate the baseline", base.App, cur.App)
+	}
+
+	for name, b := range base.Ops {
+		got, ok := cur.Ops[name]
+		if !ok {
+			t.Errorf("op %q vanished from the guard; regenerate %s if intentional", name, internBaselinePath)
+			continue
+		}
+		if got.NsPerOp > b.NsPerOp*nsSlack {
+			t.Errorf("%s takes %d ns/op, baseline %d (limit %dx): investigate or regenerate %s",
+				name, got.NsPerOp, b.NsPerOp, nsSlack, internBaselinePath)
+		}
+		if got.AllocsPerOp > b.AllocsPerOp*allocsSlack {
+			t.Errorf("%s makes %d allocs/op, baseline %d (limit %dx): investigate or regenerate %s",
+				name, got.AllocsPerOp, b.AllocsPerOp, allocsSlack, internBaselinePath)
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"extractocol/internal/evaluate"
 	"extractocol/internal/fuzz"
 	"extractocol/internal/httpsim"
+	"extractocol/internal/intern"
 	"extractocol/internal/ir"
 	"extractocol/internal/obfuscate"
 	"extractocol/internal/obs"
@@ -385,32 +386,6 @@ func firstDP(b *testing.B, p *ir.Program, model *semmodel.Model) (taint.StmtID, 
 	return taint.StmtID{}, 0
 }
 
-func cloneTaintResult(r *taint.Result) *taint.Result {
-	c := &taint.Result{
-		Stmts:      make(map[taint.StmtID]bool, len(r.Stmts)),
-		HeapReads:  make(map[string]bool, len(r.HeapReads)),
-		HeapWrites: make(map[string]bool, len(r.HeapWrites)),
-		Sinks:      make(map[string]bool, len(r.Sinks)),
-		Sources:    make(map[string]bool, len(r.Sources)),
-	}
-	for k := range r.Stmts {
-		c.Stmts[k] = true
-	}
-	for k := range r.HeapReads {
-		c.HeapReads[k] = true
-	}
-	for k := range r.HeapWrites {
-		c.HeapWrites[k] = true
-	}
-	for k := range r.Sinks {
-		c.Sinks[k] = true
-	}
-	for k := range r.Sources {
-		c.Sources[k] = true
-	}
-	return c
-}
-
 // BenchmarkSliceFind measures full transaction extraction — the pool, the
 // shared caches, and backward/forward slicing — on the paper's running
 // example.
@@ -439,7 +414,7 @@ func BenchmarkTaintBackward(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng := taint.NewEngine(app.Prog, model, cg)
-		if res := eng.Backward(dp, reg); len(res.Stmts) == 0 {
+		if res := eng.Backward(dp, reg); res.Size() == 0 {
 			b.Fatal("empty slice")
 		}
 	}
@@ -455,18 +430,64 @@ func BenchmarkAugment(b *testing.B) {
 	dp, reg := firstDP(b, app.Prog, model)
 	eng := taint.NewEngine(app.Prog, model, cg)
 	seed := eng.Backward(dp, reg)
-	if len(seed.Stmts) == 0 {
+	if seed.Size() == 0 {
 		b.Fatal("empty seed slice")
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		res := cloneTaintResult(seed)
+		res := seed.Clone()
 		b.StartTimer()
 		slice.Augment(app.Prog, model, res)
-		if len(res.Stmts) < len(seed.Stmts) {
+		if res.Size() < seed.Size() {
 			b.Fatal("augment shrank the slice")
+		}
+	}
+}
+
+// ---- Interned-symbol layer ----------------------------------------------------
+
+// BenchmarkInternIndex measures building the per-program dense index (the
+// method symbol table plus statement/register ID bases) that every analysis
+// phase shares. The index is built once per decoded program, so this is the
+// interning layer's entire fixed overhead.
+func BenchmarkInternIndex(b *testing.B) {
+	app := corpus.RadioReddit()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := ir.NewIndex(app.Prog)
+		if idx.NumMethods() == 0 {
+			b.Fatal("empty index")
+		}
+	}
+}
+
+// BenchmarkInternBitsUnion measures the dense-set operations the slicing
+// and taint hot loops lean on — clone, union, and membership iteration over
+// statement-universe-sized bitsets — the replacements for the old
+// map[string]bool set algebra.
+func BenchmarkInternBitsUnion(b *testing.B) {
+	app := corpus.RadioReddit()
+	idx := ir.NewIndex(app.Prog)
+	n := idx.NumStmts()
+	x, y := intern.NewBits(n), intern.NewBits(n)
+	for id := 0; id < n; id += 3 {
+		x.Add(uint32(id))
+	}
+	for id := 0; id < n; id += 7 {
+		y.Add(uint32(id))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := x.Clone()
+		u.Union(y)
+		count := 0
+		u.Each(func(uint32) bool { count++; return true })
+		if count == 0 {
+			b.Fatal("empty union")
 		}
 	}
 }

@@ -12,7 +12,10 @@
 //	                             validity, obfuscation, ablation, timing)
 //	evaluate -profile            emit per-app and corpus-wide per-phase
 //	                             observability breakdowns as JSON, plus
-//	                             the parallel fan-out speedup
+//	                             the parallel fan-out speedup and, when a
+//	                             shared report cache is in use, its
+//	                             contention gauges (lock-wait time,
+//	                             same-key races, install retries)
 //	evaluate -serial             analyze apps one at a time instead of in
 //	                             parallel
 //	evaluate -deadline 30s       bound each app's analysis; apps that

@@ -7,14 +7,19 @@
 package extractocol
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"extractocol/internal/budget"
+	"extractocol/internal/callgraph"
 	"extractocol/internal/core"
 	"extractocol/internal/corpus"
+	"extractocol/internal/ir"
 	"extractocol/internal/obs"
 	"extractocol/internal/report"
+	"extractocol/internal/semmodel"
+	"extractocol/internal/taint"
 )
 
 // normalizeReport strips the only time-dependent lines of a text report
@@ -141,5 +146,68 @@ func TestCacheCountersInProfile(t *testing.T) {
 	}
 	if u := prof.Gauges[obs.GaugeSliceUtilization]; u < 0 || u > 1.05 {
 		t.Errorf("slice_worker_utilization = %v, want within [0, 1.05]", u)
+	}
+}
+
+// TestForwardFactsSeedOrderDeterministic pins the seeding contract behind
+// the pairing flow checks: ForwardFacts takes its seeds as a Go map, and
+// every observable — the reached statement set and, in particular, where a
+// truncating fixpoint budget cuts propagation off — must be independent of
+// map iteration order. The tight budget is what makes ordering visible: a
+// worklist seeded in map order would truncate at a different frontier from
+// run to run, while the sorted seed walk always truncates at the same one.
+func TestForwardFactsSeedOrderDeterministic(t *testing.T) {
+	app, err := corpus.ByName("radio reddit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := semmodel.Default()
+	cg := callgraph.Build(app.Prog, model)
+
+	// Seed one local fact per app method (first statement, register 0) so
+	// the worklist starts wide: with many seeds, truncation order is the
+	// first thing an unsorted walk would get wrong.
+	seeds := map[taint.StmtID]int{}
+	for _, cls := range app.Prog.AppClasses() {
+		for _, m := range cls.Methods {
+			if len(m.Instrs) > 0 {
+				seeds[taint.StmtID{Method: m.Ref(), Index: 0}] = 0
+			}
+		}
+	}
+	if len(seeds) < 8 {
+		t.Fatalf("only %d seed methods, want a wide seed set", len(seeds))
+	}
+
+	project := func(legacy bool, iters int64) string {
+		eng := taint.NewEngine(app.Prog, model, cg)
+		eng.Legacy = legacy
+		eng.Budget = budget.New(budget.Limits{FixpointIters: iters})
+		res := eng.ForwardFacts(seeds)
+		if iters > 0 && res.Truncated == nil {
+			t.Fatalf("FixpointIters=%d did not truncate; ordering is not observable", iters)
+		}
+		var sb strings.Builder
+		res.EachStmt(func(m *ir.Method, idx int) bool {
+			fmt.Fprintf(&sb, "%s#%d\n", m.Ref(), idx)
+			return true
+		})
+		return sb.String()
+	}
+
+	for _, legacy := range []bool{false, true} {
+		want := project(legacy, 40)
+		for run := 1; run < 8; run++ {
+			if got := project(legacy, 40); got != want {
+				t.Fatalf("legacy=%v: truncated result diverged on run %d\n--- first ---\n%s\n--- run %d ---\n%s",
+					legacy, run, want, run, got)
+			}
+		}
+		// Unbudgeted fixpoints must agree too (and with each other across
+		// runs, which the pinned-report suite already covers corpus-wide).
+		full := project(legacy, 0)
+		if full == "" {
+			t.Fatalf("legacy=%v: empty unbudgeted result", legacy)
+		}
 	}
 }

@@ -1,7 +1,8 @@
 // Seeded generative corpus: scenario coverage, generator determinism, and
 // the default-report pin. The scenario tests hold each protocol-surface
 // extension (gzip and chunked transfer encodings, multipart uploads,
-// cookie sessions, token-refresh chains, pagination cursors) to a
+// cookie sessions, token-refresh chains, pagination cursors, long-poll
+// retry loops) to a
 // concrete analysis outcome — non-empty signatures and, for the session
 // scenarios, inter-transaction dependency edges. The determinism tests
 // pin that corpus.Rand is a pure function of its seed, and the digest
@@ -168,6 +169,35 @@ func TestScenarioPaginateCursor(t *testing.T) {
 	}
 	if !viaURI {
 		t.Errorf("no next_page -> uri edge into /page/; deps: %+v", rep.Deps)
+	}
+}
+
+func TestScenarioLongPoll(t *testing.T) {
+	rep := scenarioApp(t, "longpoll")
+	tx := txWithPath(t, rep, "/poll/")
+	uri := siglang.RegexBody(tx.Request.URI)
+	if !strings.Contains(uri, "timeout=") {
+		t.Errorf("poll URI %q lost the timeout query key", uri)
+	}
+	if tx.Response == nil || tx.Response.BodyKind != "json" {
+		t.Fatalf("poll response not reconstructed as json: %+v", tx.Response)
+	}
+	if keys := siglang.Keywords(&siglang.JSON{Root: tx.Response.JSON}); len(keys) == 0 {
+		t.Error("poll response signature has no keys")
+	}
+	if !tx.Paired {
+		t.Error("poll transaction not paired with its response")
+	}
+	// The retry self-call must not fork a second transaction: one /poll/
+	// endpoint, polled in a loop, is still one protocol behavior.
+	polls := 0
+	for _, other := range rep.Transactions {
+		if strings.Contains(siglang.RegexBody(other.Request.URI), "/poll/") {
+			polls++
+		}
+	}
+	if polls != 1 {
+		t.Errorf("%d /poll/ transactions, want 1 (retry loop folded)", polls)
 	}
 }
 

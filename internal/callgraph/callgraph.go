@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"extractocol/internal/intern"
 	"extractocol/internal/ir"
 	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
@@ -34,12 +35,14 @@ type Edge struct {
 type Graph struct {
 	prog  *ir.Program
 	model *semmodel.Model
+	idx   *ir.Index
 	out   map[string][]Edge // caller -> edges
 	in    map[string][]Edge // callee -> edges
 
-	mu    sync.RWMutex
-	types map[string][]string        // method ref -> inferred register types
-	reach map[string]map[string]bool // root ref -> reachable method set
+	mu        sync.RWMutex
+	types     map[string][]string        // method ref -> inferred register types
+	reach     map[string]map[string]bool // root ref -> reachable method set
+	reachBits map[string]*intern.Bits    // root ref -> reachable method-ID set
 
 	typesHits, typesMisses atomic.Int64
 	reachHits, reachMisses atomic.Int64
@@ -47,8 +50,10 @@ type Graph struct {
 
 // Build constructs the call graph for every app method in p.
 func Build(p *ir.Program, model *semmodel.Model) *Graph {
-	g := &Graph{prog: p, model: model, out: map[string][]Edge{}, in: map[string][]Edge{},
-		types: map[string][]string{}, reach: map[string]map[string]bool{}}
+	g := &Graph{prog: p, model: model, idx: ir.NewIndex(p),
+		out: map[string][]Edge{}, in: map[string][]Edge{},
+		types: map[string][]string{}, reach: map[string]map[string]bool{},
+		reachBits: map[string]*intern.Bits{}}
 	for _, c := range p.AppClasses() {
 		for _, m := range c.Methods {
 			g.addMethodEdges(m)
@@ -221,6 +226,40 @@ func (g *Graph) ReachableFrom(root string) map[string]bool {
 	}
 	g.mu.Unlock()
 	return r
+}
+
+// Index returns the program's dense method/statement index, built once by
+// Build and read-only afterwards (safe for concurrent use).
+func (g *Graph) Index() *ir.Index { return g.idx }
+
+// ReachableBits is ReachableFrom over dense method IDs: the memoized
+// per-entry-point transaction universe as an intern.Bits, so the taint
+// engine's gate checks are single bit tests. The returned set is shared:
+// callers must treat it as read-only. Safe for concurrent use.
+func (g *Graph) ReachableBits(root string) *intern.Bits {
+	g.mu.RLock()
+	b, ok := g.reachBits[root]
+	g.mu.RUnlock()
+	if ok {
+		g.reachHits.Add(1)
+		return b
+	}
+	g.reachMisses.Add(1)
+	r := g.Reachable([]string{root})
+	b = intern.NewBits(g.idx.NumMethods())
+	for ref := range r {
+		if id, ok := g.idx.MethodID(ref); ok {
+			b.Add(id)
+		}
+	}
+	g.mu.Lock()
+	if prev, ok := g.reachBits[root]; ok {
+		b = prev
+	} else {
+		g.reachBits[root] = b
+	}
+	g.mu.Unlock()
+	return b
 }
 
 // DrainCacheCounters moves the cache hit/miss totals accumulated since the

@@ -17,6 +17,7 @@ import (
 
 	"extractocol/internal/budget"
 	"extractocol/internal/callgraph"
+	"extractocol/internal/intern"
 	"extractocol/internal/ir"
 	"extractocol/internal/obs"
 	"extractocol/internal/pairing"
@@ -49,6 +50,11 @@ type Options struct {
 	// two are held to identical output by the differential harness; the
 	// oracle is quadratic and exists for equivalence checking only.
 	PairingOracle bool
+	// LegacySets runs every taint fixpoint (slice extraction and pairing
+	// flow checks) on the pre-interning string/map replay instead of the
+	// dense bitset path. Like PairingOracle this is a differential-testing
+	// oracle — reports must come out identical — and is never cached.
+	LegacySets bool
 	// Workers bounds the intra-app worker pools (slice extraction and
 	// signature building): 0 means GOMAXPROCS, 1 forces serial execution.
 	// Output is deterministic regardless.
@@ -106,6 +112,30 @@ type ReportCache interface {
 	Get(key string) (*Report, bool, error)
 	// Put stores r under key.
 	Put(key string, r *Report) error
+}
+
+// drainCacheContention folds a report cache's contention gauges into this
+// run's profile, when the implementation exposes them (resultcache does:
+// parallel workers share one cache per directory, so same-key lock waits,
+// races and install retries are observable). The drain is read-and-reset,
+// so concurrent runs split the totals instead of double-counting them.
+func drainCacheContention(cache ReportCache, col *obs.Collector) {
+	d, ok := cache.(interface {
+		DrainContention() (lockWaitNS, sameKeyRaces, installRetries int64)
+	})
+	if !ok {
+		return
+	}
+	wait, races, retries := d.DrainContention()
+	if wait != 0 {
+		col.Add(obs.CtrCacheLockWaitNS, wait)
+	}
+	if races != 0 {
+		col.Add(obs.CtrCacheKeyRaces, races)
+	}
+	if retries != 0 {
+		col.Add(obs.CtrCacheInstallRetries, retries)
+	}
 }
 
 // NewOptions returns the default configuration (async heuristic enabled).
@@ -317,6 +347,7 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 		endCache := col.Phase(obs.PhaseResultCache)
 		cached, hit, cerr := opts.Cache.Get(opts.CacheKey)
 		endCache()
+		drainCacheContention(opts.Cache, col)
 		switch {
 		case hit:
 			col.Add(obs.CtrCacheReportHits, 1)
@@ -356,6 +387,7 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 		Col:            col,
 		Summaries:      sums,
 		Budget:         bud,
+		LegacySets:     opts.LegacySets,
 	})
 	note(sliceDiags...)
 	endSlice()
@@ -367,7 +399,7 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 		analyzePairs = pairing.AnalyzeOracle
 	}
 	pairs := analyzePairs(txs)
-	note(pairing.VerifyFlowBudgeted(p, model, cg, pairs, pairStats, sums, bud)...)
+	note(pairing.VerifyFlowBudgeted(p, model, cg, pairs, pairStats, sums, bud, opts.LegacySets)...)
 	col.Drain(pairStats)
 	pairByTx := map[*slice.Transaction]pairing.Pair{}
 	for _, pr := range pairs {
@@ -388,7 +420,7 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 	}
 
 	endDedup := col.Phase(obs.PhaseDedup)
-	sliceStmts := map[taint.StmtID]bool{}
+	sliceStmts := &intern.Bits{}
 	out := foldTransactions(txs, results, pairByTx, sliceStmts, col, opts.Explain)
 	dpSites := map[string]bool{}
 	for _, tx := range txs {
@@ -427,7 +459,7 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 	total := p.InstrCount()
 	frac := 0.0
 	if total > 0 {
-		frac = float64(len(sliceStmts)) / float64(total)
+		frac = float64(sliceStmts.Count()) / float64(total)
 	}
 
 	// Fold the analysis-cache hit/miss totals into the profile.
@@ -462,6 +494,7 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 		endCache := col.Phase(obs.PhaseResultCache)
 		perr := opts.Cache.Put(opts.CacheKey, rep)
 		endCache()
+		drainCacheContention(opts.Cache, col)
 		if perr != nil {
 			col.Add(obs.CtrCacheReportInvalid, 1)
 			note(budget.CacheDiag(opts.CacheKey, "store failed: "+perr.Error()))
@@ -610,13 +643,14 @@ func buildSignatures(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 // transactions: entry points reaching the same signature fold together,
 // merging their Entries, Sinks and Sources (all kept sorted so folded
 // transactions render deterministically regardless of slice discovery
-// order). sliceStmts accumulates every statement covered by a kept slice;
+// order). sliceStmts accumulates every statement covered by a kept slice
+// (a dense set over the program index — all slices of one run share it);
 // col (optional) receives dedup counters. explain attaches an Evidence
 // record to each kept transaction (the canonical pre-fold instance; later
 // folds merge entries but keep the first instance's evidence).
 func foldTransactions(txs []*slice.Transaction, results []built,
 	pairByTx map[*slice.Transaction]pairing.Pair,
-	sliceStmts map[taint.StmtID]bool, col *obs.Collector, explain bool) []*Transaction {
+	sliceStmts *intern.Bits, col *obs.Collector, explain bool) []*Transaction {
 
 	var out []*Transaction
 	dedup := map[string]*Transaction{}
@@ -628,13 +662,9 @@ func foldTransactions(txs []*slice.Transaction, results []built,
 			// (e.g. dead branch): skip rather than abort the whole app.
 			continue
 		}
-		for s := range tx.Request.Stmts {
-			sliceStmts[s] = true
-		}
+		sliceStmts.Union(tx.Request.Stmts())
 		if tx.Response != nil {
-			for s := range tx.Response.Stmts {
-				sliceStmts[s] = true
-			}
+			sliceStmts.Union(tx.Response.Stmts())
 		}
 		pr := pairByTx[tx]
 		t := &Transaction{
@@ -661,7 +691,7 @@ func foldTransactions(txs []*slice.Transaction, results []built,
 				ReqStmts:   tx.Request.Size(),
 				ReqSliced:  tx.ReqStmtsSliced,
 				ReqMethods: len(tx.Request.Methods()),
-				HeapReads:  sortedSet(tx.Request.HeapReads),
+				HeapReads:  tx.Request.HeapReads(),
 				FlowSeeds:  pr.FlowSeeds,
 				SigMethods: results[i].info.MethodsEvaluated,
 				SigPrePass: results[i].info.PrePassMethods,
@@ -670,7 +700,7 @@ func foldTransactions(txs []*slice.Transaction, results []built,
 				ev.RespStmts = tx.Response.Size()
 				ev.RespSliced = tx.RespStmtsSliced
 				ev.RespMethods = len(tx.Response.Methods())
-				ev.HeapWrites = sortedSet(tx.Response.HeapWrites)
+				ev.HeapWrites = tx.Response.HeapWrites()
 			}
 			if pr.FlowConfirmed {
 				ev.FlowWitness = fmt.Sprintf("%s@%d",

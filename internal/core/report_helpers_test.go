@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"extractocol/internal/intern"
 	"extractocol/internal/ir"
 	"extractocol/internal/obs"
 	"extractocol/internal/pairing"
@@ -123,13 +124,31 @@ func TestPairCount(t *testing.T) {
 	}
 }
 
+// foldIdx/foldTab key the dense taint.Results the fold tests hand-build:
+// a synthetic two-method program covering every statement ID used below.
+var foldIdx, foldTab = func() (*ir.Index, *intern.SyncTable) {
+	p := ir.NewProgram("fold")
+	for _, cls := range []string{"a", "b"} {
+		c := p.AddClass(&ir.Class{Name: cls})
+		m := ir.NewMethod(c, "m", true, nil, "void")
+		for i := 0; i < 4; i++ {
+			m.ConstInt(int64(i))
+		}
+		m.ReturnVoid()
+		m.Done()
+	}
+	return ir.NewIndex(p), &intern.SyncTable{}
+}()
+
 // sliceTx builds a minimal slice.Transaction for fold tests.
 func sliceTx(dpMethod string, dpIndex int, entry string, stmts []taint.StmtID,
 	sinks, sources []string) *slice.Transaction {
 
-	req := &taint.Result{Stmts: map[taint.StmtID]bool{}}
+	req := taint.NewResult(foldIdx, foldTab)
 	for _, s := range stmts {
-		req.Stmts[s] = true
+		if !req.AddStmt(s.Method, s.Index) {
+			panic("fold test: statement outside the synthetic program: " + s.Method)
+		}
 	}
 	stx := &slice.Transaction{
 		DP:      taint.StmtID{Method: dpMethod, Index: dpIndex},
@@ -178,7 +197,7 @@ func TestFoldTransactionsMergesDuplicates(t *testing.T) {
 	pairByTx := map[*slice.Transaction]pairing.Pair{
 		txs[0]: {Tx: txs[0], OneToOne: true},
 	}
-	sliceStmts := map[taint.StmtID]bool{}
+	sliceStmts := &intern.Bits{}
 	col := obs.NewCollector()
 
 	out := foldTransactions(txs, results, pairByTx, sliceStmts, col, false)
@@ -206,7 +225,11 @@ func TestFoldTransactionsMergesDuplicates(t *testing.T) {
 	if out[1].ID != 2 || f.ID != 1 {
 		t.Errorf("IDs = (%d, %d), want sequential (1, 2)", f.ID, out[1].ID)
 	}
-	if !sliceStmts[s1] || !sliceStmts[s2] {
+	hasStmt := func(s taint.StmtID) bool {
+		mid, ok := foldIdx.MethodID(s.Method)
+		return ok && sliceStmts.Has(foldIdx.StmtID(mid, s.Index))
+	}
+	if !hasStmt(s1) || !hasStmt(s2) {
 		t.Errorf("sliceStmts = %v, want both kept slices' statements", sliceStmts)
 	}
 	prof := col.Snapshot()
@@ -228,7 +251,7 @@ func TestFoldTransactionsEntriesStaySorted(t *testing.T) {
 		results = append(results, built{req: litReq("https://x/1")})
 	}
 	out := foldTransactions(txs, results, map[*slice.Transaction]pairing.Pair{},
-		map[taint.StmtID]bool{}, nil, false)
+		&intern.Bits{}, nil, false)
 	if len(out) != 1 {
 		t.Fatalf("folded to %d transactions, want 1", len(out))
 	}
@@ -239,7 +262,7 @@ func TestFoldTransactionsEntriesStaySorted(t *testing.T) {
 }
 
 func TestFoldTransactionsEmpty(t *testing.T) {
-	out := foldTransactions(nil, nil, nil, map[taint.StmtID]bool{}, nil, false)
+	out := foldTransactions(nil, nil, nil, &intern.Bits{}, nil, false)
 	if len(out) != 0 {
 		t.Fatalf("foldTransactions(nil) = %v, want empty", out)
 	}
@@ -248,7 +271,7 @@ func TestFoldTransactionsEmpty(t *testing.T) {
 func TestFoldTransactionsNilResponse(t *testing.T) {
 	txs := []*slice.Transaction{sliceTx("a.m", 1, "app.E", nil, nil, nil)}
 	results := []built{{req: litReq("https://x/1")}} // resp nil
-	out := foldTransactions(txs, results, nil, map[taint.StmtID]bool{}, nil, false)
+	out := foldTransactions(txs, results, nil, &intern.Bits{}, nil, false)
 	if len(out) != 1 {
 		t.Fatalf("got %d transactions, want 1", len(out))
 	}

@@ -267,6 +267,14 @@ func planScenarios(spec AppSpec, r *rng, startID int) []TxSpec {
 				UseField: "accessToken", UsePart: "body",
 				RespKind: "json", RespKeys: []string{"access_token", "expires"},
 				StoreField: "accessToken"})
+		case "longpoll":
+			// Long-polling: the client GETs /poll/ with a server-side wait
+			// bound and re-arms itself after every response; the handler's
+			// self-invocation forms the retry loop.
+			add(TxSpec{Method: "GET", Path: "/poll/" + r.pick(resourceWords),
+				Scenario: "longpoll", Library: headerLibs[r.intn(len(headerLibs))],
+				QueryKeys: []string{"timeout"},
+				RespKind:  "json", RespKeys: append([]string{"event"}, pickKeys(r, respWords, 1)...)})
 		case "paginate":
 			add(TxSpec{Method: "GET", Path: "/list/" + r.pick(resourceWords),
 				Scenario: "paginate", Library: headerLibs[r.intn(len(headerLibs))],
@@ -486,6 +494,17 @@ func emitTransaction(p *ir.Program, cls *ir.Class, spec AppSpec, base string, tx
 	// Response processing (for synchronous libraries).
 	if respReg != ir.NoReg && tx.RespKind != "" && library != "volley" {
 		emitRespParse(b, cls, respReg, tx, library)
+	}
+	if tx.Scenario == "longpoll" {
+		// Retry loop: the handler re-invokes itself with the same timeout
+		// after each response, the way long-poll clients re-arm. The
+		// recursive call edge keeps the poll cycle visible to the call
+		// graph without needing intra-method control flow.
+		var args []int
+		for i := range tx.QueryKeys {
+			args = append(args, b.Param(i))
+		}
+		b.InvokeVoid(cls.Name+"."+name, b.This(), args...)
 	}
 	b.ReturnVoid()
 	b.Done()

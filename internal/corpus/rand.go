@@ -12,7 +12,7 @@ import "fmt"
 // through every equivalence axis at scale.
 
 // ScenarioNames lists the protocol scenarios the generator can draw.
-var ScenarioNames = []string{"gzip", "chunked", "multipart", "cookie", "token", "paginate"}
+var ScenarioNames = []string{"gzip", "chunked", "multipart", "cookie", "token", "paginate", "longpoll"}
 
 // RandSpecs derives n reproducible synthetic AppSpecs from seed.
 func RandSpecs(seed uint64, n int) []AppSpec {

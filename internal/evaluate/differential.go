@@ -317,6 +317,23 @@ func RunDifferential(cfg DiffConfig) (*DiffResult, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Axis 6: legacy string/map taint replay vs dense interned path. Every
+	// taint fixpoint (slicing and pairing flow checks) runs on the
+	// pre-interning implementation; reports must be byte-identical.
+	err = axis("legacysets", "legacy string/map taint sets vs dense bitsets", func() ([]DiffMismatch, error) {
+		got, err := analyzeGen(apps, 1, func(_ *corpus.App, opts *core.Options) error {
+			opts.LegacySets = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return compareAxis(apps, baseline, got, ""), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 

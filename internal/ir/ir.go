@@ -153,6 +153,36 @@ func (in *Instr) Uses() []int {
 	}
 }
 
+// EachUse calls f for every register the instruction reads, in operand
+// order. It is the allocation-free form of Uses for the analysis hot
+// loops: Uses builds a fresh slice per call, which the profile shows as
+// the single largest allocation site in slicing.
+func (in *Instr) EachUse(f func(reg int)) {
+	switch in.Op {
+	case OpMove, OpFieldGet, OpIfZ, OpIfNZ, OpReturn:
+		if in.A != NoReg {
+			f(in.A)
+		}
+	case OpFieldPut, OpIfEq, OpIfNe, OpBinop:
+		if in.A != NoReg {
+			f(in.A)
+		}
+		if in.B != NoReg {
+			f(in.B)
+		}
+	case OpStaticPut:
+		if in.B != NoReg {
+			f(in.B)
+		}
+	case OpInvoke:
+		for _, a := range in.Args {
+			if a != NoReg {
+				f(a)
+			}
+		}
+	}
+}
+
 // Def returns the register written by the instruction, or NoReg.
 func (in *Instr) Def() int {
 	switch in.Op {
@@ -266,10 +296,21 @@ type Method struct {
 	Static    bool
 	Registers int // number of virtual registers used
 	Instrs    []Instr
+
+	// ref caches "Class.Name". It is (re)computed by Class.AddMethod and
+	// Program.AddClass — the only attachment points — so renames that go
+	// through a program rebuild (obfuscation) refresh it. Ref never writes
+	// it, keeping concurrent Ref calls race-free.
+	ref string
 }
 
 // Ref returns the method's fully qualified reference "Class.Name".
-func (m *Method) Ref() string { return m.Class.Name + "." + m.Name }
+func (m *Method) Ref() string {
+	if m.ref != "" {
+		return m.ref
+	}
+	return m.Class.Name + "." + m.Name
+}
 
 // NumParamRegs returns how many leading registers hold incoming values
 // (receiver plus parameters).
@@ -310,6 +351,7 @@ type Class struct {
 // AddMethod appends m to the class and sets its back-reference.
 func (c *Class) AddMethod(m *Method) *Method {
 	m.Class = c
+	m.ref = c.Name + "." + m.Name
 	c.Methods = append(c.Methods, m)
 	return m
 }
@@ -416,10 +458,15 @@ func NewProgram(pkg string) *Program {
 	}
 }
 
-// AddClass inserts c, replacing any previous class with the same name.
+// AddClass inserts c, replacing any previous class with the same name. The
+// cached method refs are refreshed: a program rebuild after renaming
+// (obfuscation) re-adds every class here with its final name.
 func (p *Program) AddClass(c *Class) *Class {
 	if _, ok := p.classes[c.Name]; !ok {
 		p.order = append(p.order, c.Name)
+	}
+	for _, m := range c.Methods {
+		m.ref = c.Name + "." + m.Name
 	}
 	p.classes[c.Name] = c
 	return c

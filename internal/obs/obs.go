@@ -68,6 +68,13 @@ const (
 	CtrCacheReportMisses  = "cache_report_misses"
 	CtrCacheReportWrites  = "cache_report_writes"
 	CtrCacheReportInvalid = "cache_report_invalid"
+	// Report-cache contention gauges, drained from the shared cache after
+	// each Get/Put: nanoseconds spent blocked on per-key locks, contended
+	// same-key acquisitions, and atomic-install rename retries. All zero
+	// unless parallel workers actually race on the cache.
+	CtrCacheLockWaitNS     = "cache_lock_wait_ns"
+	CtrCacheKeyRaces       = "cache_key_races"
+	CtrCacheInstallRetries = "cache_install_retries"
 	// CtrPairFlowChecks counts information-flow pairing verifications run.
 	CtrPairFlowChecks = "pairing_flow_checks"
 	// CtrSigbuildJobs counts signature-extraction jobs executed by the

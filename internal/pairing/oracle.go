@@ -3,6 +3,7 @@ package pairing
 import (
 	"sort"
 
+	"extractocol/internal/intern"
 	"extractocol/internal/slice"
 	"extractocol/internal/taint"
 )
@@ -26,8 +27,8 @@ func AnalyzeOracle(txs []*slice.Transaction) []Pair {
 			DisjointRequest:  oracleDisjoint(tx.Request, oracleRequestsOf(group, tx)),
 			DisjointResponse: oracleDisjoint(tx.Response, oracleResponsesOf(group, tx)),
 		}
-		p.OneToOne = p.HasResponse && (len(group) == 1 || len(p.DisjointResponse) > 0)
-		if p.HasResponse && len(group) > 1 && len(p.DisjointResponse) == 0 {
+		p.OneToOne = p.HasResponse && (len(group) == 1 || !p.DisjointResponse.Empty())
+		if p.HasResponse && len(group) > 1 && p.DisjointResponse.Empty() {
 			p.SharedHandler = oracleSameStmtsAsAnother(tx, group)
 		}
 		out = append(out, p)
@@ -56,23 +57,24 @@ func oracleResponsesOf(group []*slice.Transaction, skip *slice.Transaction) []*t
 	return rs
 }
 
-func oracleDisjoint(r *taint.Result, others []*taint.Result) map[taint.StmtID]bool {
-	out := map[taint.StmtID]bool{}
+func oracleDisjoint(r *taint.Result, others []*taint.Result) *intern.Bits {
+	out := &intern.Bits{}
 	if r == nil {
 		return out
 	}
-	for s := range r.Stmts {
+	r.Stmts().Each(func(s uint32) bool {
 		shared := false
 		for _, o := range others {
-			if o.Stmts[s] {
+			if o.Stmts().Has(s) {
 				shared = true
 				break
 			}
 		}
 		if !shared {
-			out[s] = true
+			out.Add(s)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -81,7 +83,7 @@ func oracleSameStmtsAsAnother(tx *slice.Transaction, group []*slice.Transaction)
 		if o == tx || o.Response == nil || tx.Response == nil {
 			continue
 		}
-		if equalStmts(tx.Response.Stmts, o.Response.Stmts) {
+		if tx.Response.Stmts().Equal(o.Response.Stmts()) {
 			return true
 		}
 	}

@@ -113,7 +113,8 @@ func TestAnalyzeMatchesOracleRandomized(t *testing.T) {
 		default:
 			r := res()
 			for i, n := 0, 1+next(5); i < n; i++ {
-				r.Stmts[stmt()] = true
+				st := stmt()
+				r.AddStmt(st.Method, st.Index)
 			}
 			return r
 		}

@@ -13,6 +13,7 @@ import (
 
 	"extractocol/internal/budget"
 	"extractocol/internal/callgraph"
+	"extractocol/internal/intern"
 	"extractocol/internal/ir"
 	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
@@ -34,9 +35,10 @@ type Pair struct {
 	// handler, where pairing may not be one-to-one).
 	SharedHandler bool
 	// DisjointRequest and DisjointResponse are the statements unique to
-	// this transaction among all same-DP transactions.
-	DisjointRequest  map[taint.StmtID]bool
-	DisjointResponse map[taint.StmtID]bool
+	// this transaction among all same-DP transactions, as dense statement
+	// sets over the transaction slices' program index.
+	DisjointRequest  *intern.Bits
+	DisjointResponse *intern.Bits
 	// FlowConfirmed is set by VerifyFlow when information-flow analysis
 	// from the disjoint request segment reaches the response slice — the
 	// paper's Fig. 5 pairing check.
@@ -95,8 +97,8 @@ func Analyze(txs []*slice.Transaction) []Pair {
 			DisjointRequest:  ownedStmts(tx.Request, gi.reqOwners),
 			DisjointResponse: ownedStmts(tx.Response, gi.respOwners),
 		}
-		p.OneToOne = p.HasResponse && len(p.DisjointResponse) > 0
-		if p.HasResponse && len(p.DisjointResponse) == 0 {
+		p.OneToOne = p.HasResponse && !p.DisjointResponse.Empty()
+		if p.HasResponse && p.DisjointResponse.Empty() {
 			p.SharedHandler = gi.sharedHandler[tx]
 		}
 		out = append(out, p)
@@ -109,8 +111,8 @@ func Analyze(txs []*slice.Transaction) []Pair {
 // request/response slices own each statement, and which transactions share
 // their exact response statement set with another group member.
 type groupIndex struct {
-	reqOwners     map[taint.StmtID]int
-	respOwners    map[taint.StmtID]int
+	reqOwners     map[uint32]int
+	respOwners    map[uint32]int
 	sharedHandler map[*slice.Transaction]bool
 }
 
@@ -121,31 +123,33 @@ func indexGroup(group []*slice.Transaction) *groupIndex {
 	nreq, nresp := 0, 0
 	for _, t := range group {
 		if t.Request != nil {
-			nreq += len(t.Request.Stmts)
+			nreq += t.Request.Size()
 		}
 		if t.Response != nil {
-			nresp += len(t.Response.Stmts)
+			nresp += t.Response.Size()
 		}
 	}
 	gi := &groupIndex{
-		reqOwners:  make(map[taint.StmtID]int, nreq),
-		respOwners: make(map[taint.StmtID]int, nresp),
+		reqOwners:  make(map[uint32]int, nreq),
+		respOwners: make(map[uint32]int, nresp),
 	}
 	hashes := make([]uint64, len(group))
 	for i, t := range group {
 		if t.Request != nil {
-			for s := range t.Request.Stmts {
+			t.Request.Stmts().Each(func(s uint32) bool {
 				gi.reqOwners[s]++
-			}
+				return true
+			})
 		}
 		if t.Response == nil {
 			continue
 		}
 		var h uint64
-		for s := range t.Response.Stmts {
+		t.Response.Stmts().Each(func(s uint32) bool {
 			gi.respOwners[s]++
 			h ^= stmtHash(s)
-		}
+			return true
+		})
 		hashes[i] = h
 	}
 
@@ -162,26 +166,27 @@ func indexGroup(group []*slice.Transaction) *groupIndex {
 	}
 	var classes map[shape][][]*slice.Transaction
 	for i, t := range group {
-		if t.Response == nil || len(t.Response.Stmts) == 0 {
+		if t.Response == nil || t.Response.Size() == 0 {
 			continue
 		}
 		candidate := true
-		for s := range t.Response.Stmts {
+		t.Response.Stmts().Each(func(s uint32) bool {
 			if gi.respOwners[s] == 1 {
 				candidate = false
-				break
+				return false
 			}
-		}
+			return true
+		})
 		if !candidate {
 			continue
 		}
 		if classes == nil {
 			classes = map[shape][][]*slice.Transaction{}
 		}
-		key := shape{n: len(t.Response.Stmts), h: hashes[i]}
+		key := shape{n: t.Response.Size(), h: hashes[i]}
 		placed := false
 		for j, class := range classes[key] {
-			if equalStmts(t.Response.Stmts, class[0].Response.Stmts) {
+			if t.Response.Stmts().Equal(class[0].Response.Stmts()) {
 				classes[key][j] = append(class, t)
 				placed = true
 				break
@@ -209,42 +214,36 @@ func indexGroup(group []*slice.Transaction) *groupIndex {
 
 // copyStmts clones a slice's statement set (the whole set is disjoint when
 // no other transaction shares the demarcation point).
-func copyStmts(r *taint.Result) map[taint.StmtID]bool {
+func copyStmts(r *taint.Result) *intern.Bits {
 	if r == nil {
-		return map[taint.StmtID]bool{}
+		return &intern.Bits{}
 	}
-	out := make(map[taint.StmtID]bool, len(r.Stmts))
-	for s := range r.Stmts {
-		out[s] = true
-	}
-	return out
+	return r.Stmts().Clone()
 }
 
 // ownedStmts returns the statements of r owned by no other slice in the
 // group: exactly those whose owner count is 1 (r itself).
-func ownedStmts(r *taint.Result, owners map[taint.StmtID]int) map[taint.StmtID]bool {
+func ownedStmts(r *taint.Result, owners map[uint32]int) *intern.Bits {
+	out := &intern.Bits{}
 	if r == nil {
-		return map[taint.StmtID]bool{}
+		return out
 	}
-	out := make(map[taint.StmtID]bool, len(r.Stmts))
-	for s := range r.Stmts {
+	r.Stmts().Each(func(s uint32) bool {
 		if owners[s] == 1 {
-			out[s] = true
+			out.Add(s)
 		}
-	}
+		return true
+	})
 	return out
 }
 
-// stmtHash folds a statement identity into an order-independent set hash
-// (FNV-1a over the method name, mixed with the index).
-func stmtHash(s taint.StmtID) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s.Method); i++ {
-		h ^= uint64(s.Method[i])
-		h *= 1099511628211
-	}
-	h ^= uint64(s.Index) * 0x9e3779b97f4a7c15
-	return h
+// stmtHash folds a dense statement ID into an order-independent set hash
+// (a splitmix64-style bit mix).
+func stmtHash(s uint32) uint64 {
+	h := uint64(s) + 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
 }
 
 // VerifyFlow runs the paper's information-flow pairing check: the disjoint
@@ -257,7 +256,7 @@ func stmtHash(s taint.StmtID) uint64 {
 // (summaries are universe-independent, so the slice phase's cache is
 // directly reusable here).
 func VerifyFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, pairs []Pair, stats *obs.Shard, sums *taint.SummaryCache) {
-	VerifyFlowBudgeted(p, model, cg, pairs, stats, sums, nil)
+	VerifyFlowBudgeted(p, model, cg, pairs, stats, sums, nil, false)
 }
 
 // VerifyFlowBudgeted is VerifyFlow under a budget: each pair's flow check
@@ -265,9 +264,11 @@ func VerifyFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, pairs
 // checks were dropped), a truncated propagation leaves the pair unconfirmed
 // with a diagnostic, and a panicking check is recovered per pair. Degraded
 // pairs keep FlowConfirmed == false — pairing quality downgrades, the
-// report still ships. A nil budget behaves exactly like VerifyFlow.
+// report still ships. A nil budget behaves exactly like VerifyFlow. legacy
+// selects the taint engine's pre-interning replay (differential oracle).
 func VerifyFlowBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
-	pairs []Pair, stats *obs.Shard, sums *taint.SummaryCache, bud *budget.Budget) []budget.Diagnostic {
+	pairs []Pair, stats *obs.Shard, sums *taint.SummaryCache, bud *budget.Budget,
+	legacy bool) []budget.Diagnostic {
 
 	var diags []budget.Diagnostic
 	for i := range pairs {
@@ -288,7 +289,7 @@ func VerifyFlowBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Grap
 			diags = append(diags, d)
 			break
 		}
-		if d := verifyPairFlow(p, model, cg, pr, site, stats, sums, bud); d != nil {
+		if d := verifyPairFlow(p, model, cg, pr, site, stats, sums, bud, legacy); d != nil {
 			diags = append(diags, *d)
 		}
 	}
@@ -299,7 +300,7 @@ func VerifyFlowBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Grap
 // and budget truncation into a diagnostic (nil when the check completed).
 func verifyPairFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	pr *Pair, site string, stats *obs.Shard, sums *taint.SummaryCache,
-	bud *budget.Budget) (diag *budget.Diagnostic) {
+	bud *budget.Budget, legacy bool) (diag *budget.Diagnostic) {
 
 	defer func() {
 		if r := recover(); r != nil {
@@ -317,23 +318,22 @@ func verifyPairFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	eng.Stats = stats
 	eng.Budget = bud
 	eng.BudgetPhase = budget.PhasePairing
+	eng.Legacy = legacy
 	if sums != nil {
 		eng.Summaries = sums
 	}
 	seeds := map[taint.StmtID]int{}
 	src := pr.DisjointRequest
-	if len(src) == 0 {
-		src = pr.Tx.Request.Stmts
+	if src.Empty() {
+		src = pr.Tx.Request.Stmts()
 	}
-	for s := range src {
-		m := p.Method(s.Method)
-		if m == nil || s.Index >= len(m.Instrs) {
-			continue
+	idx := pr.Tx.Request.Index()
+	idx.EachStmt(src, func(m *ir.Method, _ uint32, i int) bool {
+		if d := m.Instrs[i].Def(); d != ir.NoReg {
+			seeds[taint.StmtID{Method: m.Ref(), Index: i}] = d
 		}
-		if d := m.Instrs[s.Index].Def(); d != ir.NoReg {
-			seeds[s] = d
-		}
-	}
+		return true
+	})
 	if len(seeds) == 0 {
 		return nil
 	}
@@ -346,16 +346,19 @@ func verifyPairFlow(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 		return &d
 	}
 	// Keep the smallest reached statement as the deterministic witness of
-	// the confirmation (map iteration order must not leak into provenance).
-	for s := range pr.Tx.Response.Stmts {
-		if !flow.Stmts[s] {
-			continue
+	// the confirmation (ordered by (method, index), not by dense ID, so
+	// provenance matches the pre-interning implementation byte for byte).
+	pr.Tx.Response.EachStmt(func(m *ir.Method, i int) bool {
+		if !flow.Contains(m.Ref(), i) {
+			return true
 		}
+		s := taint.StmtID{Method: m.Ref(), Index: i}
 		if !pr.FlowConfirmed || stmtLess(s, pr.FlowWitness) {
 			pr.FlowWitness = s
 		}
 		pr.FlowConfirmed = true
-	}
+		return true
+	})
 	return nil
 }
 
@@ -365,16 +368,4 @@ func stmtLess(a, b taint.StmtID) bool {
 		return a.Method < b.Method
 	}
 	return a.Index < b.Index
-}
-
-func equalStmts(a, b map[taint.StmtID]bool) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for s := range a {
-		if !b[s] {
-			return false
-		}
-	}
-	return true
 }

@@ -3,17 +3,60 @@ package pairing
 import (
 	"testing"
 
+	"extractocol/internal/intern"
 	"extractocol/internal/ir"
 	"extractocol/internal/slice"
 	"extractocol/internal/taint"
 )
 
+// The dense taint.Result is keyed by an ir.Index, so the hand-built
+// transactions in these tests share one synthetic program that declares
+// every method the test statement IDs refer to (16 instructions each —
+// larger than any index used below).
+var testIdx, testTab = buildTestUniverse()
+
+func buildTestUniverse() (*ir.Index, *intern.SyncTable) {
+	p := ir.NewProgram("a")
+	add := func(class string, methods ...string) {
+		c := p.AddClass(&ir.Class{Name: class})
+		for _, name := range methods {
+			m := ir.NewMethod(c, name, true, nil, "void")
+			for i := 0; i < 15; i++ {
+				m.ConstInt(int64(i))
+			}
+			m.ReturnVoid()
+			m.Done()
+		}
+	}
+	add("a.M", "go", "play")
+	add("a.Common", "exec")
+	add("a.A", "run")
+	add("a.B", "run")
+	add("a.C", "run", "exec")
+	add("a.Handler", "on")
+	add("a.Other", "exec")
+	add("a.M0", "run")
+	add("a.M1", "run")
+	add("a.M2", "run")
+	add("a.M3", "run")
+	add("a.DP", "one", "two", "three")
+	return ir.NewIndex(p), &intern.SyncTable{}
+}
+
 func res(stmts ...taint.StmtID) *taint.Result {
-	r := &taint.Result{Stmts: map[taint.StmtID]bool{}}
+	r := taint.NewResult(testIdx, testTab)
 	for _, s := range stmts {
-		r.Stmts[s] = true
+		if !r.AddStmt(s.Method, s.Index) {
+			panic("pairing test: statement outside the synthetic universe: " + s.Method)
+		}
 	}
 	return r
+}
+
+// has reports bit-set membership of one statement identity.
+func has(b *intern.Bits, id taint.StmtID) bool {
+	mid, ok := testIdx.MethodID(id.Method)
+	return ok && b.Has(testIdx.StmtID(mid, id.Index))
 }
 
 func s(m string, i int) taint.StmtID { return taint.StmtID{Method: m, Index: i} }
@@ -54,10 +97,10 @@ func TestSharedDPDisjointSegments(t *testing.T) {
 			t.Errorf("tx %d wrongly flagged shared handler", p.Tx.ID)
 		}
 		// The disjoint request segment must exclude the shared statements.
-		if p.DisjointRequest[shared] || p.DisjointRequest[dp] {
+		if has(p.DisjointRequest, shared) || has(p.DisjointRequest, dp) {
 			t.Errorf("tx %d disjoint segment contains shared code", p.Tx.ID)
 		}
-		if len(p.DisjointRequest) == 0 {
+		if p.DisjointRequest.Empty() {
 			t.Errorf("tx %d has no disjoint request segment", p.Tx.ID)
 		}
 	}

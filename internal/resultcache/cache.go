@@ -30,6 +30,9 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"extractocol/internal/core"
 	"extractocol/internal/dex"
@@ -38,11 +41,33 @@ import (
 
 // Cache is an on-disk report store rooted at one directory. It implements
 // core.ReportCache.
+//
+// Same-key operations are serialized in-process through a per-key lock
+// table, and the cache keeps contention gauges — time spent blocked on a
+// key's lock, contended (same-key race) acquisitions, and atomic-install
+// retries — that core.Analyze drains into each report's profile (see
+// DrainContention).
 type Cache struct {
 	dir string
+
+	locks sync.Map // cache key -> *sync.Mutex
+
+	lockWaitNS     atomic.Int64
+	sameKeyRaces   atomic.Int64
+	installRetries atomic.Int64
 }
 
-// Open returns a cache rooted at dir, creating the directory if needed.
+// opened deduplicates Open calls on the same directory: parallel corpus
+// workers each Open the shared cache dir, and contention is only observable
+// when they share one lock table.
+var (
+	openMu sync.Mutex
+	opened = map[string]*Cache{}
+)
+
+// Open returns the cache rooted at dir, creating the directory if needed.
+// Opening the same directory again returns the same *Cache, so every
+// same-process user shares one lock table and one set of gauges.
 func Open(dir string) (*Cache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("resultcache: empty cache directory")
@@ -50,7 +75,44 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("resultcache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	id := dir
+	if abs, err := filepath.Abs(dir); err == nil {
+		id = abs
+	}
+	openMu.Lock()
+	defer openMu.Unlock()
+	if c := opened[id]; c != nil {
+		return c, nil
+	}
+	c := &Cache{dir: dir}
+	opened[id] = c
+	return c, nil
+}
+
+// lock serializes same-key cache operations within the process, recording
+// contended acquisitions and the time spent blocked. It returns the unlock.
+func (c *Cache) lock(key string) func() {
+	v, _ := c.locks.LoadOrStore(key, &sync.Mutex{})
+	mu := v.(*sync.Mutex)
+	if !mu.TryLock() {
+		// Another goroutine holds this key: a same-key race. Everything
+		// past this point is pure wait, charged to the lock-wait gauge.
+		c.sameKeyRaces.Add(1)
+		start := time.Now()
+		mu.Lock()
+		c.lockWaitNS.Add(time.Since(start).Nanoseconds())
+	}
+	return mu.Unlock
+}
+
+// DrainContention returns the contention gauges accumulated since the last
+// drain and resets them: total nanoseconds goroutines spent blocked on
+// per-key locks, contended same-key acquisitions, and atomic-install
+// retries. core.Analyze type-asserts for this method and folds the deltas
+// into the report profile, so corpus-wide aggregation sums correctly even
+// though racing workers drain a shared cache.
+func (c *Cache) DrainContention() (lockWaitNS, sameKeyRaces, installRetries int64) {
+	return c.lockWaitNS.Swap(0), c.sameKeyRaces.Swap(0), c.installRetries.Swap(0)
 }
 
 // Dir returns the cache's root directory.
@@ -66,6 +128,7 @@ func (c *Cache) path(key string) string {
 // exists but cannot be decoded — the caller recomputes and reports a
 // diagnostic, never a wrong report.
 func (c *Cache) Get(key string) (*core.Report, bool, error) {
+	defer c.lock(key)()
 	data, err := os.ReadFile(c.path(key))
 	if os.IsNotExist(err) {
 		return nil, false, nil
@@ -88,6 +151,7 @@ func (c *Cache) Put(key string, r *core.Report) error {
 	if err != nil {
 		return err
 	}
+	defer c.lock(key)()
 	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
 	if err != nil {
 		return fmt.Errorf("resultcache: write entry: %w", err)
@@ -101,11 +165,23 @@ func (c *Cache) Put(key string, r *core.Report) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("resultcache: write entry: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("resultcache: install entry: %w", err)
+	// The rename can transiently fail when an external process races the
+	// same entry (e.g. a scanner holding the destination open on some
+	// platforms); retry a couple of times before giving up, counting each
+	// extra attempt in the install-retry gauge.
+	for attempt := 0; ; attempt++ {
+		err = os.Rename(tmp.Name(), c.path(key))
+		if err == nil {
+			return nil
+		}
+		if attempt >= 2 {
+			break
+		}
+		c.installRetries.Add(1)
+		time.Sleep(time.Duration(attempt+1) * time.Millisecond)
 	}
-	return nil
+	os.Remove(tmp.Name())
+	return fmt.Errorf("resultcache: install entry: %w", err)
 }
 
 // HashBytes returns the hex SHA-256 of an .apkb container's raw bytes —
@@ -124,11 +200,12 @@ func HashBytes(data []byte) string {
 // participate, because a truncating budget changes which transactions
 // survive. A custom semantic model makes the options non-cacheable (second
 // return false): two distinct models would collide on one fingerprint. The
-// same policy covers PairingOracle: the oracle is a differential-testing
-// reference path, and caching it would either collide with indexed-pairing
-// entries or double every fingerprint for a mode no production run uses.
+// same policy covers PairingOracle and LegacySets: both are
+// differential-testing reference paths, and caching them would either
+// collide with production entries or double every fingerprint for modes no
+// production run uses.
 func Fingerprint(opts core.Options) (string, bool) {
-	if opts.Model != nil || opts.PairingOracle {
+	if opts.Model != nil || opts.PairingOracle || opts.LegacySets {
 		return "", false
 	}
 	var b strings.Builder

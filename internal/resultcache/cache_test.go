@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"extractocol/internal/budget"
 	"extractocol/internal/core"
@@ -118,6 +119,110 @@ func TestCacheGetPut(t *testing.T) {
 	gotJSON, _ := renderings(t, got)
 	if gotJSON != wantJSON {
 		t.Error("cached report renders differently")
+	}
+}
+
+// TestContentionGauges pins the same-key contention instrumentation: Open
+// returns one shared Cache per directory, a blocked same-key acquisition
+// counts a race and accumulates lock-wait time, and DrainContention is
+// read-and-reset.
+func TestContentionGauges(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c {
+		t.Fatal("Open must return the shared cache for one directory")
+	}
+	c.DrainContention()
+
+	// Hold the key's lock, then Get the same key from another goroutine:
+	// its TryLock must fail (one race) and its wait is charged to the gauge.
+	key := KeyFor("deadbeef", core.NewOptions())
+	unlock := c.lock(key)
+	done := make(chan error, 1)
+	go func() {
+		_, hit, err := c.Get(key)
+		if hit {
+			err = os.ErrExist
+		}
+		done <- err
+	}()
+	for i := 0; c.sameKeyRaces.Load() == 0 && i < 5000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(2 * time.Millisecond) // accumulate measurable wait
+	unlock()
+	if err := <-done; err != nil {
+		t.Fatalf("contended Get: %v", err)
+	}
+
+	wait, races, retries := c.DrainContention()
+	if races != 1 {
+		t.Errorf("same-key races = %d, want 1", races)
+	}
+	if wait <= 0 {
+		t.Errorf("lock-wait ns = %d, want > 0", wait)
+	}
+	if retries != 0 {
+		t.Errorf("install retries = %d, want 0", retries)
+	}
+	if w, r, i := c.DrainContention(); w != 0 || r != 0 || i != 0 {
+		t.Errorf("second drain = (%d, %d, %d), want zeros", w, r, i)
+	}
+}
+
+// TestAnalyzeDrainsContention checks the core wiring: gauges staged on the
+// shared cache surface as counters in the next analysis profile, and a
+// contention-free run records none of them.
+func TestAnalyzeDrainsContention(t *testing.T) {
+	app, err := corpus.ByName("radio reddit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.NewOptions()
+	key, err := KeyForProgram(app.Prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Cache = c
+	opts.CacheKey = key
+
+	c.lockWaitNS.Add(123)
+	c.sameKeyRaces.Add(4)
+	c.installRetries.Add(5)
+	rep, err := core.Analyze(app.Prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Profile.Counters[obs.CtrCacheLockWaitNS]; got != 123 {
+		t.Errorf("cache_lock_wait_ns = %d, want 123", got)
+	}
+	if got := rep.Profile.Counters[obs.CtrCacheKeyRaces]; got != 4 {
+		t.Errorf("cache_key_races = %d, want 4", got)
+	}
+	if got := rep.Profile.Counters[obs.CtrCacheInstallRetries]; got != 5 {
+		t.Errorf("cache_install_retries = %d, want 5", got)
+	}
+
+	// The drain is read-and-reset, so an uncontended warm run is clean.
+	warm, err := core.Analyze(app.Prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctr := range []string{obs.CtrCacheLockWaitNS, obs.CtrCacheKeyRaces, obs.CtrCacheInstallRetries} {
+		if got := warm.Profile.Counters[ctr]; got != 0 {
+			t.Errorf("uncontended warm run %s = %d, want 0", ctr, got)
+		}
 	}
 }
 

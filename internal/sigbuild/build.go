@@ -11,7 +11,6 @@ import (
 	"extractocol/internal/semmodel"
 	"extractocol/internal/siglang"
 	"extractocol/internal/slice"
-	"extractocol/internal/taint"
 )
 
 // RequestSig is the reconstructed request side of a transaction: method,
@@ -117,21 +116,16 @@ func BuildTraced(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	site := fmt.Sprintf("%s@%d", tx.DP.Method, tx.DP.Index)
 	bud.MaybePanic(budget.PhaseSigbuild, site)
 
-	filter := map[taint.StmtID]bool{}
-	for s := range tx.Request.Stmts {
-		filter[s] = true
-	}
+	filter := tx.Request.Stmts().Clone()
 	if tx.Response != nil {
-		for s := range tx.Response.Stmts {
-			filter[s] = true
-		}
+		filter.Union(tx.Response.Stmts())
 	}
 
 	dpm := model.Lookup(tx.DPRef)
 	if dpm == nil {
 		return nil, nil, BuildInfo{}, fmt.Errorf("sigbuild: unmodeled DP %s", tx.DPRef)
 	}
-	ev := newEvaluator(p, model, tx.DP, dpm, filter)
+	ev := newEvaluator(p, model, tx.DP, dpm, filter, tx.Request.Index())
 	ev.stats = stats
 	ev.cg = cg
 	ev.ck = bud.Checker(budget.PhaseSigbuild, site)
@@ -140,13 +134,14 @@ func BuildTraced(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	// (cross-event heap writers such as location callbacks or other
 	// transactions' response handlers), so the abstract heap is populated
 	// before the request is evaluated. Two rounds settle chained writes.
-	reach := cg.ReachableFrom(tx.Entry.Method)
+	reach := cg.ReachableBits(tx.Entry.Method)
 	var pre []string
-	for ref := range ev.fmeths {
-		if !reach[ref] {
-			pre = append(pre, ref)
+	ev.fmeths.Each(func(id uint32) bool {
+		if !reach.Has(id) {
+			pre = append(pre, ev.idx.MethodAt(id).Ref())
 		}
-	}
+		return true
+	})
 	sort.Strings(pre)
 	for round := 0; round < 2; round++ {
 		for _, ref := range pre {

@@ -9,6 +9,7 @@ import (
 	"extractocol/internal/budget"
 	"extractocol/internal/callgraph"
 	"extractocol/internal/cfg"
+	"extractocol/internal/intern"
 	"extractocol/internal/ir"
 	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
@@ -22,8 +23,9 @@ import (
 type evaluator struct {
 	prog   *ir.Program
 	model  *semmodel.Model
-	filter map[taint.StmtID]bool // statements to interpret
-	fmeths map[string]bool       // methods contributing filtered statements
+	idx    *ir.Index    // dense program index the filter sets live over
+	filter *intern.Bits // dense statement IDs to interpret
+	fmeths *intern.Bits // dense method IDs contributing filtered statements
 
 	dp      taint.StmtID // the transaction's demarcation point
 	dpModel *semmodel.Method
@@ -65,21 +67,28 @@ func (ev *evaluator) types(m *ir.Method) []string {
 	return callgraph.InferTypes(ev.prog, m)
 }
 
+// filteredMethod reports whether ref contributes filtered statements.
+func (ev *evaluator) filteredMethod(ref string) bool {
+	id, ok := ev.idx.MethodID(ref)
+	return ok && ev.fmeths.Has(id)
+}
+
 const maxDepth = 48
 
 func newEvaluator(prog *ir.Program, model *semmodel.Model, dp taint.StmtID,
-	dpm *semmodel.Method, filter map[taint.StmtID]bool) *evaluator {
+	dpm *semmodel.Method, filter *intern.Bits, idx *ir.Index) *evaluator {
 
 	ev := &evaluator{
-		prog: prog, model: model, filter: filter, dp: dp, dpModel: dpm,
-		fmeths:  map[string]bool{},
+		prog: prog, model: model, idx: idx, filter: filter, dp: dp, dpModel: dpm,
+		fmeths:  &intern.Bits{},
 		heap:    map[string]aval{},
 		respSec: map[string]*respState{},
 		active:  map[string]bool{},
 	}
-	for s := range filter {
-		ev.fmeths[s.Method] = true
-	}
+	idx.EachStmt(filter, func(_ *ir.Method, mid uint32, _ int) bool {
+		ev.fmeths.Add(mid)
+		return true
+	})
 	ev.resp = &respState{
 		dpID:         dp.Method + "@" + strconv.Itoa(dp.Index),
 		root:         &siglang.Obj{},
@@ -118,6 +127,10 @@ func (ev *evaluator) evalMethod(m *ir.Method, args []aval) aval {
 			loopOf[b] = l.Header
 		}
 	}
+
+	// One ref resolution per method body; the per-instruction filter probe
+	// is then a dense bitset read.
+	mid, midOK := ev.idx.MethodID(m.Ref())
 
 	entry := env{}
 	for i := 0; i < m.NumParamRegs() && i < len(args); i++ {
@@ -167,7 +180,7 @@ func (ev *evaluator) evalMethod(m *ir.Method, args []aval) aval {
 				return unknownVal(siglang.VAny, "budget")
 			}
 			instr := &m.Instrs[idx]
-			inFilter := ev.filter[taint.StmtID{Method: m.Ref(), Index: idx}]
+			inFilter := midOK && ev.filter.Has(ev.idx.StmtID(mid, idx))
 			if instr.Op == ir.OpReturn {
 				returned = true
 				if instr.A != ir.NoReg {

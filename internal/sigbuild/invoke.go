@@ -48,7 +48,7 @@ func (ev *evaluator) evalInvoke(m *ir.Method, idx int, in *ir.Instr, en env, loo
 
 	// Application callee: recurse when it carries slice statements.
 	callee := ev.resolveCallee(m, in)
-	if callee != nil && ev.fmeths[callee.Ref()] {
+	if callee != nil && ev.filteredMethod(callee.Ref()) {
 		args := make([]aval, len(in.Args))
 		for i := range in.Args {
 			args[i] = arg(i)
@@ -136,7 +136,7 @@ func (ev *evaluator) atDP(m *ir.Method, idx int, in *ir.Instr, en env,
 			cbClass = cbv.obj.class
 		}
 		if cbClass != "" {
-			if target := ev.prog.ResolveMethod(cbClass, mm.CallbackMethod); target != nil && ev.fmeths[target.Ref()] {
+			if target := ev.prog.ResolveMethod(cbClass, mm.CallbackMethod); target != nil && ev.filteredMethod(target.Ref()) {
 				respArg := aval{obj: &aobj{kind: oRespRaw, resp: rs}, fromResp: rs}
 				args := []aval{cbv, respArg}
 				if target.Static {
@@ -741,7 +741,7 @@ func (ev *evaluator) evalModeled(m *ir.Method, idx int, in *ir.Instr, en env,
 			cb = arg(mm.CallbackArg)
 		}
 		if cb.obj != nil && cb.obj.class != "" {
-			if target := ev.prog.ResolveMethod(cb.obj.class, mm.CallbackMethod); target != nil && ev.fmeths[target.Ref()] {
+			if target := ev.prog.ResolveMethod(cb.obj.class, mm.CallbackMethod); target != nil && ev.filteredMethod(target.Ref()) {
 				args := []aval{cb}
 				for i := mm.CallbackArg + 1; i < len(in.Args); i++ {
 					args = append(args, arg(i))
@@ -749,7 +749,7 @@ func (ev *evaluator) evalModeled(m *ir.Method, idx int, in *ir.Instr, en env,
 				ret := ev.evalMethod(target, args)
 				// AsyncTask chain: result flows into onPostExecute.
 				if mm.Kind == semmodel.KAsyncExecute {
-					if post := ev.prog.ResolveMethod(cb.obj.class, "onPostExecute"); post != nil && ev.fmeths[post.Ref()] {
+					if post := ev.prog.ResolveMethod(cb.obj.class, "onPostExecute"); post != nil && ev.filteredMethod(post.Ref()) {
 						ev.evalMethod(post, []aval{cb, ret})
 					}
 				}
@@ -1042,7 +1042,7 @@ func (ev *evaluator) leadsToFilter(m *ir.Method, in *ir.Instr) bool {
 // reachesFilter walks the static call structure of a method checking
 // whether it (or a transitive callee) contributes filtered statements.
 func (ev *evaluator) reachesFilter(ref string, seen map[string]bool) bool {
-	if ev.fmeths[ref] {
+	if ev.filteredMethod(ref) {
 		return true
 	}
 	if seen[ref] {

@@ -15,12 +15,12 @@ package slice
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
 	"extractocol/internal/budget"
 	"extractocol/internal/callgraph"
+	"extractocol/internal/intern"
 	"extractocol/internal/ir"
 	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
@@ -94,12 +94,17 @@ type Options struct {
 	// budgets force serial extraction so the completed-transaction set is
 	// a deterministic prefix of the unbudgeted run.
 	Budget *budget.Budget
+	// LegacySets runs the taint engines on the pre-interning string/map
+	// replay instead of the dense bitset path. It exists as a differential
+	// oracle (see cmd/evaluate's legacy-sets axis) and is much slower;
+	// reports must come out identical either way.
+	LegacySets bool
 }
 
 // sliceJob is one (entry point, demarcation-point site) extraction unit.
 type sliceJob struct {
 	ep       ir.EntryPoint
-	universe map[string]bool
+	universe *intern.Bits // dense method IDs reachable from ep
 	m        *ir.Method
 	site     int
 	in       *ir.Instr
@@ -133,16 +138,12 @@ func FindBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, opt
 		if ep.Kind == ir.EventIntent && !opts.IncludeIntents {
 			continue
 		}
-		universe := cg.ReachableFrom(ep.Method)
-		methods := make([]string, 0, len(universe))
-		for m := range universe {
-			methods = append(methods, m)
-		}
-		sort.Strings(methods)
-		for _, ref := range methods {
-			m := p.Method(ref)
-			if m == nil {
-				continue
+		universe := cg.ReachableBits(ep.Method)
+		// Walk the universe in Ref order (EachSorted), reproducing the
+		// sorted-string enumeration the map universe used.
+		cg.Index().EachSorted(func(id uint32, m *ir.Method) bool {
+			if !universe.Has(id) {
+				return true
 			}
 			for i := range m.Instrs {
 				in := &m.Instrs[i]
@@ -155,7 +156,8 @@ func FindBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, opt
 				}
 				jobs = append(jobs, sliceJob{ep: ep, universe: universe, m: m, site: i, in: in, mm: mm})
 			}
-		}
+			return true
+		})
 	}
 
 	sums := opts.Summaries
@@ -323,6 +325,7 @@ func buildTransaction(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 	eng.Summaries = sums
 	eng.Budget = opts.Budget
 	eng.BudgetPhase = budget.PhaseSlice
+	eng.Legacy = opts.LegacySets
 
 	// Request side.
 	if mm.ReqArg >= 0 && mm.ReqArg < len(in.Args) {
@@ -373,11 +376,11 @@ func buildTransaction(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 		tx.Sinks[mm.Sink] = true
 	}
 	if tx.Response != nil {
-		for s := range tx.Response.Sinks {
+		for _, s := range tx.Response.Sinks() {
 			tx.Sinks[s] = true
 		}
 	}
-	for s := range tx.Request.Sources {
+	for _, s := range tx.Request.Sources() {
 		tx.Sources[s] = true
 	}
 	return tx
@@ -426,65 +429,138 @@ func resolveCallback(p *ir.Program, cg *callgraph.Graph, m *ir.Method,
 // rebuild-everything-per-iteration fixed-point loop with work proportional
 // to statements actually added.
 func Augment(p *ir.Program, model *semmodel.Model, res *taint.Result) {
-	perMethod := map[string][]int{}
-	for s := range res.Stmts {
-		perMethod[s.Method] = append(perMethod[s.Method], s.Index)
+	sc, _ := augPool.Get().(*augScratch)
+	if sc == nil {
+		sc = &augScratch{}
+		sc.useFn = sc.markUse
 	}
-	for ref, idxs := range perMethod {
-		m := p.Method(ref)
-		if m == nil {
-			continue
+	sc.model, sc.idx, sc.stmts = model, res.Index(), res.Stmts()
+	// Snapshot the seed statements grouped by method before augmenting:
+	// augmentation only ever adds statements inside a method already
+	// contributing to the slice, so the group list is complete up front and
+	// each method reaches its fixpoint independently of group order.
+	sc.groups = sc.groups[:0]
+	sc.idx.EachStmt(sc.stmts, func(m *ir.Method, mid uint32, idx int) bool {
+		if n := len(sc.groups); n == 0 || sc.groups[n-1].mid != mid {
+			// Reuse a retired element (and its seed capacity) when possible.
+			if n < cap(sc.groups) {
+				sc.groups = sc.groups[:n+1]
+				g := &sc.groups[n]
+				g.m, g.mid, g.seed = m, mid, g.seed[:0]
+			} else {
+				sc.groups = append(sc.groups, augGroup{m: m, mid: mid})
+			}
 		}
-		augmentMethod(model, m, ref, idxs, res)
+		g := &sc.groups[len(sc.groups)-1]
+		g.seed = append(g.seed, idx)
+		return true
+	})
+	for i := range sc.groups {
+		sc.augmentMethod(sc.groups[i].m, sc.groups[i].mid, sc.groups[i].seed)
+	}
+	sc.model, sc.idx, sc.stmts, sc.m = nil, nil, nil, nil
+	augPool.Put(sc)
+}
+
+// augPool recycles augmentation scratch state across transactions and
+// worker goroutines: the bucket and worklist capacity a warm scratch
+// carries makes repeat augmentation allocation-free.
+var augPool sync.Pool
+
+// augGroup is one method's seed statements within a slice.
+type augGroup struct {
+	m    *ir.Method
+	mid  uint32
+	seed []int
+}
+
+// augScratch holds the per-method fixpoint state of Augment. The index
+// buckets, visited-register marks, and worklist keep their capacity across
+// method groups, so one Augment call allocates the closure state once
+// instead of per method.
+type augScratch struct {
+	model *semmodel.Model
+	idx   *ir.Index
+	stmts *intern.Bits
+
+	groups []augGroup
+
+	m   *ir.Method
+	mid uint32
+
+	// defIdx/initIdx bucket candidate statements by the register whose use
+	// pulls them in; used/work drive the incremental closure. Registers are
+	// dense small ints, so plain slice buckets replace the maps.
+	defIdx  [][]int
+	initIdx [][]int
+	used    []bool
+	work    []int
+
+	// useFn is the EachUse callback, bound once so the hot loop does not
+	// allocate a fresh closure per statement.
+	useFn func(u int)
+}
+
+// reset prepares the scratch for a method with n registers: reallocate on
+// growth, otherwise clear in place (bucket capacity is retained).
+func (s *augScratch) reset(n int) {
+	if n > len(s.defIdx) {
+		s.defIdx = make([][]int, n)
+		s.initIdx = make([][]int, n)
+		s.used = make([]bool, n)
+	} else {
+		for i := 0; i < n; i++ {
+			s.defIdx[i] = s.defIdx[i][:0]
+			s.initIdx[i] = s.initIdx[i][:0]
+			s.used[i] = false
+		}
+	}
+	s.work = s.work[:0]
+}
+
+func (s *augScratch) markUse(u int) {
+	if u >= 0 && u < s.m.Registers && !s.used[u] {
+		s.used[u] = true
+		s.work = append(s.work, u)
 	}
 }
 
-func augmentMethod(model *semmodel.Model, m *ir.Method, ref string, seed []int, res *taint.Result) {
+func (s *augScratch) add(i int) {
+	if !s.stmts.Add(s.idx.StmtID(s.mid, i)) {
+		return
+	}
+	s.m.Instrs[i].EachUse(s.useFn)
+}
+
+func (s *augScratch) augmentMethod(m *ir.Method, mid uint32, seed []int) {
+	s.m, s.mid = m, mid
+	s.reset(m.Registers)
 	// Index candidate statements by the register whose use pulls them in:
 	// pure context operations by their defined register, constructors
 	// (which mutate without defining) by their receiver.
-	defIdx := map[int][]int{}
-	initIdx := map[int][]int{}
 	for i := range m.Instrs {
 		in := &m.Instrs[i]
-		if d := in.Def(); d != ir.NoReg && isContextOp(model, in) {
-			defIdx[d] = append(defIdx[d], i)
+		if d := in.Def(); d != ir.NoReg && d < m.Registers && isContextOp(s.model, in) {
+			s.defIdx[d] = append(s.defIdx[d], i)
 		}
 		if in.Op == ir.OpInvoke && in.Kind == ir.InvokeSpecial &&
 			len(in.Args) > 0 && isInitRef(in.Sym) {
-			initIdx[in.Args[0]] = append(initIdx[in.Args[0]], i)
-		}
-	}
-
-	used := map[int]bool{}
-	var work []int
-	markUses := func(i int) {
-		for _, u := range m.Instrs[i].Uses() {
-			if !used[u] {
-				used[u] = true
-				work = append(work, u)
+			if r := in.Args[0]; r >= 0 && r < m.Registers {
+				s.initIdx[r] = append(s.initIdx[r], i)
 			}
 		}
 	}
 	for _, i := range seed {
-		markUses(i)
+		m.Instrs[i].EachUse(s.useFn)
 	}
-	add := func(i int) {
-		id := taint.StmtID{Method: ref, Index: i}
-		if res.Stmts[id] {
-			return
+	for len(s.work) > 0 {
+		r := s.work[len(s.work)-1]
+		s.work = s.work[:len(s.work)-1]
+		for _, i := range s.defIdx[r] {
+			s.add(i)
 		}
-		res.Stmts[id] = true
-		markUses(i)
-	}
-	for len(work) > 0 {
-		r := work[len(work)-1]
-		work = work[:len(work)-1]
-		for _, i := range defIdx[r] {
-			add(i)
-		}
-		for _, i := range initIdx[r] {
-			add(i)
+		for _, i := range s.initIdx[r] {
+			s.add(i)
 		}
 	}
 }

@@ -13,21 +13,35 @@ import (
 // Propagation rules live in the buildBackward* functions below as transfer
 // summaries; the worklist loop replays memoized summaries (see summary.go).
 func (e *Engine) Backward(dp StmtID, reg int) *Result {
-	res := newResult()
-	w := &worklist{seen: map[fact]bool{}}
-	res.Stmts[dp] = true
-	w.push(fact{kind: factLocal, method: dp.Method, reg: reg})
+	e.ensure()
+	if e.Legacy {
+		return e.legacyBackward(dp, reg)
+	}
+	res := e.newResult()
+	w := newDenseWorklist(e.idx)
+	res.AddStmt(dp.Method, dp.Index)
+	if mid, ok := e.idx.MethodID(dp.Method); ok {
+		w.pushLocal(e.idx, mid, int32(reg), 0)
+	}
 	e.run(w, res, dirBackward, dp.Method)
 	return res
 }
 
-// buildBackward derives the backward transfer summary of (method, reg): the
-// effects of processing one backward fact for that register.
+// buildBackward derives the string-form backward summary of (method, reg)
+// for the legacy replay engine; the hot path lowers the same scan straight
+// to compiled form through a denseBuilder (see compiledLookup).
 func (e *Engine) buildBackward(method string, reg int) *methodSummary {
-	b := &sumBuilder{}
+	b := &sumBuilder{e: e}
+	e.scanBackward(b, method, reg)
+	return b.done()
+}
+
+// scanBackward emits the backward transfer effects of (method, reg) — the
+// effects of processing one backward fact for that register — into b.
+func (e *Engine) scanBackward(b sumEmitter, method string, reg int) {
 	m := e.Prog.Method(method)
 	if m == nil {
-		return b.done()
+		return
 	}
 	for i := range m.Instrs {
 		in := &m.Instrs[i]
@@ -40,13 +54,12 @@ func (e *Engine) buildBackward(method string, reg int) *methodSummary {
 	if reg < m.NumParamRegs() {
 		e.sumBackwardToCallers(b, m, reg)
 	}
-	return b.done()
 }
 
 // sumBackwardDef handles a statement that defines the tainted register: the
 // statement joins the slice and its operands become tainted.
-func (e *Engine) sumBackwardDef(b *sumBuilder, m *ir.Method, idx int, in *ir.Instr) {
-	b.include(e.sumInc(m, idx))
+func (e *Engine) sumBackwardDef(b sumEmitter, m *ir.Method, idx int, in *ir.Instr) {
+	b.include(m, idx)
 	switch in.Op {
 	case ir.OpConstStr, ir.OpConstInt, ir.OpConstNull, ir.OpNew:
 		// Constant or allocation: taint is consumed here.
@@ -69,7 +82,7 @@ func (e *Engine) sumBackwardDef(b *sumBuilder, m *ir.Method, idx int, in *ir.Ins
 	}
 }
 
-func (e *Engine) sumBackwardInvokeDef(b *sumBuilder, m *ir.Method, idx int, in *ir.Instr) {
+func (e *Engine) sumBackwardInvokeDef(b sumEmitter, m *ir.Method, idx int, in *ir.Instr) {
 	pushArg := func(pos int) {
 		if pos < len(in.Args) && in.Args[pos] != ir.NoReg {
 			b.push(m.Ref(), in.Args[pos])
@@ -141,27 +154,25 @@ func (e *Engine) sumBackwardInvokeDef(b *sumBuilder, m *ir.Method, idx int, in *
 		if callee == nil {
 			continue
 		}
-		var en sumEntry
+		b.begin(edge.Callee)
 		for j := range callee.Instrs {
 			ret := &callee.Instrs[j]
 			if ret.Op == ir.OpReturn && ret.A != ir.NoReg {
-				en.pushes = append(en.pushes, sumPush{method: edge.Callee, reg: ret.A})
+				b.push(edge.Callee, ret.A)
 			}
 		}
-		if len(en.pushes) > 0 {
-			b.gated(edge.Callee, en)
-		}
+		b.end()
 	}
 }
 
 // sumBackwardMutation adds statements that mutate the tainted object: calls
 // with the object as receiver of a modeled mutator, field stores into it,
 // and app calls the object escapes into.
-func (e *Engine) sumBackwardMutation(b *sumBuilder, m *ir.Method, idx int, in *ir.Instr, reg int) {
+func (e *Engine) sumBackwardMutation(b sumEmitter, m *ir.Method, idx int, in *ir.Instr, reg int) {
 	switch in.Op {
 	case ir.OpFieldPut:
 		if in.A == reg {
-			b.include(e.sumInc(m, idx))
+			b.include(m, idx)
 			b.push(m.Ref(), in.B)
 		}
 	case ir.OpInvoke:
@@ -177,21 +188,21 @@ func (e *Engine) sumBackwardMutation(b *sumBuilder, m *ir.Method, idx int, in *i
 		}
 		if mm := e.Model.Lookup(in.Sym); mm != nil {
 			if argPos == 0 && isMutator(mm.Kind) {
-				b.include(e.sumInc(m, idx))
+				b.include(m, idx)
 				for p := 1; p < len(in.Args); p++ {
 					b.push(m.Ref(), in.Args[p])
 				}
 			}
 			if argPos == 0 && mm.Kind == semmodel.KConnGetOutput && in.Dst != ir.NoReg {
 				// The output stream writes into the connection: track it.
-				b.include(e.sumInc(m, idx))
+				b.include(m, idx)
 				b.push(m.Ref(), in.Dst)
 			}
 			return
 		}
 		if in.Kind == ir.InvokeSpecial && argPos == 0 {
 			// Constructor of an app or unknown class: arguments flow in.
-			b.include(e.sumInc(m, idx))
+			b.include(m, idx)
 			for p := 1; p < len(in.Args); p++ {
 				b.push(m.Ref(), in.Args[p])
 			}
@@ -205,10 +216,10 @@ func (e *Engine) sumBackwardMutation(b *sumBuilder, m *ir.Method, idx int, in *i
 				continue
 			}
 			if pr := paramReg(callee, argPos); pr != ir.NoReg {
-				b.gated(edge.Callee, sumEntry{
-					includes: []sumInclude{e.sumInc(m, idx)},
-					pushes:   []sumPush{{method: edge.Callee, reg: pr}},
-				})
+				b.begin(edge.Callee)
+				b.include(m, idx)
+				b.push(edge.Callee, pr)
+				b.end()
 			}
 		}
 	}
@@ -235,7 +246,7 @@ func isMutator(k semmodel.Kind) bool {
 // never cross the transaction context — only heap facts may escape it (as
 // asynchronous hops) — so every caller-side effect is gated on the caller;
 // facts that already escaped (hops > 0) continue in their writer's context.
-func (e *Engine) sumBackwardToCallers(b *sumBuilder, m *ir.Method, reg int) {
+func (e *Engine) sumBackwardToCallers(b sumEmitter, m *ir.Method, reg int) {
 	for _, edge := range e.CG.Callers(m.Ref()) {
 		caller := e.Prog.Method(edge.Caller)
 		if caller == nil {
@@ -245,17 +256,15 @@ func (e *Engine) sumBackwardToCallers(b *sumBuilder, m *ir.Method, reg int) {
 			// Synthetic chain edge (doInBackground -> onPostExecute):
 			// the callee's data parameter is the caller's return value.
 			if reg == 1 {
-				var en sumEntry
+				b.begin(edge.Caller)
 				for j := range caller.Instrs {
 					ret := &caller.Instrs[j]
 					if ret.Op == ir.OpReturn && ret.A != ir.NoReg {
-						en.includes = append(en.includes, e.sumInc(caller, j))
-						en.pushes = append(en.pushes, sumPush{method: edge.Caller, reg: ret.A})
+						b.include(caller, j)
+						b.push(edge.Caller, ret.A)
 					}
 				}
-				if len(en.pushes) > 0 {
-					b.gated(edge.Caller, en)
-				}
+				b.end()
 			}
 			continue
 		}
@@ -266,10 +275,10 @@ func (e *Engine) sumBackwardToCallers(b *sumBuilder, m *ir.Method, reg int) {
 		}
 		pos := base + reg
 		if pos < len(in.Args) && in.Args[pos] != ir.NoReg {
-			b.gated(edge.Caller, sumEntry{
-				includes: []sumInclude{e.sumInc(caller, edge.Site)},
-				pushes:   []sumPush{{method: edge.Caller, reg: in.Args[pos]}},
-			})
+			b.begin(edge.Caller)
+			b.include(caller, edge.Site)
+			b.push(edge.Caller, in.Args[pos])
+			b.end()
 		}
 	}
 }

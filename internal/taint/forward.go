@@ -14,10 +14,16 @@ import (
 // Propagation rules live in the buildForward* functions below as transfer
 // summaries; the worklist loop replays memoized summaries (see summary.go).
 func (e *Engine) Forward(origin StmtID, reg int) *Result {
-	res := newResult()
-	w := &worklist{seen: map[fact]bool{}}
-	res.Stmts[origin] = true
-	w.push(fact{kind: factLocal, method: origin.Method, reg: reg})
+	e.ensure()
+	if e.Legacy {
+		return e.legacyForward(origin, reg)
+	}
+	res := e.newResult()
+	w := newDenseWorklist(e.idx)
+	res.AddStmt(origin.Method, origin.Index)
+	if mid, ok := e.idx.MethodID(origin.Method); ok {
+		w.pushLocal(e.idx, mid, int32(reg), 0)
+	}
 	e.run(w, res, dirForward, origin.Method)
 	return res
 }
@@ -26,14 +32,22 @@ func (e *Engine) Forward(origin StmtID, reg int) *Result {
 // given as (method, register) pairs; used by the pairing analysis, which
 // taints URI slices and checks reachability into response slices.
 func (e *Engine) ForwardFacts(seeds map[StmtID]int) *Result {
-	res := newResult()
-	w := &worklist{seen: map[fact]bool{}}
-	// The fixpoint site must be deterministic for fault probes and
-	// diagnostics: use the lexicographically first seed method.
+	e.ensure()
+	if e.Legacy {
+		return e.legacyForwardFacts(seeds)
+	}
+	res := e.newResult()
+	w := newDenseWorklist(e.idx)
+	// Seeds are pushed in sorted (method, index) order so the worklist —
+	// and with it every fixpoint observable — never depends on map
+	// iteration order. The fixpoint site must be deterministic too, for
+	// fault probes and diagnostics: the lexicographically first seed method.
 	site := "flow-check"
-	for s, reg := range seeds {
-		res.Stmts[s] = true
-		w.push(fact{kind: factLocal, method: s.Method, reg: reg})
+	for _, s := range sortedSeeds(seeds) {
+		res.AddStmt(s.Method, s.Index)
+		if mid, ok := e.idx.MethodID(s.Method); ok {
+			w.pushLocal(e.idx, mid, int32(seeds[s]), 0)
+		}
 		if site == "flow-check" || s.Method < site {
 			site = s.Method
 		}
@@ -42,62 +56,68 @@ func (e *Engine) ForwardFacts(seeds map[StmtID]int) *Result {
 	return res
 }
 
-// buildForward derives the forward transfer summary of (method, reg): the
-// effects of processing one forward fact for that register.
+// buildForward derives the string-form forward summary of (method, reg)
+// for the legacy replay engine; the hot path lowers the same scan straight
+// to compiled form through a denseBuilder (see compiledLookup).
 func (e *Engine) buildForward(method string, reg int) *methodSummary {
-	b := &sumBuilder{}
+	b := &sumBuilder{e: e}
+	e.scanForward(b, method, reg)
+	return b.done()
+}
+
+// scanForward emits the forward transfer effects of (method, reg) — the
+// effects of processing one forward fact for that register — into b.
+func (e *Engine) scanForward(b sumEmitter, method string, reg int) {
 	m := e.Prog.Method(method)
 	if m == nil {
-		return b.done()
+		return
 	}
 	for i := range m.Instrs {
 		in := &m.Instrs[i]
 		uses := false
-		for _, u := range in.Uses() {
+		in.EachUse(func(u int) {
 			if u == reg {
 				uses = true
-				break
 			}
-		}
+		})
 		if !uses {
 			continue
 		}
 		switch in.Op {
 		case ir.OpMove:
-			b.include(e.sumInc(m, i))
+			b.include(m, i)
 			b.push(method, in.Dst)
 		case ir.OpBinop:
-			b.include(e.sumInc(m, i))
+			b.include(m, i)
 			b.push(method, in.Dst)
 		case ir.OpFieldPut:
 			if in.B == reg {
 				loc := e.heapLoc(m, in)
-				b.include(e.sumInc(m, i))
+				b.include(m, i)
 				b.heapWrite(loc)
 				b.pushHeap(loc)
 			}
 		case ir.OpStaticPut:
 			if in.B == reg {
 				loc := "s:" + in.Sym
-				b.include(e.sumInc(m, i))
+				b.include(m, i)
 				b.heapWrite(loc)
 				b.pushHeap(loc)
 			}
 		case ir.OpFieldGet:
 			// Reading a field of a tainted object yields tainted data.
-			b.include(e.sumInc(m, i))
+			b.include(m, i)
 			b.push(method, in.Dst)
 		case ir.OpReturn:
-			b.include(e.sumInc(m, i))
+			b.include(m, i)
 			e.sumForwardToCallers(b, m)
 		case ir.OpInvoke:
 			e.sumForwardInvoke(b, m, i, in, reg)
 		}
 	}
-	return b.done()
 }
 
-func (e *Engine) sumForwardInvoke(b *sumBuilder, m *ir.Method, idx int, in *ir.Instr, reg int) {
+func (e *Engine) sumForwardInvoke(b sumEmitter, m *ir.Method, idx int, in *ir.Instr, reg int) {
 	pushDst := func() {
 		if in.Dst != ir.NoReg {
 			b.push(m.Ref(), in.Dst)
@@ -114,7 +134,7 @@ func (e *Engine) sumForwardInvoke(b *sumBuilder, m *ir.Method, idx int, in *ir.I
 		switch mm.Kind {
 		case semmodel.KAppend:
 			// Receiver accumulates; result aliases receiver.
-			b.include(e.sumInc(m, idx))
+			b.include(m, idx)
 			if len(in.Args) > 0 {
 				b.push(m.Ref(), in.Args[0])
 			}
@@ -127,28 +147,28 @@ func (e *Engine) sumForwardInvoke(b *sumBuilder, m *ir.Method, idx int, in *ir.I
 			semmodel.KNVPairInit, semmodel.KURLInit, semmodel.KSocketInit,
 			semmodel.KStringBuilderInit:
 			// Value flows into the receiver object.
-			b.include(e.sumInc(m, idx))
+			b.include(m, idx)
 			if argPos > 0 && len(in.Args) > 0 {
 				b.push(m.Ref(), in.Args[0])
 			}
 			pushDst()
 		case semmodel.KDBInsert, semmodel.KDBUpdate:
-			b.include(e.sumInc(m, idx))
+			b.include(m, idx)
 			for _, loc := range e.dbLocs(m, idx, in) {
 				b.heapWrite(loc)
 			}
 		case semmodel.KMediaSetSource, semmodel.KFileWrite, semmodel.KUIDisplay:
 			// Data consumption endpoint; the include carries the sink tag.
-			b.include(e.sumInc(m, idx))
+			b.include(m, idx)
 		case semmodel.KExecuteDP, semmodel.KEnqueueDP:
 			// Tainted data feeding another request: recorded for
 			// inter-transaction dependency analysis.
-			b.include(e.sumInc(m, idx))
+			b.include(m, idx)
 		case semmodel.KStringEquals, semmodel.KJSONArrLen:
 			// Predicates/lengths: control data, not payload content.
-			b.include(e.sumInc(m, idx))
+			b.include(m, idx)
 		default:
-			b.include(e.sumInc(m, idx))
+			b.include(m, idx)
 			pushDst()
 		}
 		return
@@ -156,7 +176,7 @@ func (e *Engine) sumForwardInvoke(b *sumBuilder, m *ir.Method, idx int, in *ir.I
 	// Application callee: taint the matching parameter (universe-gated).
 	edges := e.appCallees(m, idx)
 	if len(edges) == 0 {
-		b.include(e.sumInc(m, idx))
+		b.include(m, idx)
 		pushDst()
 		return
 	}
@@ -166,17 +186,17 @@ func (e *Engine) sumForwardInvoke(b *sumBuilder, m *ir.Method, idx int, in *ir.I
 			continue
 		}
 		if pr := paramReg(callee, argPos); pr != ir.NoReg {
-			b.gated(edge.Callee, sumEntry{
-				includes: []sumInclude{e.sumInc(m, idx)},
-				pushes:   []sumPush{{method: edge.Callee, reg: pr}},
-			})
+			b.begin(edge.Callee)
+			b.include(m, idx)
+			b.push(edge.Callee, pr)
+			b.end()
 		}
 	}
 }
 
 // sumForwardToCallers propagates a tainted return value into each caller's
 // destination register, and along synthetic async chains.
-func (e *Engine) sumForwardToCallers(b *sumBuilder, m *ir.Method) {
+func (e *Engine) sumForwardToCallers(b sumEmitter, m *ir.Method) {
 	for _, edge := range e.CG.Callees(m.Ref()) {
 		if edge.Site == -1 && edge.Implicit {
 			// doInBackground -> onPostExecute: return value becomes the
@@ -201,10 +221,10 @@ func (e *Engine) sumForwardToCallers(b *sumBuilder, m *ir.Method) {
 		}
 		in := &caller.Instrs[edge.Site]
 		if in.Dst != ir.NoReg && !edge.Implicit {
-			b.gated(edge.Caller, sumEntry{
-				includes: []sumInclude{e.sumInc(caller, edge.Site)},
-				pushes:   []sumPush{{method: edge.Caller, reg: in.Dst}},
-			})
+			b.begin(edge.Caller)
+			b.include(caller, edge.Site)
+			b.push(edge.Caller, in.Dst)
+			b.end()
 		}
 	}
 }

@@ -1,0 +1,246 @@
+package taint
+
+import (
+	"extractocol/internal/budget"
+	"extractocol/internal/obs"
+)
+
+// This file preserves the pre-interning taint replay verbatim: string-keyed
+// worklist facts deduplicated through a map, string-form transfer summaries
+// replayed directly, and a map-based result. It is selected by Engine.Legacy
+// and exists as the reference implementation for the differential harness
+// (internal/evaluate's "legacy-sets" axis) — the dense bitset replay in
+// taint.go must produce byte-identical reports. The legacy result is
+// converted into the dense Result at the end of each fixpoint, so everything
+// downstream of the engine is shared between the two paths.
+
+// legacyResult is the map-based slice representation the dense Result
+// replaced.
+type legacyResult struct {
+	Stmts      map[StmtID]bool
+	HeapReads  map[string]bool
+	HeapWrites map[string]bool
+	Sinks      map[string]bool
+	Sources    map[string]bool
+	Truncated  *budget.Exceeded
+}
+
+func newLegacyResult() *legacyResult {
+	return &legacyResult{
+		Stmts:      map[StmtID]bool{},
+		HeapReads:  map[string]bool{},
+		HeapWrites: map[string]bool{},
+		Sinks:      map[string]bool{},
+		Sources:    map[string]bool{},
+	}
+}
+
+// convert re-expresses the legacy maps as a dense Result. Statements whose
+// method is unknown to the index cannot occur for real programs (every
+// summary statement comes from an indexed method) and are dropped.
+func (e *Engine) convertLegacy(lr *legacyResult) *Result {
+	res := e.newResult()
+	for s := range lr.Stmts {
+		res.AddStmt(s.Method, s.Index)
+	}
+	for l := range lr.HeapReads {
+		res.AddHeapRead(l)
+	}
+	for l := range lr.HeapWrites {
+		res.AddHeapWrite(l)
+	}
+	for s := range lr.Sinks {
+		res.AddSink(s)
+	}
+	for s := range lr.Sources {
+		res.AddSource(s)
+	}
+	res.Truncated = lr.Truncated
+	return res
+}
+
+type fact struct {
+	kind   factKind
+	method string // local facts: owning method
+	reg    int    // local facts: register
+	loc    string // heap facts: location id
+	hops   int    // async hops consumed so far
+}
+
+type worklist struct {
+	items []fact
+	seen  map[fact]bool
+}
+
+func (w *worklist) push(f fact) {
+	// Deduplicate ignoring hops: keep the lowest-hop visit.
+	key := f
+	key.hops = 0
+	if w.seen[key] {
+		return
+	}
+	w.seen[key] = true
+	w.items = append(w.items, f)
+}
+
+func (w *worklist) pop() (fact, bool) {
+	if len(w.items) == 0 {
+		return fact{}, false
+	}
+	f := w.items[len(w.items)-1]
+	w.items = w.items[:len(w.items)-1]
+	return f, true
+}
+
+// legacyBackward is Backward on the legacy replay.
+func (e *Engine) legacyBackward(dp StmtID, reg int) *Result {
+	res := newLegacyResult()
+	w := &worklist{seen: map[fact]bool{}}
+	res.Stmts[dp] = true
+	w.push(fact{kind: factLocal, method: dp.Method, reg: reg})
+	e.legacyRun(w, res, dirBackward, dp.Method)
+	return e.convertLegacy(res)
+}
+
+// legacyForward is Forward on the legacy replay.
+func (e *Engine) legacyForward(origin StmtID, reg int) *Result {
+	res := newLegacyResult()
+	w := &worklist{seen: map[fact]bool{}}
+	res.Stmts[origin] = true
+	w.push(fact{kind: factLocal, method: origin.Method, reg: reg})
+	e.legacyRun(w, res, dirForward, origin.Method)
+	return e.convertLegacy(res)
+}
+
+// legacyForwardFacts is ForwardFacts on the legacy replay. Seeds are pushed
+// in sorted (method, index) order — the same order the dense path uses — so
+// worklist processing order never depends on map iteration.
+func (e *Engine) legacyForwardFacts(seeds map[StmtID]int) *Result {
+	res := newLegacyResult()
+	w := &worklist{seen: map[fact]bool{}}
+	site := "flow-check"
+	for _, s := range sortedSeeds(seeds) {
+		res.Stmts[s] = true
+		w.push(fact{kind: factLocal, method: s.Method, reg: seeds[s]})
+		if site == "flow-check" || s.Method < site {
+			site = s.Method
+		}
+	}
+	e.legacyRun(w, res, dirForward, site)
+	return e.convertLegacy(res)
+}
+
+// legacyRun drains the worklist, replaying the memoized string-form transfer
+// summary (or heap access index) for each popped fact — the pre-interning
+// run loop, kept verbatim.
+func (e *Engine) legacyRun(w *worklist, res *legacyResult, dir direction, site string) {
+	sums := e.Summaries
+	if sums == nil {
+		sums = NewSummaryCache()
+		e.Summaries = sums
+	}
+	cat := obs.CatTaintBackward
+	if dir == dirForward {
+		cat = obs.CatTaintForward
+	}
+	sp := e.Stats.Span(cat, site)
+	defer sp.End()
+	ck := e.Budget.Checker(e.budgetPhase(), site)
+	e.Budget.MaybePanic(budget.PhaseTaint, site)
+	if e.Budget.Hang(budget.PhaseTaint, site) {
+		// Injected divergence: spin through the checker so the hang is
+		// observable yet stoppable by any armed deadline or step budget.
+		for {
+			if err := ck.Step(); err != nil {
+				res.Truncated = ck.Exceeded()
+				return
+			}
+		}
+	}
+	for {
+		if err := ck.Step(); err != nil {
+			res.Truncated = ck.Exceeded()
+			return
+		}
+		f, ok := w.pop()
+		if !ok {
+			break
+		}
+		e.Stats.Add(obs.CtrTaintFacts, 1)
+		switch f.kind {
+		case factLocal:
+			var s *methodSummary
+			if dir == dirBackward {
+				s = sums.backward(e, f.method, f.reg)
+			} else {
+				s = sums.forward(e, f.method, f.reg)
+			}
+			e.applySummary(s, f, res, w)
+		case factHeap:
+			var sites []heapSite
+			if dir == dirBackward {
+				sites = sums.heapWriters(e, f.loc)
+			} else {
+				sites = sums.heapReaders(e, f.loc)
+			}
+			e.applyHeapSites(sites, f, res, w)
+		}
+	}
+}
+
+// applyInclude replays one include effect on the legacy result.
+func (e *Engine) applyInclude(inc sumInclude, res *legacyResult) {
+	e.Stats.Add(obs.CtrTaintStmts, 1)
+	res.Stmts[inc.stmt] = true
+	if inc.source != "" {
+		res.Sources[inc.source] = true
+	}
+	if inc.sink != "" {
+		res.Sinks[inc.sink] = true
+	}
+}
+
+// applySummary replays a transfer summary for fact f: gated groups apply
+// when the gate method is inside the universe or the fact already escaped
+// it; pushed facts inherit f's hop count.
+func (e *Engine) applySummary(s *methodSummary, f fact, res *legacyResult, w *worklist) {
+	for i := range s.entries {
+		en := &s.entries[i]
+		if en.gate != "" && f.hops == 0 && !e.inUniverse(en.gate) {
+			continue
+		}
+		for _, inc := range en.includes {
+			e.applyInclude(inc, res)
+		}
+		for _, loc := range en.heapReads {
+			res.HeapReads[loc] = true
+		}
+		for _, loc := range en.heapWrites {
+			res.HeapWrites[loc] = true
+		}
+		for _, p := range en.pushes {
+			if p.heap {
+				w.push(fact{kind: factHeap, loc: p.loc, hops: f.hops})
+			} else {
+				w.push(fact{kind: factLocal, method: p.method, reg: p.reg, hops: f.hops})
+			}
+		}
+	}
+}
+
+// applyHeapSites replays heap-index entries for a heap fact: sites outside
+// the universe cost one async hop, bounded by MaxAsyncHops.
+func (e *Engine) applyHeapSites(sites []heapSite, f fact, res *legacyResult, w *worklist) {
+	for _, site := range sites {
+		hops := f.hops
+		if !e.inUniverse(site.method) {
+			hops = f.hops + 1
+			if hops > e.MaxAsyncHops {
+				continue
+			}
+		}
+		e.Stats.Add(obs.CtrTaintStmts, 1)
+		res.Stmts[StmtID{site.method, site.index}] = true
+		w.push(fact{kind: factLocal, method: site.method, reg: site.reg, hops: hops})
+	}
+}

@@ -1,9 +1,11 @@
 package taint
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
+	"extractocol/internal/intern"
 	"extractocol/internal/ir"
 	"extractocol/internal/obs"
 )
@@ -28,11 +30,17 @@ import (
 // rules. Heap fact propagation is handled by a program-wide access index
 // (location -> writers / readers) built once on first use.
 //
-// Because effects replay in recorded order and recorded order equals the
-// scan order of the direct implementation, a summarized engine produces
-// byte-identical slices — and identical workload counters — to the
-// pre-summary engine, while every transaction after the first reuses the
-// summaries instead of re-traversing shared callees.
+// The scan logic in backward.go and forward.go emits effects through the
+// sumEmitter interface, so one scan serves two summary forms: sumBuilder
+// accumulates the string form the legacy replay consumes, and denseBuilder
+// lowers effects straight to compiled form — statement and method names
+// resolved through the program's ir.Index, heap locations and tags interned
+// through the cache's symbol table — so the hot worklist loop replays pure
+// integer effects without ever materializing the string form. Because
+// effects replay in recorded order and recorded order equals the scan order
+// of the direct implementation, a summarized engine produces byte-identical
+// slices to the pre-summary engine, while every transaction after the first
+// reuses the summaries instead of re-traversing shared callees.
 
 // sumKey identifies one transfer-summary query.
 type sumKey struct {
@@ -83,25 +91,87 @@ type heapSite struct {
 	reg    int
 }
 
+// gateUnresolved marks a gate method the index cannot resolve (impossible
+// for summaries built over an indexed program, kept defensively): it fails
+// every non-nil universe, like an unresolvable ref failed the legacy map
+// lookup.
+const gateUnresolved = intern.None - 1
+
+// cInclude is sumInclude in dense form: a program-index statement ID plus
+// interned source/sink tags (intern.None when untagged).
+type cInclude struct {
+	stmt   uint32
+	source uint32
+	sink   uint32
+}
+
+// cPush is sumPush in dense form.
+type cPush struct {
+	heap   bool
+	method uint32 // local pushes: dense method ID
+	reg    int32  // local pushes: register
+	loc    uint32 // heap pushes: interned location ID
+}
+
+// cEntry is sumEntry in dense form; gate == intern.None applies always.
+type cEntry struct {
+	gate       uint32
+	includes   []cInclude
+	heapReads  []uint32
+	heapWrites []uint32
+	pushes     []cPush
+}
+
+// cSummary is a compiled methodSummary.
+type cSummary struct {
+	entries []cEntry
+}
+
+// cHeapSite is heapSite in dense form.
+type cHeapSite struct {
+	method uint32
+	stmt   uint32
+	reg    int32
+}
+
 // SummaryCache memoizes taint transfer summaries and the program-wide heap
-// access index. One cache may be shared by any number of engines analyzing
-// the same (program, model, call graph) triple — core.Analyze shares one
-// across all slice workers and the pairing flow checks — and is safe for
-// concurrent use. The zero value is not usable; call NewSummaryCache.
+// access index, in both string form (legacy replay) and compiled dense form
+// (hot path), and owns the symbol table heap locations and source/sink tags
+// are interned through. One cache may be shared by any number of engines
+// analyzing the same (program, model, call graph) triple — core.Analyze
+// shares one across all slice workers and the pairing flow checks — and is
+// safe for concurrent use. The zero value is not usable; call
+// NewSummaryCache.
 type SummaryCache struct {
 	mu      sync.RWMutex
+	tab     *intern.SyncTable
 	bwd     map[sumKey]*methodSummary
 	fwd     map[sumKey]*methodSummary
 	writers map[string][]heapSite // heap location -> writing statements
 	readers map[string][]heapSite // heap location -> reading statements
+
+	// Compiled forms, keyed by methodID<<32|reg. Built directly (not from
+	// the string maps) so the legacy maps stay empty unless the legacy
+	// replay runs.
+	cbwd     map[uint64]*cSummary
+	cfwd     map[uint64]*cSummary
+	cwriters map[uint32][]cHeapSite
+	creaders map[uint32][]cHeapSite
 
 	hits, misses atomic.Int64
 }
 
 // NewSummaryCache returns an empty cache.
 func NewSummaryCache() *SummaryCache {
-	return &SummaryCache{bwd: map[sumKey]*methodSummary{}, fwd: map[sumKey]*methodSummary{}}
+	return &SummaryCache{
+		tab: &intern.SyncTable{},
+		bwd: map[sumKey]*methodSummary{}, fwd: map[sumKey]*methodSummary{},
+		cbwd: map[uint64]*cSummary{}, cfwd: map[uint64]*cSummary{},
+	}
 }
+
+// Table returns the cache's shared symbol table.
+func (c *SummaryCache) Table() *intern.SyncTable { return c.tab }
 
 // DrainCounters moves the summary hit/miss totals accumulated since the
 // last drain into col, under the cache_summaries_* counters.
@@ -148,8 +218,43 @@ func (c *SummaryCache) lookup(m map[sumKey]*methodSummary, k sumKey, build func(
 	return s
 }
 
+// compiledBackward returns the compiled backward summary for (method, reg),
+// building it with e on first use.
+func (c *SummaryCache) compiledBackward(e *Engine, method uint32, reg int32) *cSummary {
+	return c.compiledLookup(c.cbwd, method, reg, e.scanBackward, e)
+}
+
+// compiledForward returns the compiled forward summary for (method, reg).
+func (c *SummaryCache) compiledForward(e *Engine, method uint32, reg int32) *cSummary {
+	return c.compiledLookup(c.cfwd, method, reg, e.scanForward, e)
+}
+
+func (c *SummaryCache) compiledLookup(m map[uint64]*cSummary, method uint32, reg int32,
+	scan func(b sumEmitter, method string, reg int), e *Engine) *cSummary {
+	k := uint64(method)<<32 | uint64(uint32(reg))
+	c.mu.RLock()
+	s, ok := m[k]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return s
+	}
+	c.misses.Add(1)
+	b := newDenseBuilder(e)
+	scan(b, e.idx.MethodAt(method).Ref(), int(reg))
+	s = b.done()
+	c.mu.Lock()
+	if prev, ok := m[k]; ok {
+		s = prev
+	} else {
+		m[k] = s
+	}
+	c.mu.Unlock()
+	return s
+}
+
 // heapWriters returns the statements writing loc, building the program-wide
-// writer index on first use.
+// writer index on first use (legacy replay path).
 func (c *SummaryCache) heapWriters(e *Engine, loc string) []heapSite {
 	c.mu.RLock()
 	idx := c.writers
@@ -162,7 +267,7 @@ func (c *SummaryCache) heapWriters(e *Engine, loc string) []heapSite {
 	return idx[loc]
 }
 
-// heapReaders returns the statements reading loc.
+// heapReaders returns the statements reading loc (legacy replay path).
 func (c *SummaryCache) heapReaders(e *Engine, loc string) []heapSite {
 	c.mu.RLock()
 	idx := c.readers
@@ -175,11 +280,38 @@ func (c *SummaryCache) heapReaders(e *Engine, loc string) []heapSite {
 	return idx[loc]
 }
 
-// buildHeapIndex scans every app method once, indexing heap accesses by
+// heapWritersDense returns the dense writer index entry for an interned
+// location, building the index on first use.
+func (c *SummaryCache) heapWritersDense(e *Engine, loc uint32) []cHeapSite {
+	c.mu.RLock()
+	idx := c.cwriters
+	c.mu.RUnlock()
+	if idx == nil {
+		idx = c.buildHeapIndexDense(e, true)
+	} else {
+		c.hits.Add(1)
+	}
+	return idx[loc]
+}
+
+// heapReadersDense returns the dense reader index entry for an interned
+// location.
+func (c *SummaryCache) heapReadersDense(e *Engine, loc uint32) []cHeapSite {
+	c.mu.RLock()
+	idx := c.creaders
+	c.mu.RUnlock()
+	if idx == nil {
+		idx = c.buildHeapIndexDense(e, false)
+	} else {
+		c.hits.Add(1)
+	}
+	return idx[loc]
+}
+
+// scanHeapSites scans every app method once, indexing heap accesses by
 // location in program order (class insertion order, then method order, then
 // instruction order — the order the direct implementation visited them).
-func (c *SummaryCache) buildHeapIndex(e *Engine, writes bool) map[string][]heapSite {
-	c.misses.Add(1)
+func (e *Engine) scanHeapSites(writes bool) map[string][]heapSite {
 	idx := map[string][]heapSite{}
 	for _, cl := range e.Prog.AppClasses() {
 		for _, m := range cl.Methods {
@@ -203,6 +335,14 @@ func (c *SummaryCache) buildHeapIndex(e *Engine, writes bool) map[string][]heapS
 			}
 		}
 	}
+	return idx
+}
+
+// buildHeapIndex builds and installs the string-form heap access index
+// (legacy replay path).
+func (c *SummaryCache) buildHeapIndex(e *Engine, writes bool) map[string][]heapSite {
+	c.misses.Add(1)
+	idx := e.scanHeapSites(writes)
 	c.mu.Lock()
 	if writes {
 		if c.writers != nil {
@@ -221,12 +361,94 @@ func (c *SummaryCache) buildHeapIndex(e *Engine, writes bool) map[string][]heapS
 	return idx
 }
 
-// sumBuilder accumulates summary entries in emission order. Consecutive
-// unconditional effects coalesce into one entry; a gated group flushes the
-// pending unconditional entry first so replay order matches build order.
+// buildHeapIndexDense builds and installs the dense heap access index:
+// locations interned in sorted order (so the symbol table's contents are
+// deterministic), sites resolved to dense method/statement IDs with their
+// per-location program order preserved.
+func (c *SummaryCache) buildHeapIndexDense(e *Engine, writes bool) map[uint32][]cHeapSite {
+	c.misses.Add(1)
+	scan := e.scanHeapSites(writes)
+	locs := make([]string, 0, len(scan))
+	for l := range scan {
+		locs = append(locs, l)
+	}
+	sort.Strings(locs)
+	idx := make(map[uint32][]cHeapSite, len(scan))
+	for _, l := range locs {
+		sites := scan[l]
+		cs := make([]cHeapSite, 0, len(sites))
+		for _, s := range sites {
+			mid, ok := e.idx.MethodID(s.method)
+			if !ok {
+				continue
+			}
+			cs = append(cs, cHeapSite{method: mid, stmt: e.idx.StmtID(mid, s.index), reg: int32(s.reg)})
+		}
+		idx[c.tab.Intern(l)] = cs
+	}
+	c.mu.Lock()
+	if writes {
+		if c.cwriters != nil {
+			idx = c.cwriters
+		} else {
+			c.cwriters = idx
+		}
+	} else {
+		if c.creaders != nil {
+			idx = c.creaders
+		} else {
+			c.creaders = idx
+		}
+	}
+	c.mu.Unlock()
+	return idx
+}
+
+// sumEmitter receives transfer-summary effects in emission order. The scan
+// logic in backward.go/forward.go is written against this interface; the two
+// implementations below produce the string form (legacy replay) and the
+// compiled dense form (hot path) from one shared scan.
+//
+// Gated groups are emitted as begin(gate) ... effects ... end(); an empty
+// group (no effects between begin and end) is dropped, which mirrors the
+// pre-interface builders' "only append non-empty gated entries" call sites.
+type sumEmitter interface {
+	// include adds statement idx of m to the slice, resolving modeled
+	// source/sink tags at build time so replay is instruction-free.
+	include(m *ir.Method, idx int)
+	// push emits a successor local fact (hops assigned at replay).
+	push(method string, reg int)
+	// pushHeap emits a successor heap fact.
+	pushHeap(loc string)
+	heapRead(loc string)
+	heapWrite(loc string)
+	// begin opens a universe-gated effect group; end closes it.
+	begin(gate string)
+	end()
+}
+
+// sumTags resolves the modeled source/sink tags of statement idx.
+func (e *Engine) sumTags(m *ir.Method, idx int) (source, sink string) {
+	in := &m.Instrs[idx]
+	if in.Op == ir.OpInvoke {
+		if mm := e.Model.Lookup(in.Sym); mm != nil {
+			return mm.Source, mm.Sink
+		}
+	}
+	return "", ""
+}
+
+// sumBuilder accumulates string-form summary entries in emission order.
+// Consecutive unconditional effects coalesce into one entry; a gated group
+// flushes the pending unconditional entry first so replay order matches
+// build order.
 type sumBuilder struct {
-	s   methodSummary
-	cur sumEntry // pending unconditional effects
+	e      *Engine
+	s      methodSummary
+	cur    sumEntry // pending unconditional effects
+	gat    sumEntry // open gated group (inGate)
+	gate   string
+	inGate bool
 }
 
 func (b *sumBuilder) flush() {
@@ -237,21 +459,56 @@ func (b *sumBuilder) flush() {
 	}
 }
 
-func (b *sumBuilder) include(inc sumInclude) { b.cur.includes = append(b.cur.includes, inc) }
-func (b *sumBuilder) heapRead(loc string)    { b.cur.heapReads = append(b.cur.heapReads, loc) }
-func (b *sumBuilder) heapWrite(loc string)   { b.cur.heapWrites = append(b.cur.heapWrites, loc) }
-func (b *sumBuilder) push(method string, reg int) {
-	b.cur.pushes = append(b.cur.pushes, sumPush{method: method, reg: reg})
-}
-func (b *sumBuilder) pushHeap(loc string) {
-	b.cur.pushes = append(b.cur.pushes, sumPush{heap: true, loc: loc})
+// entry returns the entry currently receiving effects.
+func (b *sumBuilder) entry() *sumEntry {
+	if b.inGate {
+		return &b.gat
+	}
+	return &b.cur
 }
 
-// gated appends a universe-gated effect group.
-func (b *sumBuilder) gated(gate string, en sumEntry) {
+func (b *sumBuilder) include(m *ir.Method, idx int) {
+	inc := sumInclude{stmt: StmtID{m.Ref(), idx}}
+	inc.source, inc.sink = b.e.sumTags(m, idx)
+	en := b.entry()
+	en.includes = append(en.includes, inc)
+}
+
+func (b *sumBuilder) heapRead(loc string) {
+	en := b.entry()
+	en.heapReads = append(en.heapReads, loc)
+}
+
+func (b *sumBuilder) heapWrite(loc string) {
+	en := b.entry()
+	en.heapWrites = append(en.heapWrites, loc)
+}
+
+func (b *sumBuilder) push(method string, reg int) {
+	en := b.entry()
+	en.pushes = append(en.pushes, sumPush{method: method, reg: reg})
+}
+
+func (b *sumBuilder) pushHeap(loc string) {
+	en := b.entry()
+	en.pushes = append(en.pushes, sumPush{heap: true, loc: loc})
+}
+
+func (b *sumBuilder) begin(gate string) {
 	b.flush()
-	en.gate = gate
-	b.s.entries = append(b.s.entries, en)
+	b.inGate = true
+	b.gate = gate
+	b.gat = sumEntry{}
+}
+
+func (b *sumBuilder) end() {
+	b.inGate = false
+	if len(b.gat.includes) > 0 || len(b.gat.heapReads) > 0 ||
+		len(b.gat.heapWrites) > 0 || len(b.gat.pushes) > 0 {
+		b.gat.gate = b.gate
+		b.s.entries = append(b.s.entries, b.gat)
+	}
+	b.gat = sumEntry{}
 }
 
 func (b *sumBuilder) done() *methodSummary {
@@ -260,72 +517,179 @@ func (b *sumBuilder) done() *methodSummary {
 	return &s
 }
 
-// sumInc captures an include effect for statement idx of m, resolving
-// modeled source/sink tags now so replay is instruction-free.
-func (e *Engine) sumInc(m *ir.Method, idx int) sumInclude {
-	inc := sumInclude{stmt: StmtID{m.Ref(), idx}}
-	in := &m.Instrs[idx]
-	if in.Op == ir.OpInvoke {
-		if mm := e.Model.Lookup(in.Sym); mm != nil {
-			inc.source, inc.sink = mm.Source, mm.Sink
-		}
-	}
-	return inc
+// denseBuilder lowers effects straight to compiled form: statement and
+// method names resolved through the engine's program index, heap locations
+// and tags interned through the cache's symbol table. It resolves method
+// refs through a one-entry memo (consecutive effects overwhelmingly hit the
+// same method).
+//
+// The builder is allocation-frugal: effects accumulate in reusable buffers
+// (one active entry at a time — begin() flushes the pending unconditional
+// entry before a gated group opens, so the unconditional and gated entries
+// never accumulate concurrently) and each finished entry copies out at
+// exact size. One builder per engine is recycled across summaries.
+type denseBuilder struct {
+	e   *Engine
+	tab *intern.SyncTable
+
+	entries []cEntry // finished entries of the summary under construction
+	gate    uint32   // gate of the open group; intern.None when unconditional
+	inGate  bool
+
+	// active entry accumulation buffers; capacity reused across entries
+	// and summaries.
+	includes   []cInclude
+	heapReads  []uint32
+	heapWrites []uint32
+	pushes     []cPush
+
+	// slabs back the finished summaries: finished entries copy into large
+	// shared arrays (capacity-trimmed subslices, see takeSlab), so building
+	// a summary costs amortized-zero allocations instead of one per field.
+	// Cached summaries keep the slabs alive; the builder never rewrites
+	// published regions.
+	incSlab  []cInclude
+	u32Slab  []uint32 // heap reads and writes share one slab
+	pushSlab []cPush
+	entSlab  []cEntry
+	sumSlab  []cSummary
+
+	lastRef string // last method ref resolved by mid()
+	lastID  uint32
+	lastOK  bool
 }
 
-// applyInclude replays one include effect (the summary analog of include).
-func (e *Engine) applyInclude(inc sumInclude, res *Result) {
-	e.Stats.Add(obs.CtrTaintStmts, 1)
-	res.Stmts[inc.stmt] = true
-	if inc.source != "" {
-		res.Sources[inc.source] = true
+// takeSlab copies src onto the end of the slab and returns the stored
+// subslice, capacity-trimmed so later slab appends can never alias it.
+// Slab growth abandons the old backing array to the subslices already
+// pointing into it (they are immutable once published).
+func takeSlab[T any](slab *[]T, src []T) []T {
+	start := len(*slab)
+	*slab = append(*slab, src...)
+	return (*slab)[start:len(*slab):len(*slab)]
+}
+
+// newDenseBuilder returns the engine's recycled builder, reset for a new
+// summary. Engines run one fixpoint at a time, so the single scratch
+// instance is never aliased.
+func newDenseBuilder(e *Engine) *denseBuilder {
+	b := e.scratch
+	if b == nil {
+		b = &denseBuilder{}
+		e.scratch = b
 	}
-	if inc.sink != "" {
-		res.Sinks[inc.sink] = true
+	b.e = e
+	b.tab = e.Summaries.tab
+	b.entries = b.entries[:0]
+	b.gate = intern.None
+	b.inGate = false
+	b.includes = b.includes[:0]
+	b.heapReads = b.heapReads[:0]
+	b.heapWrites = b.heapWrites[:0]
+	b.pushes = b.pushes[:0]
+	b.lastRef = ""
+	return b
+}
+
+// mid resolves a method ref to its dense ID through a one-entry memo.
+func (b *denseBuilder) mid(ref string) (uint32, bool) {
+	if ref != b.lastRef {
+		b.lastRef = ref
+		b.lastID, b.lastOK = b.e.idx.MethodID(ref)
+	}
+	return b.lastID, b.lastOK
+}
+
+func (b *denseBuilder) include(m *ir.Method, idx int) {
+	id, ok := b.mid(m.Ref())
+	if !ok {
+		return // unindexable method: cannot occur for indexed programs
+	}
+	ci := cInclude{stmt: b.e.idx.StmtID(id, idx), source: intern.None, sink: intern.None}
+	if source, sink := b.e.sumTags(m, idx); source != "" || sink != "" {
+		if source != "" {
+			ci.source = b.tab.Intern(source)
+		}
+		if sink != "" {
+			ci.sink = b.tab.Intern(sink)
+		}
+	}
+	b.includes = append(b.includes, ci)
+}
+
+func (b *denseBuilder) heapRead(loc string) {
+	b.heapReads = append(b.heapReads, b.tab.Intern(loc))
+}
+
+func (b *denseBuilder) heapWrite(loc string) {
+	b.heapWrites = append(b.heapWrites, b.tab.Intern(loc))
+}
+
+func (b *denseBuilder) push(method string, reg int) {
+	id, ok := b.mid(method)
+	if !ok {
+		return
+	}
+	b.pushes = append(b.pushes, cPush{method: id, reg: int32(reg)})
+}
+
+func (b *denseBuilder) pushHeap(loc string) {
+	b.pushes = append(b.pushes, cPush{heap: true, loc: b.tab.Intern(loc)})
+}
+
+// flush copies the active buffers out into a finished entry under the given
+// gate (exact-size slices, so cached summaries carry no spare capacity) and
+// resets them. Empty entries — including empty gated groups — are dropped.
+func (b *denseBuilder) flush(gate uint32) {
+	if len(b.includes) == 0 && len(b.heapReads) == 0 &&
+		len(b.heapWrites) == 0 && len(b.pushes) == 0 {
+		return
+	}
+	en := cEntry{gate: gate}
+	if len(b.includes) > 0 {
+		en.includes = takeSlab(&b.incSlab, b.includes)
+		b.includes = b.includes[:0]
+	}
+	if len(b.heapReads) > 0 {
+		en.heapReads = takeSlab(&b.u32Slab, b.heapReads)
+		b.heapReads = b.heapReads[:0]
+	}
+	if len(b.heapWrites) > 0 {
+		en.heapWrites = takeSlab(&b.u32Slab, b.heapWrites)
+		b.heapWrites = b.heapWrites[:0]
+	}
+	if len(b.pushes) > 0 {
+		en.pushes = takeSlab(&b.pushSlab, b.pushes)
+		b.pushes = b.pushes[:0]
+	}
+	b.entries = append(b.entries, en)
+}
+
+func (b *denseBuilder) begin(gate string) {
+	b.flush(intern.None)
+	b.inGate = true
+	b.gate = gateUnresolved
+	if id, ok := b.e.idx.MethodID(gate); ok {
+		b.gate = id
 	}
 }
 
-// applySummary replays a transfer summary for fact f: gated groups apply
-// when the gate method is inside the universe or the fact already escaped
-// it; pushed facts inherit f's hop count.
-func (e *Engine) applySummary(s *methodSummary, f fact, res *Result, w *worklist) {
-	for i := range s.entries {
-		en := &s.entries[i]
-		if en.gate != "" && f.hops == 0 && !e.inUniverse(en.gate) {
-			continue
-		}
-		for _, inc := range en.includes {
-			e.applyInclude(inc, res)
-		}
-		for _, loc := range en.heapReads {
-			res.HeapReads[loc] = true
-		}
-		for _, loc := range en.heapWrites {
-			res.HeapWrites[loc] = true
-		}
-		for _, p := range en.pushes {
-			if p.heap {
-				w.push(fact{kind: factHeap, loc: p.loc, hops: f.hops})
-			} else {
-				w.push(fact{kind: factLocal, method: p.method, reg: p.reg, hops: f.hops})
-			}
-		}
-	}
+func (b *denseBuilder) end() {
+	b.flush(b.gate)
+	b.inGate = false
+	b.gate = intern.None
 }
 
-// applyHeapSites replays heap-index entries for a heap fact: sites outside
-// the universe cost one async hop, bounded by MaxAsyncHops.
-func (e *Engine) applyHeapSites(sites []heapSite, f fact, res *Result, w *worklist) {
-	for _, site := range sites {
-		hops := f.hops
-		if !e.inUniverse(site.method) {
-			hops = f.hops + 1
-			if hops > e.MaxAsyncHops {
-				continue
-			}
-		}
-		e.Stats.Add(obs.CtrTaintStmts, 1)
-		res.Stmts[StmtID{site.method, site.index}] = true
-		w.push(fact{kind: factLocal, method: site.method, reg: site.reg, hops: hops})
+// emptyCSummary is the shared no-effect summary: most (method, register)
+// pairs a fixpoint probes have none, so they all intern to one value.
+var emptyCSummary = &cSummary{}
+
+func (b *denseBuilder) done() *cSummary {
+	b.flush(intern.None)
+	if len(b.entries) == 0 {
+		return emptyCSummary
 	}
+	b.sumSlab = append(b.sumSlab, cSummary{entries: takeSlab(&b.entSlab, b.entries)})
+	b.entries = b.entries[:0]
+	return &b.sumSlab[len(b.sumSlab)-1]
 }

@@ -1,7 +1,6 @@
 package taint
 
 import (
-	"reflect"
 	"sync"
 	"testing"
 
@@ -71,7 +70,7 @@ func runQueries(t *testing.T, p *ir.Program, model *semmodel.Model,
 		eng := NewEngine(p, model, cg)
 		eng.MaxAsyncHops = 1
 		if q.universe != "" {
-			eng.Universe = cg.ReachableFrom(q.universe)
+			eng.Universe = cg.ReachableBits(q.universe)
 		}
 		if shared != nil {
 			eng.Summaries = shared
@@ -113,14 +112,14 @@ func TestSharedSummaryCacheEquivalence(t *testing.T) {
 	cached := runQueries(t, p, model, cg, qs, shared)
 
 	for i := range qs {
-		if !reflect.DeepEqual(fresh[i], cached[i]) {
+		if !sameResult(fresh[i], cached[i]) {
 			t.Errorf("query %d (%+v): shared-cache slice differs\nfresh:  %+v\ncached: %+v",
 				i, qs[i], fresh[i], cached[i])
 		}
 	}
 	// Contexts must actually differ (the gate is doing work): the two
 	// backward slices include different click handlers.
-	if reflect.DeepEqual(fresh[0].Stmts, fresh[1].Stmts) {
+	if fresh[0].Stmts().Equal(fresh[1].Stmts()) {
 		t.Error("slices under different universes are identical; gating untested")
 	}
 
@@ -147,10 +146,10 @@ func TestPrivateSummaryCacheRepeatedQueries(t *testing.T) {
 	reg := m.Instrs[exec].Args[1]
 
 	eng := NewEngine(p, model, cg)
-	eng.Universe = cg.ReachableFrom("t.sum.A.onClickOne")
+	eng.Universe = cg.ReachableBits("t.sum.A.onClickOne")
 	r1 := eng.Backward(dp, reg)
 	r2 := eng.Backward(dp, reg)
-	if !reflect.DeepEqual(r1, r2) {
+	if !sameResult(r1, r2) {
 		t.Error("repeated query on one engine differs")
 	}
 }
@@ -179,14 +178,14 @@ func TestSharedSummaryCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			eng := NewEngine(p, model, cg)
 			eng.MaxAsyncHops = 1
-			eng.Universe = cg.ReachableFrom("t.sum.A.onClickOne")
+			eng.Universe = cg.ReachableBits("t.sum.A.onClickOne")
 			eng.Summaries = shared
 			results[w] = eng.Backward(dp, reg)
 		}(w)
 	}
 	wg.Wait()
 	for w, got := range results {
-		if !reflect.DeepEqual(want, got) {
+		if !sameResult(want, got) {
 			t.Errorf("worker %d slice differs from serial", w)
 		}
 	}

@@ -16,6 +16,15 @@
 // Unlike classic taint analysis, which only decides reachability from
 // source to sink, this engine records *all* statements touching tainted
 // objects — omitting even one would corrupt the reconstructed signature.
+//
+// The hot path works entirely on dense IDs: statements and register slots
+// are addressed through the program's ir.Index, heap locations and
+// source/sink tags through an interned symbol table shared via the
+// SummaryCache, and every set (slice statements, worklist dedup, universe)
+// is an intern.Bits bitset. Strings only appear at the boundaries: summary
+// construction (cold, memoized) and the Result accessors consumed by the
+// report layer. The pre-interning string/map replay survives in legacy.go
+// behind Engine.Legacy as the differential-testing oracle.
 package taint
 
 import (
@@ -23,6 +32,7 @@ import (
 
 	"extractocol/internal/budget"
 	"extractocol/internal/callgraph"
+	"extractocol/internal/intern"
 	"extractocol/internal/ir"
 	"extractocol/internal/obs"
 	"extractocol/internal/semmodel"
@@ -35,76 +45,152 @@ type StmtID struct {
 }
 
 // Result is a program slice: the statement set plus the heap locations and
-// data endpoints touched while tainted.
+// data endpoints touched while tainted. Statements are a dense bitset over
+// the program index; heap locations and source/sink tags are interned
+// through the shared symbol table. Accessors resolve back to strings at the
+// report boundary.
 type Result struct {
-	Stmts map[StmtID]bool
-	// HeapReads are heap locations whose value flows into the slice
-	// (request-originating objects, for backward slices).
-	HeapReads map[string]bool
-	// HeapWrites are heap locations written from tainted data
-	// (response-originated objects, for forward slices).
-	HeapWrites map[string]bool
-	// Sinks are data consumption endpoints reached ("media", "file", "ui").
-	Sinks map[string]bool
-	// Sources are data origins observed in the slice ("microphone", ...).
-	Sources map[string]bool
+	idx *ir.Index
+	tab *intern.SyncTable
+
+	// The five sets are embedded by value — a result is one allocation
+	// (plus lazy bitset words) on a path that creates two per transaction.
+	stmts      intern.Bits // dense statement IDs (ir.Index space)
+	heapReads  intern.Bits // interned heap location IDs
+	heapWrites intern.Bits
+	sinks      intern.Bits // interned sink tags
+	sources    intern.Bits // interned source tags
+
 	// Truncated is non-nil when a budget limit stopped propagation before
 	// the fixpoint completed: the slice is partial and must not feed
 	// signature construction.
 	Truncated *budget.Exceeded
 }
 
-func newResult() *Result {
-	return &Result{
-		Stmts:      map[StmtID]bool{},
-		HeapReads:  map[string]bool{},
-		HeapWrites: map[string]bool{},
-		Sinks:      map[string]bool{},
-		Sources:    map[string]bool{},
+// NewResult returns an empty slice over the given program index and symbol
+// table. idx may be nil only for results that never hold statements.
+func NewResult(idx *ir.Index, tab *intern.SyncTable) *Result {
+	r := &Result{idx: idx, tab: tab}
+	if idx != nil {
+		r.stmts = *intern.NewBits(idx.NumStmts())
 	}
+	if tab == nil {
+		r.tab = &intern.SyncTable{}
+	}
+	return r
+}
+
+// Index returns the program index the statement set is addressed through.
+func (r *Result) Index() *ir.Index { return r.idx }
+
+// Stmts returns the live dense statement set. It iterates in program order;
+// mutations (slice augmentation) write straight into the slice.
+func (r *Result) Stmts() *intern.Bits { return &r.stmts }
+
+// AddStmt adds one statement by (method ref, instruction index), reporting
+// whether it was newly added. Unknown methods and out-of-range indexes are
+// ignored — a dense ID must never alias into a neighboring method's range.
+func (r *Result) AddStmt(method string, index int) bool {
+	mid, ok := r.idx.MethodID(method)
+	if !ok || index < 0 || index >= len(r.idx.MethodAt(mid).Instrs) {
+		return false
+	}
+	return r.stmts.Add(r.idx.StmtID(mid, index))
+}
+
+// AddHeapRead records a heap location whose value flows into the slice.
+func (r *Result) AddHeapRead(loc string) { r.heapReads.Add(r.tab.Intern(loc)) }
+
+// AddHeapWrite records a heap location written from tainted data.
+func (r *Result) AddHeapWrite(loc string) { r.heapWrites.Add(r.tab.Intern(loc)) }
+
+// AddSink records a data consumption endpoint ("media", "file", "ui").
+func (r *Result) AddSink(tag string) { r.sinks.Add(r.tab.Intern(tag)) }
+
+// AddSource records a data origin ("microphone", ...).
+func (r *Result) AddSource(tag string) { r.sources.Add(r.tab.Intern(tag)) }
+
+// Contains reports whether the statement is part of the slice.
+func (r *Result) Contains(method string, index int) bool {
+	mid, ok := r.idx.MethodID(method)
+	if !ok || index < 0 || index >= len(r.idx.MethodAt(mid).Instrs) {
+		return false
+	}
+	return r.stmts.Has(r.idx.StmtID(mid, index))
+}
+
+// Size returns the number of statements in the slice.
+func (r *Result) Size() int { return r.stmts.Count() }
+
+// EachStmt walks the slice statements in program order, resolving each to
+// its method body and instruction index; f returning false stops the walk.
+func (r *Result) EachStmt(f func(m *ir.Method, index int) bool) {
+	r.idx.EachStmt(&r.stmts, func(m *ir.Method, _ uint32, idx int) bool {
+		return f(m, idx)
+	})
 }
 
 // Methods returns the sorted set of methods contributing statements.
 func (r *Result) Methods() []string {
-	set := map[string]bool{}
-	for s := range r.Stmts {
-		set[s.Method] = true
-	}
-	out := make([]string, 0, len(set))
-	for m := range set {
-		out = append(out, m)
-	}
+	var out []string
+	last := uint32(intern.None)
+	r.idx.EachStmt(&r.stmts, func(m *ir.Method, id uint32, _ int) bool {
+		// Iteration is grouped by method, so a change of method ID marks a
+		// new distinct method.
+		if id != last {
+			out = append(out, m.Ref())
+			last = id
+		}
+		return true
+	})
 	sort.Strings(out)
 	return out
 }
 
-// Contains reports whether the statement is part of the slice.
-func (r *Result) Contains(method string, index int) bool {
-	return r.Stmts[StmtID{method, index}]
-}
+// HeapReads returns the sorted heap locations read by the slice.
+func (r *Result) HeapReads() []string { return intern.SortedStrings(&r.heapReads, r.tab) }
 
-// Size returns the number of statements in the slice.
-func (r *Result) Size() int { return len(r.Stmts) }
+// HeapWrites returns the sorted heap locations written by the slice.
+func (r *Result) HeapWrites() []string { return intern.SortedStrings(&r.heapWrites, r.tab) }
 
-// Merge unions o into r.
+// Sinks returns the sorted data consumption endpoints reached.
+func (r *Result) Sinks() []string { return intern.SortedStrings(&r.sinks, r.tab) }
+
+// Sources returns the sorted data origins observed.
+func (r *Result) Sources() []string { return intern.SortedStrings(&r.sources, r.tab) }
+
+// Merge unions o into r. Both results must address the same program through
+// the same index and symbol table (they come from engines sharing one
+// SummaryCache); r adopts o's when it has none.
 func (r *Result) Merge(o *Result) {
-	for k := range o.Stmts {
-		r.Stmts[k] = true
+	if r.idx == nil {
+		r.idx = o.idx
 	}
-	for k := range o.HeapReads {
-		r.HeapReads[k] = true
+	if r.tab == nil {
+		r.tab = o.tab
 	}
-	for k := range o.HeapWrites {
-		r.HeapWrites[k] = true
-	}
-	for k := range o.Sinks {
-		r.Sinks[k] = true
-	}
-	for k := range o.Sources {
-		r.Sources[k] = true
-	}
+	r.stmts.Union(&o.stmts)
+	r.heapReads.Union(&o.heapReads)
+	r.heapWrites.Union(&o.heapWrites)
+	r.sinks.Union(&o.sinks)
+	r.sources.Union(&o.sources)
 	if r.Truncated == nil {
 		r.Truncated = o.Truncated
+	}
+}
+
+// Clone returns an independent copy sharing the (immutable) index and
+// symbol table.
+func (r *Result) Clone() *Result {
+	return &Result{
+		idx:        r.idx,
+		tab:        r.tab,
+		stmts:      *r.stmts.Clone(),
+		heapReads:  *r.heapReads.Clone(),
+		heapWrites: *r.heapWrites.Clone(),
+		sinks:      *r.sinks.Clone(),
+		sources:    *r.sources.Clone(),
+		Truncated:  r.Truncated,
 	}
 }
 
@@ -120,9 +206,10 @@ type Engine struct {
 	MaxAsyncHops int
 
 	// Universe, when non-nil, restricts propagation to the given methods
-	// (the per-entry-point context used for transaction separation). Heap
-	// facts may escape the universe at the cost of one async hop.
-	Universe map[string]bool
+	// (dense method IDs in the program index — callgraph.ReachableBits
+	// builds the per-entry-point set). Heap facts may escape the universe
+	// at the cost of one async hop.
+	Universe *intern.Bits
 
 	// Stats receives workload counters (facts processed, statements
 	// included). The shard is unsynchronized: it must be owned by the
@@ -130,10 +217,17 @@ type Engine struct {
 	Stats *obs.Shard
 
 	// Summaries memoizes per-(method, register) transfer summaries and the
-	// program-wide heap access index (see summary.go). NewEngine installs a
-	// private cache; callers analyzing many slices over one program should
-	// install a shared one so later slices reuse earlier traversals.
+	// program-wide heap access index (see summary.go), and owns the shared
+	// symbol table heap locations and tags are interned through. NewEngine
+	// installs a private cache; callers analyzing many slices over one
+	// program should install a shared one so later slices reuse earlier
+	// traversals.
 	Summaries *SummaryCache
+
+	// Legacy selects the pre-interning string/map replay (legacy.go): the
+	// reference implementation the differential harness holds the dense
+	// path to byte-identical reports against. Off for production runs.
+	Legacy bool
 
 	// Budget, when non-nil, bounds every fixpoint this engine runs: the
 	// worklist polls it at the loop head and stops with Result.Truncated
@@ -143,12 +237,43 @@ type Engine struct {
 	// ("slice" draws from the shared slice-step pool, "pairing" does not);
 	// empty defaults to "taint".
 	BudgetPhase string
+
+	// idx is the dense program index, resolved once per engine from the
+	// call graph (or built privately when the engine has no call graph).
+	idx *ir.Index
+
+	// scratch is the reusable summary lowering buffer (see denseBuilder).
+	// Engines are single-goroutine, so one scratch per engine suffices.
+	scratch *denseBuilder
 }
 
-// NewEngine creates an engine with the given configuration.
+// NewEngine creates an engine with the given configuration. The summary
+// cache is created lazily on first use unless the caller installs one.
 func NewEngine(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph) *Engine {
-	return &Engine{Prog: p, Model: model, CG: cg, MaxAsyncHops: 1,
-		Summaries: NewSummaryCache()}
+	return &Engine{Prog: p, Model: model, CG: cg, MaxAsyncHops: 1}
+}
+
+// ensure resolves the engine's dense index and summary cache before a
+// fixpoint runs. The index is shared through the call graph (built once in
+// callgraph.Build); engines without a call graph build a private one.
+func (e *Engine) ensure() {
+	if e.Summaries == nil {
+		e.Summaries = NewSummaryCache()
+	}
+	if e.idx == nil {
+		if e.CG != nil {
+			e.idx = e.CG.Index()
+		} else {
+			e.idx = ir.NewIndex(e.Prog)
+		}
+	}
+}
+
+// newResult allocates an empty result bound to this engine's index and the
+// summary cache's symbol table.
+func (e *Engine) newResult() *Result {
+	e.ensure()
+	return NewResult(e.idx, e.Summaries.tab)
 }
 
 // types returns m's register types via the call graph's memoized inference
@@ -160,8 +285,19 @@ func (e *Engine) types(m *ir.Method) []string {
 	return callgraph.InferTypes(e.Prog, m)
 }
 
+// universeHas is the dense universe check: a nil universe admits everything.
+func (e *Engine) universeHas(id uint32) bool {
+	return e.Universe == nil || e.Universe.Has(id)
+}
+
+// inUniverse is universeHas by method ref, for the legacy replay and the
+// string-form summary gate checks.
 func (e *Engine) inUniverse(method string) bool {
-	return e.Universe == nil || e.Universe[method]
+	if e.Universe == nil {
+		return true
+	}
+	id, ok := e.idx.MethodID(method)
+	return ok && e.Universe.Has(id)
 }
 
 // direction selects which transfer summaries a worklist run consults.
@@ -180,16 +316,89 @@ func (e *Engine) budgetPhase() string {
 	return budget.PhaseTaint
 }
 
-// run drains the worklist, replaying the memoized transfer summary (or heap
+// sortedSeeds returns the seed statements in (method, index) order, so
+// worklist seeding never depends on map iteration order.
+func sortedSeeds(seeds map[StmtID]int) []StmtID {
+	out := make([]StmtID, 0, len(seeds))
+	for s := range seeds {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Method != out[j].Method {
+			return out[i].Method < out[j].Method
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+type factKind uint8
+
+const (
+	factLocal factKind = iota
+	factHeap
+)
+
+// cFact is a dense worklist fact: a (method ID, register) local fact or an
+// interned heap location, plus the async hops consumed so far.
+type cFact struct {
+	kind   factKind
+	method uint32 // local facts: dense method ID
+	reg    int32  // local facts: register
+	loc    uint32 // heap facts: interned location ID
+	hops   int32
+}
+
+// denseWorklist deduplicates facts through two bitsets — register slots for
+// local facts, interned location IDs for heap facts — replacing the
+// map[fact]bool of the legacy replay. Dedup ignores hops (the first visit,
+// which the LIFO order makes the lowest-hop one, wins), exactly like the
+// legacy key with hops zeroed.
+type denseWorklist struct {
+	items     []cFact
+	seenLocal *intern.Bits // ir.Index register-slot space
+	seenHeap  *intern.Bits // interned heap location space
+}
+
+func newDenseWorklist(idx *ir.Index) *denseWorklist {
+	return &denseWorklist{
+		seenLocal: intern.NewBits(idx.NumRegSlots()),
+		seenHeap:  &intern.Bits{},
+	}
+}
+
+func (w *denseWorklist) pushLocal(idx *ir.Index, method uint32, reg int32, hops int32) {
+	if reg < 0 {
+		return // NoReg never reaches a push site; guard the slot arithmetic
+	}
+	if !w.seenLocal.Add(idx.RegSlot(method, int(reg))) {
+		return
+	}
+	w.items = append(w.items, cFact{kind: factLocal, method: method, reg: reg, hops: hops})
+}
+
+func (w *denseWorklist) pushHeap(loc uint32, hops int32) {
+	if !w.seenHeap.Add(loc) {
+		return
+	}
+	w.items = append(w.items, cFact{kind: factHeap, loc: loc, hops: hops})
+}
+
+func (w *denseWorklist) pop() (cFact, bool) {
+	if len(w.items) == 0 {
+		return cFact{}, false
+	}
+	f := w.items[len(w.items)-1]
+	w.items = w.items[:len(w.items)-1]
+	return f, true
+}
+
+// run drains the worklist, replaying the compiled transfer summary (or heap
 // access index) for each popped fact. site names the fixpoint (the slicing
 // origin's method) for budget errors and fault probes. When a budget limit
 // trips mid-run the partial result is marked Truncated and returned as-is.
-func (e *Engine) run(w *worklist, res *Result, dir direction, site string) {
+func (e *Engine) run(w *denseWorklist, res *Result, dir direction, site string) {
 	sums := e.Summaries
-	if sums == nil {
-		sums = NewSummaryCache()
-		e.Summaries = sums
-	}
 	// One span per fixpoint run, nested inside the job span of whichever
 	// worker owns this engine's shard. Free when tracing is off.
 	cat := obs.CatTaintBackward
@@ -222,63 +431,80 @@ func (e *Engine) run(w *worklist, res *Result, dir direction, site string) {
 		e.Stats.Add(obs.CtrTaintFacts, 1)
 		switch f.kind {
 		case factLocal:
-			var s *methodSummary
+			var s *cSummary
 			if dir == dirBackward {
-				s = sums.backward(e, f.method, f.reg)
+				s = sums.compiledBackward(e, f.method, f.reg)
 			} else {
-				s = sums.forward(e, f.method, f.reg)
+				s = sums.compiledForward(e, f.method, f.reg)
 			}
-			e.applySummary(s, f, res, w)
+			e.applyCompiled(s, f, res, w)
 		case factHeap:
-			var sites []heapSite
+			var sites []cHeapSite
 			if dir == dirBackward {
-				sites = sums.heapWriters(e, f.loc)
+				sites = sums.heapWritersDense(e, f.loc)
 			} else {
-				sites = sums.heapReaders(e, f.loc)
+				sites = sums.heapReadersDense(e, f.loc)
 			}
-			e.applyHeapSites(sites, f, res, w)
+			e.applyHeapSitesDense(sites, f, res, w)
 		}
 	}
 }
 
-type factKind uint8
-
-const (
-	factLocal factKind = iota
-	factHeap
-)
-
-type fact struct {
-	kind   factKind
-	method string // local facts: owning method
-	reg    int    // local facts: register
-	loc    string // heap facts: location id
-	hops   int    // async hops consumed so far
-}
-
-type worklist struct {
-	items []fact
-	seen  map[fact]bool
-}
-
-func (w *worklist) push(f fact) {
-	// Deduplicate ignoring hops: keep the lowest-hop visit.
-	key := f
-	key.hops = 0
-	if w.seen[key] {
-		return
+// applyCompiledInclude replays one compiled include effect.
+func (e *Engine) applyCompiledInclude(inc cInclude, res *Result) {
+	e.Stats.Add(obs.CtrTaintStmts, 1)
+	res.stmts.Add(inc.stmt)
+	if inc.source != intern.None {
+		res.sources.Add(inc.source)
 	}
-	w.seen[key] = true
-	w.items = append(w.items, f)
+	if inc.sink != intern.None {
+		res.sinks.Add(inc.sink)
+	}
 }
 
-func (w *worklist) pop() (fact, bool) {
-	if len(w.items) == 0 {
-		return fact{}, false
+// applyCompiled replays a compiled transfer summary for fact f: gated
+// groups apply when the gate method is inside the universe or the fact
+// already escaped it; pushed facts inherit f's hop count.
+func (e *Engine) applyCompiled(s *cSummary, f cFact, res *Result, w *denseWorklist) {
+	for i := range s.entries {
+		en := &s.entries[i]
+		if en.gate != intern.None && f.hops == 0 && !e.universeHas(en.gate) {
+			continue
+		}
+		for _, inc := range en.includes {
+			e.applyCompiledInclude(inc, res)
+		}
+		for _, loc := range en.heapReads {
+			res.heapReads.Add(loc)
+		}
+		for _, loc := range en.heapWrites {
+			res.heapWrites.Add(loc)
+		}
+		for _, p := range en.pushes {
+			if p.heap {
+				w.pushHeap(p.loc, f.hops)
+			} else {
+				w.pushLocal(e.idx, p.method, p.reg, f.hops)
+			}
+		}
 	}
-	f := w.items[len(w.items)-1]
-	w.items = w.items[:len(w.items)-1]
-	return f, true
+}
+
+// applyHeapSitesDense replays heap-index entries for a heap fact: sites
+// outside the universe cost one async hop, bounded by MaxAsyncHops.
+func (e *Engine) applyHeapSitesDense(sites []cHeapSite, f cFact, res *Result, w *denseWorklist) {
+	for _, site := range sites {
+		hops := f.hops
+		if !e.universeHas(site.method) {
+			hops = f.hops + 1
+			if int(hops) > e.MaxAsyncHops {
+				continue
+			}
+		}
+		e.Stats.Add(obs.CtrTaintStmts, 1)
+		res.stmts.Add(site.stmt)
+		w.pushLocal(e.idx, site.method, site.reg, hops)
+	}
 }
 
 // heapLoc computes the heap location id for a field access: the inferred

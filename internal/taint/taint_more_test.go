@@ -3,6 +3,7 @@ package taint
 import (
 	"testing"
 
+	"extractocol/internal/intern"
 	"extractocol/internal/ir"
 )
 
@@ -33,12 +34,12 @@ func TestBackwardThroughStaticFields(t *testing.T) {
 	}
 
 	e := engineFor(p)
-	e.Universe = e.CG.Reachable([]string{"t.sf.S.onGo"})
+	e.Universe = e.CG.ReachableBits("t.sf.S.onGo")
 	m := p.Method("t.sf.S.onGo")
 	site := findInvoke(m, execRef)
 	res := e.Backward(StmtID{m.Ref(), site}, m.Instrs[site].Args[1])
-	if !res.HeapReads["s:t.sf.S.base"] {
-		t.Fatalf("HeapReads = %v", res.HeapReads)
+	if !hasStr(res.HeapReads(), "s:t.sf.S.base") {
+		t.Fatalf("HeapReads = %v", res.HeapReads())
 	}
 	onInit := p.Method("t.sf.S.onInit")
 	constIdx := -1
@@ -156,16 +157,31 @@ func TestForwardFactsReachability(t *testing.T) {
 }
 
 func TestResultHelpers(t *testing.T) {
-	a := newResult()
-	a.Stmts[StmtID{"m.A", 1}] = true
-	a.HeapWrites["f:x"] = true
-	a.Sinks["media"] = true
-	b := newResult()
-	b.Stmts[StmtID{"m.B", 2}] = true
-	b.HeapReads["s:y"] = true
-	b.Sources["location"] = true
+	p := ir.NewProgram("t.helpers")
+	for _, cls := range []string{"m"} {
+		c := p.AddClass(&ir.Class{Name: cls})
+		for _, name := range []string{"A", "B"} {
+			mm := ir.NewMethod(c, name, true, nil, "void")
+			for i := 0; i < 4; i++ {
+				mm.ConstInt(int64(i))
+			}
+			mm.ReturnVoid()
+			mm.Done()
+		}
+	}
+	idx := ir.NewIndex(p)
+	tab := &intern.SyncTable{}
+	a := NewResult(idx, tab)
+	a.AddStmt("m.A", 1)
+	a.AddHeapWrite("f:x")
+	a.AddSink("media")
+	b := NewResult(idx, tab)
+	b.AddStmt("m.B", 2)
+	b.AddHeapRead("s:y")
+	b.AddSource("location")
 	a.Merge(b)
-	if a.Size() != 2 || !a.HeapReads["s:y"] || !a.Sources["location"] || !a.Sinks["media"] {
+	if a.Size() != 2 || !hasStr(a.HeapReads(), "s:y") ||
+		!hasStr(a.Sources(), "location") || !hasStr(a.Sinks(), "media") {
 		t.Fatalf("merge lost data: %+v", a)
 	}
 	ms := a.Methods()
@@ -197,7 +213,7 @@ func TestForwardStaticWrites(t *testing.T) {
 	m := p.Method("t.fs.F.go")
 	site := findInvoke(m, execRef)
 	res := e.Forward(StmtID{m.Ref(), site}, m.Instrs[site].Dst)
-	if !res.HeapWrites["s:t.fs.F.cache"] {
-		t.Fatalf("HeapWrites = %v", res.HeapWrites)
+	if !hasStr(res.HeapWrites(), "s:t.fs.F.cache") {
+		t.Fatalf("HeapWrites = %v", res.HeapWrites())
 	}
 }
