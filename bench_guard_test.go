@@ -18,6 +18,7 @@ import (
 	"extractocol/internal/core"
 	"extractocol/internal/corpus"
 	"extractocol/internal/obs"
+	"extractocol/internal/trace"
 )
 
 const baselinePath = "BENCH_baseline.json"
@@ -491,6 +492,98 @@ func TestInternBenchGuard(t *testing.T) {
 		if got.AllocsPerOp > b.AllocsPerOp*allocsSlack {
 			t.Errorf("%s makes %d allocs/op, baseline %d (limit %dx): investigate or regenerate %s",
 				name, got.AllocsPerOp, b.AllocsPerOp, allocsSlack, internBaselinePath)
+		}
+	}
+}
+
+// ---- Classifier-throughput guard -----------------------------------------------
+//
+// TestClassifyBenchGuard pins the signature-matcher backends
+// (BenchmarkClassifyThroughput's vm, vm_parallel and interp variants)
+// against BENCH_classify.json with the usual slack factors and
+// EXTRACTOCOL_BENCH_BASELINE=write regeneration convention — plus one
+// absolute floor that never moves with the baseline: the compiled VM must
+// classify at least 5x faster than the interpretive oracle, the speedup
+// the bytecode compiler exists to deliver.
+
+const classifyBaselinePath = "BENCH_classify.json"
+
+// vmSpeedupFloor is the minimum classify_interp/classify_vm ns ratio.
+const vmSpeedupFloor = 5
+
+func measureClassifyOps(t *testing.T) sliceBenchBaseline {
+	t.Helper()
+	bl := sliceBenchBaseline{App: guardApp, Ops: map[string]sliceOpBaseline{}}
+	for name, opt := range map[string]trace.ClassifyOptions{
+		"classify_vm":          {VM: true},
+		"classify_vm_parallel": {VM: true, Workers: -1},
+		"classify_interp":      {},
+	} {
+		opt := opt
+		res := testing.Benchmark(func(b *testing.B) { benchClassify(b, opt) })
+		if res.N == 0 {
+			t.Fatalf("benchmark %q failed to run", name)
+		}
+		bl.Ops[name] = sliceOpBaseline{NsPerOp: res.NsPerOp(), AllocsPerOp: res.AllocsPerOp()}
+	}
+	return bl
+}
+
+func TestClassifyBenchGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews timing and allocation counts")
+	}
+
+	cur := measureClassifyOps(t)
+
+	// The speedup floor holds on the current measurement regardless of the
+	// committed baseline, so it cannot be laundered through a regeneration.
+	vm := cur.Ops["classify_vm"].NsPerOp
+	interp := cur.Ops["classify_interp"].NsPerOp
+	if vm*vmSpeedupFloor > interp {
+		t.Errorf("compiled VM classifies at %d ns/op vs interpretive %d ns/op (%.1fx): floor is %dx",
+			vm, interp, float64(interp)/float64(vm), vmSpeedupFloor)
+	}
+
+	data, err := os.ReadFile(classifyBaselinePath)
+	if os.IsNotExist(err) || os.Getenv("EXTRACTOCOL_BENCH_BASELINE") == "write" {
+		out, merr := json.MarshalIndent(cur, "", "  ")
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if werr := os.WriteFile(classifyBaselinePath, append(out, '\n'), 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		t.Logf("wrote %s: %s", classifyBaselinePath, out)
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base sliceBenchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("corrupt %s: %v", classifyBaselinePath, err)
+	}
+	if base.App != cur.App {
+		t.Fatalf("baseline measures %q, guard measures %q; regenerate the baseline", base.App, cur.App)
+	}
+
+	for name, b := range base.Ops {
+		got, ok := cur.Ops[name]
+		if !ok {
+			t.Errorf("op %q vanished from the guard; regenerate %s if intentional", name, classifyBaselinePath)
+			continue
+		}
+		if got.NsPerOp > b.NsPerOp*nsSlack {
+			t.Errorf("%s takes %d ns/op, baseline %d (limit %dx): investigate or regenerate %s",
+				name, got.NsPerOp, b.NsPerOp, nsSlack, classifyBaselinePath)
+		}
+		if got.AllocsPerOp > b.AllocsPerOp*allocsSlack {
+			t.Errorf("%s makes %d allocs/op, baseline %d (limit %dx): investigate or regenerate %s",
+				name, got.AllocsPerOp, b.AllocsPerOp, allocsSlack, classifyBaselinePath)
 		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"extractocol/internal/resultcache"
 	"extractocol/internal/semmodel"
 	"extractocol/internal/siglang"
+	"extractocol/internal/sigvm"
 	"extractocol/internal/slice"
 	"extractocol/internal/taint"
 	"extractocol/internal/trace"
@@ -619,4 +620,67 @@ func BenchmarkDeobfuscation(b *testing.B) {
 			b.Fatal("nothing recovered")
 		}
 	}
+}
+
+// ---- Signature-matcher VM throughput -------------------------------------------
+
+// The classifier fixture is shared across the throughput benchmarks and
+// the BENCH_classify.json guard: the RadioReddit report, a large seeded
+// labeled trace, and the signatures compiled once to sigvm bytecode.
+var (
+	classifyOnce    sync.Once
+	classifyRep     *core.Report
+	classifyEntries []trace.Entry
+	classifyBundle  *sigvm.Bundle
+	classifyErr     error
+)
+
+func classifyInput(b *testing.B) (*core.Report, []trace.Entry, *sigvm.Bundle) {
+	classifyOnce.Do(func() {
+		app := corpus.RadioReddit()
+		rep, err := core.Analyze(app.Prog, core.NewOptions())
+		if err != nil {
+			classifyErr = err
+			return
+		}
+		classifyRep = rep
+		classifyEntries = trace.Entries(trace.RandEntries(99, rep, 4000))
+		classifyBundle = sigvm.Compile(rep)
+	})
+	if classifyErr != nil {
+		b.Fatal(classifyErr)
+	}
+	return classifyRep, classifyEntries, classifyBundle
+}
+
+func benchClassify(b *testing.B, opt trace.ClassifyOptions) {
+	rep, entries, bundle := classifyInput(b)
+	if opt.VM {
+		opt.Bundle = bundle
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := trace.Classify(rep, entries, opt)
+		if res.TraceEntries == 0 {
+			b.Fatal("classifier considered no entries")
+		}
+	}
+	b.ReportMetric(float64(len(entries))*float64(b.N)/b.Elapsed().Seconds(), "entries/sec")
+}
+
+// BenchmarkClassifyThroughput compares classifier throughput across
+// backends over the same labeled trace: the compiled VM serially, the VM
+// under worker fan-out, and the interpretive oracle (which re-derives its
+// regexps per run, as MatchReport always has).
+func BenchmarkClassifyThroughput(b *testing.B) {
+	b.Run("vm", func(b *testing.B) {
+		benchClassify(b, trace.ClassifyOptions{VM: true})
+	})
+	b.Run("vm_parallel", func(b *testing.B) {
+		benchClassify(b, trace.ClassifyOptions{VM: true, Workers: -1})
+	})
+	b.Run("interp", func(b *testing.B) {
+		benchClassify(b, trace.ClassifyOptions{})
+	})
 }

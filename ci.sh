@@ -59,10 +59,20 @@ go run -race ./cmd/extractocol -cache "$smoke/cache" -profile "$apkb" \
 echo "== differential harness under -race"
 # Correctness gate over the seeded generative corpus: 100 generated apps,
 # every equivalence axis (same-seed regeneration, serial/parallel,
-# cold/warm cache, budgeted/unbudgeted, oracle/indexed pairing) must be
-# byte-identical. The deadline feeds the budgeted axis; generous on
-# purpose — a budget that trips under -race is itself a mismatch.
+# cold/warm cache, budgeted/unbudgeted, oracle/indexed pairing, and the
+# interpretive-vs-compiled signature matcher over recorded and labeled
+# traffic) must be byte-identical. The deadline feeds the budgeted axis;
+# generous on purpose — a budget that trips under -race is itself a
+# mismatch.
 go run -race ./cmd/evaluate -gen 1729:100 -deadline 5m
+
+echo "== classifier smoke under -race"
+# End-to-end gate on the classifier binary: both matcher backends over
+# seeded labeled traffic must produce identical classifications, and the
+# regex-derived ground-truth labels must be reproduced in full.
+go run -race ./cmd/classify -app "radio reddit" -gen 7:500 -check \
+    | tee "$smoke/classify.txt"
+grep -q 'ground-truth labels reproduced: 500/500' "$smoke/classify.txt"
 
 echo "== bench smoke"
 go test -run=NONE -bench=. -benchtime=1x .

@@ -1,0 +1,252 @@
+// Command classify streams HTTP traffic through an application's message
+// signatures — compiled to sigvm bytecode by default — and reports each
+// signature's hit tally plus matcher throughput. It is the traffic-side
+// counterpart of extractocol: where that command derives the signatures,
+// this one exercises them as a classifier.
+//
+// Usage:
+//
+//	classify -app "radio reddit"          classify the app's own recorded
+//	                                      manual-fuzz traffic
+//	classify -app name -gen 7:5000        classify 5000 seeded labeled
+//	                                      entries generated from the app's
+//	                                      signatures (reports how many
+//	                                      ground-truth labels the matcher
+//	                                      reproduced)
+//	classify -app name -trace t.jsonl     classify a recorded trace file
+//	classify [flags] app.apkb             analyze a binary container
+//	                                      instead of a corpus app
+//
+// Flags:
+//
+//	-workers n   matcher fan-out (0 = one per CPU, 1 = serial); chunked
+//	             merging keeps the output identical at any width
+//	-interp      match with the interpretive oracle instead of the VM
+//	-check       run both backends, require byte-identical classifications,
+//	             and report both throughputs with the speedup
+//	-repeat n    stream the traffic n times (throughput measurement)
+//	-list        list corpus applications and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"extractocol/internal/core"
+	"extractocol/internal/corpus"
+	"extractocol/internal/dex"
+	"extractocol/internal/fuzz"
+	"extractocol/internal/siglang"
+	"extractocol/internal/sigvm"
+	"extractocol/internal/trace"
+)
+
+func main() {
+	appName := flag.String("app", "", "corpus application name (see -list)")
+	gen := flag.String("gen", "", "generate labeled traffic, as seed:N (e.g. 7:5000)")
+	traceFile := flag.String("trace", "", "classify a recorded trace file (JSON lines)")
+	workers := flag.Int("workers", 0, "matcher fan-out (0 = one per CPU, 1 = serial)")
+	interp := flag.Bool("interp", false, "use the interpretive oracle instead of the compiled VM")
+	check := flag.Bool("check", false, "run both backends and require identical classifications")
+	repeat := flag.Int("repeat", 1, "stream the traffic this many times")
+	list := flag.Bool("list", false, "list corpus applications and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range corpus.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if err := run(*appName, flag.Arg(0), *gen, *traceFile, *workers, *interp, *check, *repeat); err != nil {
+		fmt.Fprintln(os.Stderr, "classify:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appName, apkbPath, gen, traceFile string, workers int, useInterp, check bool, repeat int) error {
+	rep, app, err := loadReport(appName, apkbPath)
+	if err != nil {
+		return err
+	}
+	entries, labeled, err := loadTraffic(rep, app, gen, traceFile)
+	if err != nil {
+		return err
+	}
+	if repeat > 1 {
+		tiled := make([]trace.Entry, 0, len(entries)*repeat)
+		for i := 0; i < repeat; i++ {
+			tiled = append(tiled, entries...)
+		}
+		entries = tiled
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no traffic to classify")
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	bundle := sigvm.Compile(rep)
+	classify := func(vm bool) (*trace.ClassifyResult, time.Duration) {
+		opt := trace.ClassifyOptions{VM: vm, Workers: workers}
+		if vm {
+			opt.Bundle = bundle
+		}
+		start := time.Now()
+		res := trace.Classify(rep, entries, opt)
+		return res, time.Since(start)
+	}
+
+	var res *trace.ClassifyResult
+	var elapsed time.Duration
+	if check {
+		vmRes, vmD := classify(true)
+		inRes, inD := classify(false)
+		jv, err := json.Marshal(vmRes)
+		if err != nil {
+			return err
+		}
+		ji, err := json.Marshal(inRes)
+		if err != nil {
+			return err
+		}
+		if string(jv) != string(ji) {
+			return fmt.Errorf("backends disagree over %d entries:\nvm     %s\ninterp %s",
+				len(entries), jv, ji)
+		}
+		fmt.Printf("check: VM and interpretive classifications identical over %d entries\n", len(entries))
+		fmt.Printf("  vm:     %s\n  interp: %s\n  speedup: %.1fx\n\n",
+			rate(len(entries), vmD), rate(len(entries), inD),
+			float64(inD)/float64(vmD))
+		res, elapsed = vmRes, vmD
+	} else {
+		res, elapsed = classify(!useInterp)
+	}
+
+	printReport(rep, res, labeled, len(entries), elapsed, workers, useInterp && !check)
+	return nil
+}
+
+// loadReport resolves the analysis target: a corpus app by name, or an
+// .apkb container by path.
+func loadReport(appName, apkbPath string) (*core.Report, *corpus.App, error) {
+	switch {
+	case appName != "" && apkbPath != "":
+		return nil, nil, fmt.Errorf("give either -app or an .apkb path, not both")
+	case appName != "":
+		app, err := corpus.ByName(appName)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts := core.NewOptions()
+		if app.Spec.OpenSource {
+			opts.MaxAsyncHops = 0
+		}
+		rep, err := core.Analyze(app.Prog, opts)
+		return rep, app, err
+	case apkbPath != "":
+		data, err := os.ReadFile(apkbPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog, err := dex.Decode(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep, err := core.Analyze(prog, core.NewOptions())
+		return rep, nil, err
+	default:
+		return nil, nil, fmt.Errorf("no application: give -app name or an .apkb path")
+	}
+}
+
+// loadTraffic resolves the entry stream: seeded labeled generation, a
+// recorded trace file, or (default, corpus apps only) a fresh manual fuzz
+// session against the app's simulated backend.
+func loadTraffic(rep *core.Report, app *corpus.App, gen, traceFile string) ([]trace.Entry, []trace.LabeledEntry, error) {
+	switch {
+	case gen != "" && traceFile != "":
+		return nil, nil, fmt.Errorf("give either -gen or -trace, not both")
+	case gen != "":
+		seedStr, nStr, ok := strings.Cut(gen, ":")
+		if !ok {
+			return nil, nil, fmt.Errorf("-gen wants seed:N, got %q", gen)
+		}
+		seed, err := strconv.ParseUint(seedStr, 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-gen seed: %w", err)
+		}
+		n, err := strconv.Atoi(nStr)
+		if err != nil || n <= 0 {
+			return nil, nil, fmt.Errorf("-gen wants a positive entry count, got %q", nStr)
+		}
+		labeled := trace.RandEntries(seed, rep, n)
+		return trace.Entries(labeled), labeled, nil
+	case traceFile != "":
+		entries, err := trace.Load(traceFile)
+		return entries, nil, err
+	case app != nil:
+		net := app.NewNetwork()
+		if _, err := fuzz.Run(app.Prog, net, fuzz.Manual); err != nil {
+			return nil, nil, err
+		}
+		return trace.FromNetwork(net.Trace()), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("an .apkb target needs -gen or -trace traffic")
+	}
+}
+
+func printReport(rep *core.Report, res *trace.ClassifyResult, labeled []trace.LabeledEntry,
+	total int, elapsed time.Duration, workers int, interp bool) {
+	backend := "vm"
+	if interp {
+		backend = "interp"
+	}
+	fmt.Printf("%s: %d signatures, %d entries (%d workers, %s backend)\n",
+		rep.Package, len(res.PerSig), total, workers, backend)
+	fmt.Printf("%-6s %-7s %6s %6s  %s\n", "Sig", "Method", "Hits", "Rate", "URI")
+	for _, s := range res.PerSig {
+		uri := ""
+		for _, tx := range rep.Transactions {
+			if tx.ID == s.TxID {
+				uri = truncate(siglang.RegexBody(tx.Request.URI), 60)
+				break
+			}
+		}
+		hitRate := 0.0
+		if res.TraceEntries > 0 {
+			hitRate = float64(s.Hits) / float64(res.TraceEntries) * 100
+		}
+		fmt.Printf("#%-5d %-7s %6d %5.1f%%  %s\n", s.TxID, s.Method, s.Hits, hitRate, uri)
+	}
+	fmt.Printf("matched %d/%d considered entries (%d unmatched, %d skipped)\n",
+		res.MatchedEntries, res.TraceEntries, len(res.Unmatched), total-res.TraceEntries)
+	if labeled != nil {
+		good := 0
+		for i, le := range labeled {
+			if res.Verdicts[i] == le.WantID {
+				good++
+			}
+		}
+		fmt.Printf("ground-truth labels reproduced: %d/%d\n", good, len(labeled))
+	}
+	fmt.Printf("throughput: %s (%d entries in %v)\n", rate(total, elapsed), total, elapsed.Round(time.Microsecond))
+}
+
+func rate(n int, d time.Duration) string {
+	return fmt.Sprintf("%.0f entries/sec", float64(n)/d.Seconds())
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -35,7 +35,8 @@
 //	                             equivalence axis (same-seed regeneration,
 //	                             serial/parallel, cold/warm cache,
 //	                             budgeted/unbudgeted, oracle/indexed
-//	                             pairing); exits nonzero on any mismatch
+//	                             pairing, interpretive/compiled signature
+//	                             matcher); exits nonzero on any mismatch
 package main
 
 import (

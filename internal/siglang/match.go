@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"encoding/xml"
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // ByteStats accounts matched bytes of a traffic payload against a
@@ -47,7 +50,15 @@ func MatchText(s Sig, payload string) (bool, ByteStats) {
 	if err != nil || !re.MatchString(payload) {
 		return false, ByteStats{}
 	}
-	lits := literalFragments(s)
+	return true, AccountText(LiteralFragments(s), payload)
+}
+
+// AccountText runs the greedy literal-fragment byte accounting of MatchText
+// over an already-matched payload: each fragment's bytes count as Key, the
+// wildcard-covered spans between them as Value. Exported so compiled
+// matchers (internal/sigvm), which precompute the fragment list, account
+// identically.
+func AccountText(lits []string, payload string) ByteStats {
 	var st ByteStats
 	rest := payload
 	for _, lit := range lits {
@@ -58,16 +69,20 @@ func MatchText(s Sig, payload string) (bool, ByteStats) {
 		if i < 0 {
 			break
 		}
-		st.None += 0
 		st.Value += i // wildcard-covered span before the literal
 		st.Key += len(lit)
 		rest = rest[i+len(lit):]
 	}
 	st.Value += len(rest)
-	return true, st
+	return st
 }
 
-func literalFragments(s Sig) []string {
+// LiteralFragments returns the unconditional constant fragments of a text
+// signature in order: literals under concatenation, skipping repetition
+// bodies (may appear zero times) and disjunction alternatives (ambiguous).
+// This is the fragment sequence MatchText accounts greedily; compiled
+// matchers (internal/sigvm) precompute it once per signature.
+func LiteralFragments(s Sig) []string {
 	var out []string
 	var walk func(Sig)
 	walk = func(s Sig) {
@@ -129,9 +144,9 @@ func MatchQuery(s Sig, query string) (bool, ByteStats) {
 // their values as Value, and subtrees the signature does not describe as
 // None.
 func MatchJSON(s Sig, payload []byte) (bool, ByteStats, error) {
-	var v any
-	if err := json.Unmarshal(payload, &v); err != nil {
-		return false, ByteStats{}, fmt.Errorf("siglang: payload is not JSON: %w", err)
+	v, err := DecodeJSONPayload(payload)
+	if err != nil {
+		return false, ByteStats{}, err
 	}
 	root := s
 	if j, isJSON := s.(*JSON); isJSON {
@@ -142,15 +157,29 @@ func MatchJSON(s Sig, payload []byte) (bool, ByteStats, error) {
 	return ok, st, nil
 }
 
+// DecodeJSONPayload unmarshals a payload for structural matching; both the
+// interpretive matcher above and the compiled matcher (internal/sigvm)
+// decode through it so their error behavior is identical.
+func DecodeJSONPayload(payload []byte) (any, error) {
+	var v any
+	if err := json.Unmarshal(payload, &v); err != nil {
+		return nil, fmt.Errorf("siglang: payload is not JSON: %w", err)
+	}
+	return v, nil
+}
+
 func matchJSONValue(s Sig, v any, st *ByteStats) bool {
 	switch sv := s.(type) {
 	case nil:
-		st.None += jsonSize(v)
+		st.None += JSONSize(v)
 		return true
 	case *Obj:
+		if sv == nil {
+			sv = &Obj{} // typed-nil signature: no keys known
+		}
 		m, isMap := v.(map[string]any)
 		if !isMap {
-			st.None += jsonSize(v)
+			st.None += JSONSize(v)
 			return false
 		}
 		ok := true
@@ -183,14 +212,14 @@ func matchJSONValue(s Sig, v any, st *ByteStats) bool {
 					ok = false
 				}
 			} else {
-				st.None += len(k) + 3 + jsonSize(val)
+				st.None += len(k) + 3 + JSONSize(val)
 			}
 		}
 		return ok
 	case *Arr:
 		arr, isArr := v.([]any)
 		if !isArr {
-			st.None += jsonSize(v)
+			st.None += JSONSize(v)
 			return false
 		}
 		var item Sig
@@ -216,16 +245,16 @@ func matchJSONValue(s Sig, v any, st *ByteStats) bool {
 				return true
 			}
 		}
-		st.None += jsonSize(v)
+		st.None += JSONSize(v)
 		return false
 	case *Lit:
-		st.Value += jsonSize(v)
-		return literalMatches(sv, v)
+		st.Value += JSONSize(v)
+		return LiteralMatches(sv, v)
 	case *Unknown:
-		st.Value += jsonSize(v)
+		st.Value += JSONSize(v)
 		return true
 	default: // Concat/Rep describing a string-typed leaf
-		st.Value += jsonSize(v)
+		st.Value += JSONSize(v)
 		str, isStr := v.(string)
 		if !isStr {
 			return true
@@ -246,13 +275,17 @@ func containsKey(o *Obj, k string) bool {
 
 func matchLeafOrRecurse(sigVal Sig, val any, st *ByteStats) bool {
 	if sigVal == nil {
-		st.Value += jsonSize(val)
+		st.Value += JSONSize(val)
 		return true
 	}
 	return matchJSONValue(sigVal, val, st)
 }
 
-func literalMatches(l *Lit, v any) bool {
+// LiteralMatches reports whether a decoded JSON leaf equals a literal
+// signature term: strings compare directly, numbers and booleans through
+// their canonical %v rendering. Shared by the interpretive and compiled
+// matchers so verdicts cannot drift.
+func LiteralMatches(l *Lit, v any) bool {
 	switch tv := v.(type) {
 	case string:
 		return tv == l.Val
@@ -265,11 +298,114 @@ func literalMatches(l *Lit, v any) bool {
 	}
 }
 
-// jsonSize returns the serialized size of a decoded JSON value.
-func jsonSize(v any) int {
-	b, err := json.Marshal(v)
-	if err != nil {
+// JSONSize returns the serialized size of a decoded JSON value — the byte
+// count the Table 2 accounting charges for a subtree. Exported so compiled
+// matchers account identically.
+func JSONSize(v any) int {
+	switch t := v.(type) {
+	case nil:
+		return len("null")
+	case bool:
+		if t {
+			return len("true")
+		}
+		return len("false")
+	case string:
+		return quotedJSONLen(t)
+	case float64:
+		return jsonFloatLen(t)
+	case map[string]any:
+		if t == nil {
+			return len("null")
+		}
+		// '{' plus, per pair, its bytes and a ',' (the last pair's comma
+		// slot is the closing '}'); key order never affects the length.
+		n := 1 + len(t)
+		if len(t) == 0 {
+			n = 2
+		}
+		for k, e := range t {
+			n += quotedJSONLen(k) + 1 + JSONSize(e)
+		}
+		return n
+	case []any:
+		if t == nil {
+			return len("null")
+		}
+		n := 1 + len(t)
+		if len(t) == 0 {
+			n = 2
+		}
+		for _, e := range t {
+			n += JSONSize(e)
+		}
+		return n
+	default:
+		// Not a shape DecodeJSONPayload produces; defer to the encoder.
+		b, err := json.Marshal(v)
+		if err != nil {
+			return 0
+		}
+		return len(b)
+	}
+}
+
+// quotedJSONLen is the marshalled length of a string, replicating
+// encoding/json's appendString with its default HTML escaping: short
+// escapes for \", \\, \b, \f, \n, \r, \t; \u00XX for other control bytes
+// and for <, >, &; the six-byte \ufffd escape for invalid UTF-8 bytes;
+// \u2028 and \u2029 escaped; every other rune passes through at its
+// encoded width.
+func quotedJSONLen(s string) int {
+	n := 2
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				n++
+			} else {
+				switch b {
+				case '"', '\\', '\b', '\f', '\n', '\r', '\t':
+					n += 2
+				default:
+					n += 6
+				}
+			}
+			i++
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		switch {
+		case c == utf8.RuneError && size == 1:
+			n += len(`\ufffd`) // the six-byte escape sequence
+		case c == '\u2028' || c == '\u2029':
+			n += len(`\u2028`)
+		default:
+			n += size
+		}
+		i += size
+	}
+	return n
+}
+
+// jsonFloatLen is the marshalled length of a float64, replicating
+// encoding/json's floatEncoder: %f inside [1e-6, 1e21), %e outside with
+// the single-zero exponent trimmed ("e-09" to "e-9"); non-finite values
+// fail to marshal and keep their historical size of zero.
+func jsonFloatLen(f float64) int {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
 		return 0
+	}
+	var buf [32]byte
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b := strconv.AppendFloat(buf[:0], f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b = b[:n-1]
+		}
 	}
 	return len(b)
 }
@@ -278,7 +414,7 @@ func jsonSize(v any) int {
 // attribute named by the signature must occur in the payload. Byte
 // accounting mirrors MatchJSON at element granularity.
 func MatchXML(s *XML, payload []byte) (bool, ByteStats, error) {
-	root, err := parseXML(payload)
+	root, err := ParseXMLPayload(payload)
 	if err != nil {
 		return false, ByteStats{}, err
 	}
@@ -291,17 +427,24 @@ func MatchXML(s *XML, payload []byte) (bool, ByteStats, error) {
 	return ok, st, nil
 }
 
-type xmlNode struct {
-	tag      string
-	attrs    map[string]string
-	children []*xmlNode
-	text     string
+// XMLNode is the decoded form of an XML payload: one node per element,
+// attributes flattened to a map, character data concatenated. Exported so
+// compiled matchers (internal/sigvm) walk the same decoded tree the
+// interpretive matcher does.
+type XMLNode struct {
+	Tag      string
+	Attrs    map[string]string
+	Children []*XMLNode
+	Text     string
 }
 
-func parseXML(data []byte) (*xmlNode, error) {
+// ParseXMLPayload decodes an XML payload into an XMLNode tree; both
+// matcher backends decode through it so error behavior and tree shape are
+// identical.
+func ParseXMLPayload(data []byte) (*XMLNode, error) {
 	dec := xml.NewDecoder(strings.NewReader(string(data)))
-	var stack []*xmlNode
-	var root *xmlNode
+	var stack []*XMLNode
+	var root *XMLNode
 	for {
 		tok, err := dec.Token()
 		if err != nil {
@@ -309,13 +452,13 @@ func parseXML(data []byte) (*xmlNode, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
-			n := &xmlNode{tag: t.Name.Local, attrs: map[string]string{}}
+			n := &XMLNode{Tag: t.Name.Local, Attrs: map[string]string{}}
 			for _, a := range t.Attr {
-				n.attrs[a.Name.Local] = a.Value
+				n.Attrs[a.Name.Local] = a.Value
 			}
 			if len(stack) > 0 {
 				parent := stack[len(stack)-1]
-				parent.children = append(parent.children, n)
+				parent.Children = append(parent.Children, n)
 			} else {
 				root = n
 			}
@@ -326,7 +469,7 @@ func parseXML(data []byte) (*xmlNode, error) {
 			}
 		case xml.CharData:
 			if len(stack) > 0 {
-				stack[len(stack)-1].text += string(t)
+				stack[len(stack)-1].Text += string(t)
 			}
 		}
 	}
@@ -336,7 +479,7 @@ func parseXML(data []byte) (*xmlNode, error) {
 	return root, nil
 }
 
-func matchElem(sig *Elem, node *xmlNode, st *ByteStats) bool {
+func matchElem(sig *Elem, node *XMLNode, st *ByteStats) bool {
 	if sig == nil || node == nil {
 		return sig == nil
 	}
@@ -356,28 +499,28 @@ func matchElem(sig *Elem, node *xmlNode, st *ByteStats) bool {
 		}
 		return ok
 	}
-	if sig.Tag != node.tag {
+	if sig.Tag != node.Tag {
 		return false
 	}
-	st.Key += len(node.tag)*2 + 5 // open+close tags
+	st.Key += len(node.Tag)*2 + 5 // open+close tags
 	ok := true
 	for _, a := range sig.Attrs {
-		if v, present := node.attrs[a.Key]; present {
+		if v, present := node.Attrs[a.Key]; present {
 			st.Key += len(a.Key) + 3
 			st.Value += len(v)
 		} else {
 			ok = false
 		}
 	}
-	for k, v := range node.attrs {
+	for k, v := range node.Attrs {
 		if !elemHasAttr(sig, k) {
 			st.None += len(k) + 3 + len(v)
 		}
 	}
 	for _, sc := range sig.Children {
 		found := false
-		for _, nc := range node.children {
-			if nc.tag == sc.Tag {
+		for _, nc := range node.Children {
+			if nc.Tag == sc.Tag {
 				if matchElem(sc, nc, st) {
 					found = true
 				}
@@ -388,24 +531,24 @@ func matchElem(sig *Elem, node *xmlNode, st *ByteStats) bool {
 			ok = false
 		}
 	}
-	for _, nc := range node.children {
-		if !elemHasChild(sig, nc.tag) {
-			st.None += xmlSize(nc)
+	for _, nc := range node.Children {
+		if !elemHasChild(sig, nc.Tag) {
+			st.None += XMLNodeSize(nc)
 		}
 	}
 	if sig.Text != nil {
-		st.Value += len(strings.TrimSpace(node.text))
+		st.Value += len(strings.TrimSpace(node.Text))
 	} else {
-		st.None += len(strings.TrimSpace(node.text))
+		st.None += len(strings.TrimSpace(node.Text))
 	}
 	return ok
 }
 
-func findNode(n *xmlNode, tag string) *xmlNode {
-	if n.tag == tag {
+func findNode(n *XMLNode, tag string) *XMLNode {
+	if n.Tag == tag {
 		return n
 	}
-	for _, c := range n.children {
+	for _, c := range n.Children {
 		if f := findNode(c, tag); f != nil {
 			return f
 		}
@@ -431,13 +574,25 @@ func elemHasChild(e *Elem, tag string) bool {
 	return false
 }
 
-func xmlSize(n *xmlNode) int {
-	size := len(n.tag)*2 + 5 + len(strings.TrimSpace(n.text))
-	for k, v := range n.attrs {
+// XMLNodeSize returns the byte count the Table 2 accounting charges for an
+// undescribed XML subtree. Exported so compiled matchers account
+// identically.
+func XMLNodeSize(n *XMLNode) int {
+	size := len(n.Tag)*2 + 5 + len(strings.TrimSpace(n.Text))
+	for k, v := range n.Attrs {
 		size += len(k) + 3 + len(v)
 	}
-	for _, c := range n.children {
-		size += xmlSize(c)
+	for _, c := range n.Children {
+		size += XMLNodeSize(c)
 	}
 	return size
+}
+
+// QueryShapedBody reports whether a text body should be matched as a
+// query string ("k=v&..." accounting) rather than as free text. Both the
+// interpretive matcher (trace.matchTextOrQuery) and the compiled matcher
+// (internal/sigvm) dispatch through this predicate so text-body verdicts
+// cannot drift.
+func QueryShapedBody(body string) bool {
+	return strings.Contains(body, "=") && !strings.HasPrefix(strings.TrimSpace(body), "{")
 }

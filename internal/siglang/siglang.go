@@ -600,3 +600,76 @@ func writeRegex(s Sig, b *strings.Builder) {
 		b.WriteString(".*")
 	}
 }
+
+// Clone returns a structurally identical deep copy of s, sharing no mutable
+// state with the original. Compiled matchers (internal/sigvm) clone
+// signature subtrees before confluence merging so that compilation never
+// mutates the report's trees (Merge appends to Obj pair slices in place).
+// Clone copies the tree directly rather than round-tripping through
+// Parse(Canon(s)), which would not be faithful (e.g. a nil Obj value
+// renders as "?any" and parses back as *Unknown).
+func Clone(s Sig) Sig {
+	switch v := s.(type) {
+	case nil:
+		return nil
+	case *Lit:
+		c := *v
+		return &c
+	case *Unknown:
+		c := *v
+		return &c
+	case *Concat:
+		c := &Concat{Parts: make([]Sig, len(v.Parts))}
+		for i, p := range v.Parts {
+			c.Parts[i] = Clone(p)
+		}
+		return c
+	case *Rep:
+		return &Rep{Body: Clone(v.Body)}
+	case *Or:
+		c := &Or{Alts: make([]Sig, len(v.Alts))}
+		for i, a := range v.Alts {
+			c.Alts[i] = Clone(a)
+		}
+		return c
+	case *Obj:
+		c := &Obj{Pairs: make([]KV, len(v.Pairs))}
+		for i, kv := range v.Pairs {
+			c.Pairs[i] = KV{Key: kv.Key, Dyn: kv.Dyn, Val: Clone(kv.Val)}
+		}
+		return c
+	case *Arr:
+		c := &Arr{Elems: make([]Sig, len(v.Elems)), Open: v.Open}
+		for i, e := range v.Elems {
+			c.Elems[i] = Clone(e)
+		}
+		return c
+	case *JSON:
+		return &JSON{Root: Clone(v.Root)}
+	case *XML:
+		return &XML{Root: CloneElem(v.Root)}
+	default:
+		return s
+	}
+}
+
+// CloneElem deep-copies an XML element tree (nil-safe).
+func CloneElem(e *Elem) *Elem {
+	if e == nil {
+		return nil
+	}
+	c := &Elem{Tag: e.Tag, Text: Clone(e.Text)}
+	if len(e.Attrs) > 0 {
+		c.Attrs = make([]KV, len(e.Attrs))
+		for i, a := range e.Attrs {
+			c.Attrs[i] = KV{Key: a.Key, Dyn: a.Dyn, Val: Clone(a.Val)}
+		}
+	}
+	if len(e.Children) > 0 {
+		c.Children = make([]*Elem, len(e.Children))
+		for i, ch := range e.Children {
+			c.Children[i] = CloneElem(ch)
+		}
+	}
+	return c
+}

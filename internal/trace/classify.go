@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"runtime"
+	"sync"
+
+	"extractocol/internal/core"
+	"extractocol/internal/sigvm"
+)
+
+// ClassifyOptions configures Classify: backend selection (as in
+// MatchOptions) plus the worker fan-out.
+type ClassifyOptions struct {
+	// VM matches with the compiled sigvm backend; false is the
+	// interpretive oracle.
+	VM bool
+	// Bundle optionally reuses a compiled bundle (VM only); nil compiles
+	// one from the report.
+	Bundle *sigvm.Bundle
+	// Workers is the matcher fan-out; 0 or 1 runs serially, <0 uses
+	// GOMAXPROCS. The result is byte-identical at any width: entries are
+	// split into contiguous chunks and partial results merge in chunk
+	// order.
+	Workers int
+}
+
+// SigHits is one signature's classification tally.
+type SigHits struct {
+	TxID   int    `json:"tx_id"`
+	Method string `json:"method"`
+	Hits   int    `json:"hits"`
+}
+
+// ClassifyResult is MatchReport's aggregate plus the per-entry and
+// per-signature views a classifier needs: which transaction each entry
+// resolved to, and how often each signature fired.
+type ClassifyResult struct {
+	MatchResult
+	// PerSig tallies hits per signature, in report transaction order
+	// (every transaction appears, hit or not).
+	PerSig []SigHits
+	// Verdicts holds, for every input entry in order, the transaction ID
+	// of its best-matching signature; 0 when the entry was skipped
+	// (status >= 400) or matched no signature.
+	Verdicts []int
+}
+
+// Classify streams entries through the selected matcher backend and
+// returns the full classification: MatchReport's aggregate, per-entry
+// verdicts, and per-signature hit tallies. With Workers > 1 the entries
+// are fanned out over contiguous chunks — the compiled bundle is shared
+// read-only, each worker owns a Matcher — and the merged result is
+// byte-identical to a serial run.
+func Classify(rep *core.Report, entries []Entry, opt ClassifyOptions) *ClassifyResult {
+	workers := opt.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 0 {
+		workers = 1
+	}
+	if workers > len(entries) {
+		workers = max(1, len(entries))
+	}
+
+	// One bundle compilation (or regex compilation, for the oracle) shared
+	// by every worker; only Matcher scratch is per-worker.
+	var bundle *sigvm.Bundle
+	var interp *interpBackend
+	if opt.VM {
+		bundle = opt.Bundle
+		if bundle == nil {
+			bundle = sigvm.Compile(rep)
+		}
+	} else {
+		interp = newInterpBackend(rep)
+	}
+	backend := func() sigBackend {
+		if opt.VM {
+			return &vmBackend{b: bundle, m: bundle.NewMatcher()}
+		}
+		// The interpretive backend is stateless per entry (compiled
+		// regexps are safe for concurrent use), so workers share it.
+		return interp
+	}
+
+	res := &ClassifyResult{Verdicts: make([]int, len(entries))}
+	sigMatched := map[int]bool{}
+	sigFailed := map[int]bool{}
+	hits := map[int]int{}
+
+	if workers == 1 {
+		matchChunk(backend(), entries, &res.MatchResult, sigMatched, sigFailed, hits, res.Verdicts)
+	} else {
+		type partial struct {
+			res     MatchResult
+			matched map[int]bool
+			failed  map[int]bool
+			hits    map[int]int
+		}
+		parts := make([]partial, workers)
+		chunk := (len(entries) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := min(lo+chunk, len(entries))
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				p := &parts[w]
+				p.matched = map[int]bool{}
+				p.failed = map[int]bool{}
+				p.hits = map[int]int{}
+				matchChunk(backend(), entries[lo:hi], &p.res, p.matched, p.failed, p.hits, res.Verdicts[lo:hi])
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		// Merge in chunk order: counters and byte stats are commutative
+		// sums, Unmatched concatenates back into entry order.
+		for w := range parts {
+			p := &parts[w]
+			res.TraceEntries += p.res.TraceEntries
+			res.MatchedEntries += p.res.MatchedEntries
+			res.Unmatched = append(res.Unmatched, p.res.Unmatched...)
+			res.URIStats.Add(p.res.URIStats)
+			res.ReqStats.Add(p.res.ReqStats)
+			res.RespStats.Add(p.res.RespStats)
+			for id := range p.matched {
+				sigMatched[id] = true
+			}
+			for id := range p.failed {
+				sigFailed[id] = true
+			}
+			for id, n := range p.hits {
+				hits[id] += n
+			}
+		}
+	}
+	finishSigCounts(&res.MatchResult, sigMatched, sigFailed)
+
+	for _, tx := range rep.Transactions {
+		res.PerSig = append(res.PerSig, SigHits{
+			TxID:   tx.ID,
+			Method: tx.Request.Method,
+			Hits:   hits[tx.ID],
+		})
+	}
+	return res
+}

@@ -2,10 +2,10 @@ package trace
 
 import (
 	"regexp"
-	"strings"
 
 	"extractocol/internal/core"
 	"extractocol/internal/siglang"
+	"extractocol/internal/sigvm"
 )
 
 // MatchResult aggregates signature-versus-traffic validation (§5.1
@@ -30,131 +30,252 @@ type MatchResult struct {
 	RespStats siglang.ByteStats
 }
 
-// MatchReport validates an analysis report against a traffic trace.
-func MatchReport(rep *core.Report, entries []Entry) *MatchResult {
-	type compiled struct {
-		tx *core.Transaction
-		re *regexp.Regexp
-	}
-	var sigs []compiled
-	for _, tx := range rep.Transactions {
-		re, err := siglang.Compile(tx.Request.URI)
-		if err != nil {
-			continue
-		}
-		sigs = append(sigs, compiled{tx: tx, re: re})
-	}
+// MatchOptions selects the matcher backend behind MatchReport. The zero
+// value is the interpretive matcher — the equivalence oracle, kept exactly
+// as shipped (the same survival pattern as pairing.AnalyzeOracle and
+// core.Options.LegacySets). VM switches to the compiled matcher
+// (internal/sigvm); the two are held byte-identical by a differential axis
+// in internal/evaluate and by FuzzSigVM.
+type MatchOptions struct {
+	// VM matches with the compiled sigvm backend instead of the
+	// interpretive one.
+	VM bool
+	// Bundle optionally reuses an already-compiled bundle (it must have
+	// been compiled from the same report). Nil compiles one on demand.
+	Bundle *sigvm.Bundle
+}
 
+// sigBackend is what the shared verdict-aggregation loop needs from a
+// matcher: per-signature identity (transaction ID, method, specificity)
+// and the four matching primitives. Both backends implement it, so
+// aggregation — best-match selection, validity bookkeeping, byte-stat
+// accumulation — is equal by construction; the per-signature primitives
+// are held equal by the differential and fuzz gates.
+type sigBackend interface {
+	NumSigs() int
+	TxID(i int) int
+	Method(i int) string
+	SpecLen(i int) int
+	MatchURI(i int, url string) bool
+	URIStats(i int, url string) siglang.ByteStats
+	MatchRequestBody(i int, body string) (bool, siglang.ByteStats)
+	MatchResponseBody(i int, respType, body string) (bool, siglang.ByteStats)
+}
+
+// MatchReport validates an analysis report against a traffic trace with
+// the interpretive matcher.
+func MatchReport(rep *core.Report, entries []Entry) *MatchResult {
+	return MatchReportOpts(rep, entries, MatchOptions{})
+}
+
+// MatchReportOpts validates an analysis report against a traffic trace
+// with the backend selected by opt.
+func MatchReportOpts(rep *core.Report, entries []Entry, opt MatchOptions) *MatchResult {
+	b := newBackend(rep, opt)
 	res := &MatchResult{}
 	sigMatched := map[int]bool{}
 	sigFailed := map[int]bool{}
+	matchChunk(b, entries, res, sigMatched, sigFailed, nil, nil)
+	finishSigCounts(res, sigMatched, sigFailed)
+	return res
+}
 
-	for _, e := range entries {
+func newBackend(rep *core.Report, opt MatchOptions) sigBackend {
+	if opt.VM {
+		bundle := opt.Bundle
+		if bundle == nil {
+			bundle = sigvm.Compile(rep)
+		}
+		return &vmBackend{m: bundle.NewMatcher(), b: bundle}
+	}
+	return newInterpBackend(rep)
+}
+
+// matchChunk runs the shared verdict loop over a slice of entries,
+// accumulating into res and the per-signature maps. When hits/verdicts are
+// non-nil it also counts per-signature hits (keyed by transaction ID) and
+// records each entry's best-match transaction ID (0 = entry skipped or
+// unmatched), for Classify.
+func matchChunk(b sigBackend, entries []Entry, res *MatchResult, sigMatched, sigFailed map[int]bool, hits map[int]int, verdicts []int) {
+	for ei, e := range entries {
 		if e.Status >= 400 {
 			continue
 		}
 		res.TraceEntries++
-		var best *compiled
-		for i := range sigs {
-			s := &sigs[i]
-			if s.tx.Request.Method != e.Method {
+		best := -1
+		for i := 0; i < b.NumSigs(); i++ {
+			if b.Method(i) != e.Method {
 				continue
 			}
-			if !s.re.MatchString(e.URL) {
+			if !b.MatchURI(i, e.URL) {
 				continue
 			}
 			// Prefer the most specific match (longest literal regex).
-			if best == nil || len(s.re.String()) > len(best.re.String()) {
-				best = s
+			if best < 0 || b.SpecLen(i) > b.SpecLen(best) {
+				best = i
 			}
 		}
-		if best == nil {
+		if best < 0 {
 			res.Unmatched = append(res.Unmatched, e.RouteID)
 			continue
 		}
 		res.MatchedEntries++
-		sigMatched[best.tx.ID] = true
+		sigMatched[b.TxID(best)] = true
+		if hits != nil {
+			hits[b.TxID(best)]++
+		}
+		if verdicts != nil {
+			verdicts[ei] = b.TxID(best)
+		}
 		ok := true
 
-		if _, st := siglang.MatchText(best.tx.Request.URI, e.URL); st.Total() > 0 {
+		if st := b.URIStats(best, e.URL); st.Total() > 0 {
 			res.URIStats.Add(st)
 		}
-		if !matchRequestBody(best.tx, e, &res.ReqStats) {
+		if bodyOK, st := b.MatchRequestBody(best, e.ReqBody); !bodyOK {
 			ok = false
+			res.ReqStats.Add(st)
+		} else {
+			res.ReqStats.Add(st)
 		}
-		if !matchResponseBody(best.tx, e, &res.RespStats) {
+		if respOK, st := b.MatchResponseBody(best, e.RespType, e.RespBody); !respOK {
 			ok = false
+			res.RespStats.Add(st)
+		} else {
+			res.RespStats.Add(st)
 		}
 		if !ok {
-			sigFailed[best.tx.ID] = true
+			sigFailed[b.TxID(best)] = true
 		}
 	}
+}
+
+// finishSigCounts derives the signature-level tallies from the per-ID maps.
+func finishSigCounts(res *MatchResult, sigMatched, sigFailed map[int]bool) {
 	res.SigsWithTraffic = len(sigMatched)
 	for id := range sigMatched {
 		if !sigFailed[id] {
 			res.SigsValid++
 		}
 	}
-	return res
 }
 
-func matchRequestBody(tx *core.Transaction, e Entry, agg *siglang.ByteStats) bool {
-	if e.ReqBody == "" {
-		return true
+// interpBackend is the interpretive oracle: per-signature compiled
+// regexps for the URI pre-filter, everything else re-derived per entry by
+// the siglang matchers, exactly as MatchReport always has.
+type interpBackend struct {
+	sigs []interpSig
+}
+
+type interpSig struct {
+	tx *core.Transaction
+	re *regexp.Regexp
+}
+
+func newInterpBackend(rep *core.Report) *interpBackend {
+	b := &interpBackend{}
+	for _, tx := range rep.Transactions {
+		re, err := siglang.Compile(tx.Request.URI)
+		if err != nil {
+			continue
+		}
+		b.sigs = append(b.sigs, interpSig{tx: tx, re: re})
+	}
+	return b
+}
+
+func (b *interpBackend) NumSigs() int        { return len(b.sigs) }
+func (b *interpBackend) TxID(i int) int      { return b.sigs[i].tx.ID }
+func (b *interpBackend) Method(i int) string { return b.sigs[i].tx.Request.Method }
+func (b *interpBackend) SpecLen(i int) int   { return len(b.sigs[i].re.String()) }
+
+func (b *interpBackend) MatchURI(i int, url string) bool {
+	return b.sigs[i].re.MatchString(url)
+}
+
+func (b *interpBackend) URIStats(i int, url string) siglang.ByteStats {
+	_, st := siglang.MatchText(b.sigs[i].tx.Request.URI, url)
+	return st
+}
+
+func (b *interpBackend) MatchRequestBody(i int, body string) (bool, siglang.ByteStats) {
+	tx := b.sigs[i].tx
+	if body == "" {
+		return true, siglang.ByteStats{}
 	}
 	switch tx.Request.BodyKind {
 	case "query":
-		ok, st := siglang.MatchQuery(tx.Request.Body, e.ReqBody)
-		agg.Add(st)
-		return ok
+		return siglang.MatchQuery(tx.Request.Body, body)
 	case "json":
-		ok, st, err := siglang.MatchJSON(tx.Request.Body, []byte(e.ReqBody))
+		ok, st, err := siglang.MatchJSON(tx.Request.Body, []byte(body))
 		if err != nil {
-			return false
+			return false, siglang.ByteStats{}
 		}
-		agg.Add(st)
-		return ok
+		return ok, st
 	case "text":
-		ok, st := matchTextOrQuery(tx.Request.Body, e.ReqBody)
-		agg.Add(st)
-		return ok
+		return matchTextOrQuery(tx.Request.Body, body)
 	default:
 		// Signature has no body model: all bytes unaccounted.
-		agg.Add(siglang.ByteStats{None: len(e.ReqBody)})
-		return true
+		return true, siglang.ByteStats{None: len(body)}
 	}
 }
 
 // matchTextOrQuery matches text bodies; bodies shaped like query strings
 // get key/value accounting.
 func matchTextOrQuery(sig siglang.Sig, body string) (bool, siglang.ByteStats) {
-	if strings.Contains(body, "=") && !strings.HasPrefix(strings.TrimSpace(body), "{") {
+	if siglang.QueryShapedBody(body) {
 		return siglang.MatchQuery(sig, body)
 	}
 	return siglang.MatchText(sig, body)
 }
 
-func matchResponseBody(tx *core.Transaction, e Entry, agg *siglang.ByteStats) bool {
-	if tx.Response == nil || e.RespBody == "" {
-		return true
+func (b *interpBackend) MatchResponseBody(i int, respType, body string) (bool, siglang.ByteStats) {
+	tx := b.sigs[i].tx
+	if tx.Response == nil || body == "" {
+		return true, siglang.ByteStats{}
 	}
 	switch {
-	case tx.Response.BodyKind == "json" && e.RespType == "json":
-		ok, st, err := siglang.MatchJSON(&siglang.JSON{Root: tx.Response.JSON}, []byte(e.RespBody))
+	case tx.Response.BodyKind == "json" && respType == "json":
+		ok, st, err := siglang.MatchJSON(&siglang.JSON{Root: tx.Response.JSON}, []byte(body))
 		if err != nil {
-			return false
+			return false, siglang.ByteStats{}
 		}
-		agg.Add(st)
-		return ok
-	case tx.Response.BodyKind == "xml" && e.RespType == "xml":
-		ok, st, err := siglang.MatchXML(&siglang.XML{Root: tx.Response.XML}, []byte(e.RespBody))
+		return ok, st
+	case tx.Response.BodyKind == "xml" && respType == "xml":
+		ok, st, err := siglang.MatchXML(&siglang.XML{Root: tx.Response.XML}, []byte(body))
 		if err != nil {
-			return false
+			return false, siglang.ByteStats{}
 		}
-		agg.Add(st)
-		return ok
+		return ok, st
 	default:
-		agg.Add(siglang.ByteStats{None: len(e.RespBody)})
-		return true
+		return true, siglang.ByteStats{None: len(body)}
 	}
+}
+
+// vmBackend adapts a compiled bundle + per-worker matcher to the shared
+// loop.
+type vmBackend struct {
+	b *sigvm.Bundle
+	m *sigvm.Matcher
+}
+
+func (v *vmBackend) NumSigs() int        { return v.b.NumSigs() }
+func (v *vmBackend) TxID(i int) int      { return v.b.TxID(i) }
+func (v *vmBackend) Method(i int) string { return v.b.Method(i) }
+func (v *vmBackend) SpecLen(i int) int   { return v.b.SpecLen(i) }
+
+func (v *vmBackend) MatchURI(i int, url string) bool {
+	return v.m.MatchURI(i, url)
+}
+
+func (v *vmBackend) URIStats(i int, url string) siglang.ByteStats {
+	return v.m.URIStats(i, url)
+}
+
+func (v *vmBackend) MatchRequestBody(i int, body string) (bool, siglang.ByteStats) {
+	return v.m.MatchRequestBody(i, body)
+}
+
+func (v *vmBackend) MatchResponseBody(i int, respType, body string) (bool, siglang.ByteStats) {
+	return v.m.MatchResponseBody(i, respType, body)
 }

@@ -1,0 +1,127 @@
+// Labeled-traffic generator tests: RandEntries must be deterministic per
+// seed, its labels must be exact ground truth (computed from the regex
+// specification, not from a matcher), and both matcher backends — at any
+// worker count — must reproduce those labels verbatim.
+package trace
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"extractocol/internal/core"
+	"extractocol/internal/corpus"
+	"extractocol/internal/fuzz"
+	"extractocol/internal/sigvm"
+)
+
+// genReports analyzes a few seeded generated apps.
+func genReports(t testing.TB, seed uint64, n int) []*core.Report {
+	t.Helper()
+	var reps []*core.Report
+	for _, app := range corpus.Rand(seed, n) {
+		rep, err := core.Analyze(app.Prog, core.NewOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", app.Spec.Name, err)
+		}
+		reps = append(reps, rep)
+	}
+	return reps
+}
+
+func TestRandEntriesDeterministic(t *testing.T) {
+	rep := genReports(t, 11, 1)[0]
+	a := RandEntries(42, rep, 100)
+	b := RandEntries(42, rep, 100)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different labeled traffic")
+	}
+	if len(a) != 100 {
+		t.Fatalf("generated %d entries, want 100", len(a))
+	}
+	c := RandEntries(43, rep, 100)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traffic")
+	}
+}
+
+func TestRandEntriesMixesVerdicts(t *testing.T) {
+	rep := genReports(t, 12, 1)[0]
+	if len(rep.Transactions) == 0 {
+		t.Skip("generated app yielded no transactions")
+	}
+	labeled := RandEntries(7, rep, 300)
+	matching, misses := 0, 0
+	for _, le := range labeled {
+		if le.WantID != 0 {
+			matching++
+		} else {
+			misses++
+		}
+	}
+	if matching == 0 || misses == 0 {
+		t.Fatalf("degenerate corpus: %d matching, %d near-miss", matching, misses)
+	}
+}
+
+// TestClassifyReproducesLabels is the exact-verdict gate: every entry's
+// best-match transaction must equal the label, for the interpretive
+// backend, the VM backend, and the VM backend under parallel fan-out —
+// and all three full results must be byte-identical.
+func TestClassifyReproducesLabels(t *testing.T) {
+	for i, rep := range genReports(t, 21, 4) {
+		labeled := RandEntries(uint64(100+i), rep, 250)
+		entries := Entries(labeled)
+		bundle := sigvm.Compile(rep)
+		interp := Classify(rep, entries, ClassifyOptions{})
+		vm := Classify(rep, entries, ClassifyOptions{VM: true, Bundle: bundle})
+		vmPar := Classify(rep, entries, ClassifyOptions{VM: true, Bundle: bundle, Workers: 4})
+
+		for j, le := range labeled {
+			if interp.Verdicts[j] != le.WantID {
+				t.Fatalf("app %d entry %d (%s %s): interp verdict %d, label %d",
+					i, j, le.Method, le.URL, interp.Verdicts[j], le.WantID)
+			}
+		}
+		ji := mustJSON(t, interp)
+		jv := mustJSON(t, vm)
+		jp := mustJSON(t, vmPar)
+		if ji != jv {
+			t.Fatalf("app %d: interp and VM classifications differ:\n%s\n%s", i, ji, jv)
+		}
+		if jv != jp {
+			t.Fatalf("app %d: serial and parallel VM classifications differ:\n%s\n%s", i, jv, jp)
+		}
+	}
+}
+
+// TestMatchReportVMEquivalence drives both backends over real interpreter
+// traffic (not generated entries) from seeded apps and demands identical
+// MatchResults.
+func TestMatchReportVMEquivalence(t *testing.T) {
+	for _, app := range corpus.Rand(31, 4) {
+		rep, err := core.Analyze(app.Prog, core.NewOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", app.Spec.Name, err)
+		}
+		n := app.NewNetwork()
+		if _, err := fuzz.Run(app.Prog, n, fuzz.Manual); err != nil {
+			t.Fatalf("%s: %v", app.Spec.Name, err)
+		}
+		entries := FromNetwork(n.Trace())
+		want := MatchReport(rep, entries)
+		got := MatchReportOpts(rep, entries, MatchOptions{VM: true})
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: backends disagree:\ninterp %+v\nvm     %+v", app.Spec.Name, want, got)
+		}
+	}
+}
+
+func mustJSON(t testing.TB, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
