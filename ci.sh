@@ -66,6 +66,48 @@ echo "== differential harness under -race"
 # mismatch.
 go run -race ./cmd/evaluate -gen 1729:100 -deadline 5m
 
+echo "== ops plane smoke under -race"
+# Live-telemetry gate: a differential run serves /metrics and /healthz
+# while it works. The scrape happens mid-run — it must see the per-phase
+# latency histogram series and the cache/budget counters — and the run
+# must still shut down cleanly and finish byte-identical.
+go run -race ./cmd/evaluate -gen 1729:20 -ops 127.0.0.1:0 \
+    > "$smoke/gen.txt" 2> "$smoke/gen.err" &
+genpid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#^ops: serving on ##p' "$smoke/gen.err" | head -n 1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "ops listener never announced its address"
+    cat "$smoke/gen.err"
+    exit 1
+fi
+scraped=0
+for _ in $(seq 1 400); do
+    if curl -sf "$addr/metrics" > "$smoke/metrics.txt" 2>/dev/null \
+        && grep -q 'extractocol_phase_latency_seconds_bucket' "$smoke/metrics.txt"; then
+        scraped=1
+        break
+    fi
+    kill -0 "$genpid" 2>/dev/null || break
+    sleep 0.05
+done
+if [ "$scraped" != 1 ]; then
+    echo "never scraped phase latency histograms from $addr"
+    cat "$smoke/metrics.txt" 2>/dev/null || true
+    exit 1
+fi
+grep -q 'extractocol_phase_latency_seconds_bucket{phase="slice"' "$smoke/metrics.txt"
+grep -q 'extractocol_phase_seconds_total' "$smoke/metrics.txt"
+grep -q 'extractocol_cache_report_hits_total' "$smoke/metrics.txt"
+grep -q 'extractocol_budget_exceeded_total' "$smoke/metrics.txt"
+curl -sf "$addr/healthz" | grep -q '"status":"ok"'
+wait "$genpid"
+grep -q 'OK: all axes byte-identical' "$smoke/gen.txt"
+
 echo "== classifier smoke under -race"
 # End-to-end gate on the classifier binary: both matcher backends over
 # seeded labeled traffic must produce identical classifications, and the

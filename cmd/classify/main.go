@@ -25,6 +25,14 @@
 //	-check       run both backends, require byte-identical classifications,
 //	             and report both throughputs with the speedup
 //	-repeat n    stream the traffic n times (throughput measurement)
+//	-profile     append the classification profile as JSON: per-entry
+//	             latency histogram (p50/p90/p99 quantiles) plus the
+//	             analysis phase breakdown of the signature derivation
+//	-ops addr    serve the live ops plane on addr (e.g. :9090 or
+//	             127.0.0.1:0): /metrics in Prometheus text format,
+//	             /healthz, and /debug/pprof/*; the bound address is
+//	             printed to stderr
+//	-events file append a structured JSONL event stream to this file
 //	-list        list corpus applications and exit
 package main
 
@@ -42,19 +50,25 @@ import (
 	"extractocol/internal/corpus"
 	"extractocol/internal/dex"
 	"extractocol/internal/fuzz"
+	"extractocol/internal/obs"
+	"extractocol/internal/ops"
 	"extractocol/internal/siglang"
 	"extractocol/internal/sigvm"
 	"extractocol/internal/trace"
 )
 
 func main() {
-	appName := flag.String("app", "", "corpus application name (see -list)")
-	gen := flag.String("gen", "", "generate labeled traffic, as seed:N (e.g. 7:5000)")
-	traceFile := flag.String("trace", "", "classify a recorded trace file (JSON lines)")
-	workers := flag.Int("workers", 0, "matcher fan-out (0 = one per CPU, 1 = serial)")
-	interp := flag.Bool("interp", false, "use the interpretive oracle instead of the compiled VM")
-	check := flag.Bool("check", false, "run both backends and require identical classifications")
-	repeat := flag.Int("repeat", 1, "stream the traffic this many times")
+	var cfg config
+	flag.StringVar(&cfg.appName, "app", "", "corpus application name (see -list)")
+	flag.StringVar(&cfg.gen, "gen", "", "generate labeled traffic, as seed:N (e.g. 7:5000)")
+	flag.StringVar(&cfg.traceFile, "trace", "", "classify a recorded trace file (JSON lines)")
+	flag.IntVar(&cfg.workers, "workers", 0, "matcher fan-out (0 = one per CPU, 1 = serial)")
+	flag.BoolVar(&cfg.interp, "interp", false, "use the interpretive oracle instead of the compiled VM")
+	flag.BoolVar(&cfg.check, "check", false, "run both backends and require identical classifications")
+	flag.IntVar(&cfg.repeat, "repeat", 1, "stream the traffic this many times")
+	flag.BoolVar(&cfg.profile, "profile", false, "append the classification profile as JSON")
+	flag.StringVar(&cfg.opsAddr, "ops", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+	flag.StringVar(&cfg.eventsFile, "events", "", "append the structured JSONL event stream to this file (empty = off)")
 	list := flag.Bool("list", false, "list corpus applications and exit")
 	flag.Parse()
 
@@ -64,24 +78,93 @@ func main() {
 		}
 		return
 	}
-	if err := run(*appName, flag.Arg(0), *gen, *traceFile, *workers, *interp, *check, *repeat); err != nil {
+	cfg.apkbPath = flag.Arg(0)
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "classify:", err)
 		os.Exit(1)
 	}
 }
 
-func run(appName, apkbPath, gen, traceFile string, workers int, useInterp, check bool, repeat int) error {
-	rep, app, err := loadReport(appName, apkbPath)
+// config carries every flag into run; tests construct it directly.
+type config struct {
+	appName    string
+	apkbPath   string
+	gen        string
+	traceFile  string
+	workers    int
+	interp     bool
+	check      bool
+	repeat     int
+	profile    bool
+	opsAddr    string
+	eventsFile string
+}
+
+// telemetry is the live ops plane behind -ops/-events: a registry for
+// exposition, the HTTP listener, and the structured event log. The zero
+// value (no flags) is fully off and costs nothing on the matching path.
+type telemetry struct {
+	reg *obs.Registry
+	srv *ops.Server
+	ev  *obs.EventLog
+}
+
+// openTelemetry starts whatever the -ops/-events flags ask for. The bound
+// ops address is announced on stderr (stdout carries the report) so
+// scripts can discover a :0 listener.
+func openTelemetry(opsAddr, eventsFile string) (*telemetry, error) {
+	t := &telemetry{}
+	if opsAddr != "" {
+		t.reg = obs.NewRegistry()
+		srv, err := ops.Serve(opsAddr, t.reg)
+		if err != nil {
+			return nil, fmt.Errorf("ops: %w", err)
+		}
+		t.srv = srv
+		fmt.Fprintf(os.Stderr, "ops: serving on %s\n", srv.URL())
+	}
+	if eventsFile != "" {
+		f, err := os.Create(eventsFile)
+		if err != nil {
+			t.srv.Close()
+			return nil, fmt.Errorf("events: %w", err)
+		}
+		t.ev = obs.NewEventLog(f)
+	}
+	return t, nil
+}
+
+// close shuts the listener down and flushes the event log; the first
+// error wins.
+func (t *telemetry) close() error {
+	err := t.srv.Close()
+	if e := t.ev.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+func run(cfg config) (err error) {
+	tel, err := openTelemetry(cfg.opsAddr, cfg.eventsFile)
 	if err != nil {
 		return err
 	}
-	entries, labeled, err := loadTraffic(rep, app, gen, traceFile)
+	defer func() {
+		if e := tel.close(); err == nil {
+			err = e
+		}
+	}()
+	rep, app, err := loadReport(cfg, tel)
 	if err != nil {
 		return err
 	}
-	if repeat > 1 {
-		tiled := make([]trace.Entry, 0, len(entries)*repeat)
-		for i := 0; i < repeat; i++ {
+	entries, labeled, err := loadTraffic(rep, app, cfg.gen, cfg.traceFile)
+	if err != nil {
+		return err
+	}
+	if cfg.repeat > 1 {
+		tiled := make([]trace.Entry, 0, len(entries)*cfg.repeat)
+		for i := 0; i < cfg.repeat; i++ {
 			tiled = append(tiled, entries...)
 		}
 		entries = tiled
@@ -89,13 +172,25 @@ func run(appName, apkbPath, gen, traceFile string, workers int, useInterp, check
 	if len(entries) == 0 {
 		return fmt.Errorf("no traffic to classify")
 	}
+	workers := cfg.workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	// The matcher-side collector records per-entry classification latencies
+	// (obs.HistClassifyEntry); it feeds both -profile and a live -ops
+	// scrape, and is nil — zero clock reads — when neither is on.
+	var col *obs.Collector
+	if cfg.profile || tel.reg != nil {
+		col = obs.NewCollector()
+		col.SetEvents(tel.ev, rep.Package)
+		tel.reg.Attach(col)
+		defer tel.reg.Detach(col)
+	}
+
 	bundle := sigvm.Compile(rep)
 	classify := func(vm bool) (*trace.ClassifyResult, time.Duration) {
-		opt := trace.ClassifyOptions{VM: vm, Workers: workers}
+		opt := trace.ClassifyOptions{VM: vm, Workers: workers, Col: col}
 		if vm {
 			opt.Bundle = bundle
 		}
@@ -106,7 +201,7 @@ func run(appName, apkbPath, gen, traceFile string, workers int, useInterp, check
 
 	var res *trace.ClassifyResult
 	var elapsed time.Duration
-	if check {
+	if cfg.check {
 		vmRes, vmD := classify(true)
 		inRes, inD := classify(false)
 		jv, err := json.Marshal(vmRes)
@@ -127,21 +222,44 @@ func run(appName, apkbPath, gen, traceFile string, workers int, useInterp, check
 			float64(inD)/float64(vmD))
 		res, elapsed = vmRes, vmD
 	} else {
-		res, elapsed = classify(!useInterp)
+		res, elapsed = classify(!cfg.interp)
 	}
 
-	printReport(rep, res, labeled, len(entries), elapsed, workers, useInterp && !check)
+	printReport(rep, res, labeled, len(entries), elapsed, workers, cfg.interp && !cfg.check)
+	if cfg.profile {
+		if err := printProfile(rep, col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printProfile appends the classification profile: the matcher-side
+// histogram snapshot (per-entry latency quantiles) plus the analysis-phase
+// breakdown of the signature derivation.
+func printProfile(rep *core.Report, col *obs.Collector) error {
+	doc := struct {
+		Package  string       `json:"package"`
+		Classify *obs.Profile `json:"classify"`
+		Analysis *obs.Profile `json:"analysis,omitempty"`
+	}{Package: rep.Package, Classify: col.Snapshot(), Analysis: rep.Profile}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
 	return nil
 }
 
 // loadReport resolves the analysis target: a corpus app by name, or an
-// .apkb container by path.
-func loadReport(appName, apkbPath string) (*core.Report, *corpus.App, error) {
+// .apkb container by path. The signature-derivation analysis carries the
+// run's telemetry hooks, so its phases land on a live -ops endpoint too.
+func loadReport(cfg config, tel *telemetry) (*core.Report, *corpus.App, error) {
 	switch {
-	case appName != "" && apkbPath != "":
+	case cfg.appName != "" && cfg.apkbPath != "":
 		return nil, nil, fmt.Errorf("give either -app or an .apkb path, not both")
-	case appName != "":
-		app, err := corpus.ByName(appName)
+	case cfg.appName != "":
+		app, err := corpus.ByName(cfg.appName)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -149,10 +267,12 @@ func loadReport(appName, apkbPath string) (*core.Report, *corpus.App, error) {
 		if app.Spec.OpenSource {
 			opts.MaxAsyncHops = 0
 		}
+		opts.Obs = tel.reg
+		opts.Events = tel.ev
 		rep, err := core.Analyze(app.Prog, opts)
 		return rep, app, err
-	case apkbPath != "":
-		data, err := os.ReadFile(apkbPath)
+	case cfg.apkbPath != "":
+		data, err := os.ReadFile(cfg.apkbPath)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -160,7 +280,10 @@ func loadReport(appName, apkbPath string) (*core.Report, *corpus.App, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		rep, err := core.Analyze(prog, core.NewOptions())
+		opts := core.NewOptions()
+		opts.Obs = tel.reg
+		opts.Events = tel.ev
+		rep, err := core.Analyze(prog, opts)
 		return rep, nil, err
 	default:
 		return nil, nil, fmt.Errorf("no application: give -app name or an .apkb path")

@@ -37,6 +37,19 @@
 //	                             budgeted/unbudgeted, oracle/indexed
 //	                             pairing, interpretive/compiled signature
 //	                             matcher); exits nonzero on any mismatch
+//	evaluate -ops addr           serve the live ops plane on addr (e.g.
+//	                             :9090 or 127.0.0.1:0): /metrics in
+//	                             Prometheus text format, /healthz, and
+//	                             /debug/pprof/*; the bound address is
+//	                             printed to stderr; composes with every
+//	                             mode including -gen, so a long
+//	                             differential run can be watched live
+//	evaluate -events file        append a structured JSONL event stream
+//	                             (run, phase, cache and diagnostic events
+//	                             with monotonic sequence numbers) to file
+//	evaluate -flight             arm the crash flight recorder: panic and
+//	                             deadline diagnostics carry each worker's
+//	                             most recent spans
 package main
 
 import (
@@ -50,36 +63,108 @@ import (
 
 	"extractocol/internal/evaluate"
 	"extractocol/internal/obs"
+	"extractocol/internal/ops"
 )
 
 func main() {
-	only := flag.String("only", "", "single artifact to produce")
-	profile := flag.Bool("profile", false, "emit per-phase observability JSON")
-	serial := flag.Bool("serial", false, "disable per-app parallelism")
-	deadline := flag.Duration("deadline", 0, "per-app analysis deadline (0 = unlimited)")
-	traceFile := flag.String("trace", "", "write a corpus-wide Chrome trace-event JSON timeline to this file")
-	cacheDir := flag.String("cache", "", "persistent report cache directory (empty = off)")
-	gen := flag.String("gen", "", "run the differential harness over a generated corpus, as seed:N (e.g. 1729:500)")
+	var cfg config
+	flag.StringVar(&cfg.only, "only", "", "single artifact to produce")
+	flag.BoolVar(&cfg.profile, "profile", false, "emit per-phase observability JSON")
+	flag.BoolVar(&cfg.serial, "serial", false, "disable per-app parallelism")
+	flag.DurationVar(&cfg.deadline, "deadline", 0, "per-app analysis deadline (0 = unlimited)")
+	flag.StringVar(&cfg.traceFile, "trace", "", "write a corpus-wide Chrome trace-event JSON timeline to this file")
+	flag.StringVar(&cfg.cacheDir, "cache", "", "persistent report cache directory (empty = off)")
+	flag.StringVar(&cfg.gen, "gen", "", "run the differential harness over a generated corpus, as seed:N (e.g. 1729:500)")
+	flag.StringVar(&cfg.opsAddr, "ops", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+	flag.StringVar(&cfg.eventsFile, "events", "", "append the structured JSONL event stream to this file (empty = off)")
+	flag.BoolVar(&cfg.flight, "flight", false, "arm the crash flight recorder (recent-span dumps in diagnostics)")
 	flag.Parse()
-	if *gen != "" {
-		if err := runDifferential(*gen, *deadline); err != nil {
-			fmt.Fprintln(os.Stderr, "evaluate:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(*only, *profile, *serial, *deadline, *traceFile, *cacheDir); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 }
 
+// config carries every flag into run; tests construct it directly.
+type config struct {
+	only       string
+	profile    bool
+	serial     bool
+	deadline   time.Duration
+	traceFile  string
+	cacheDir   string
+	gen        string
+	opsAddr    string
+	eventsFile string
+	flight     bool
+}
+
+// telemetry is the live ops plane behind -ops/-events: a registry for
+// exposition, the HTTP listener, and the structured event log. The zero
+// value (no flags) is fully off and costs nothing on the analysis path.
+type telemetry struct {
+	reg *obs.Registry
+	srv *ops.Server
+	ev  *obs.EventLog
+}
+
+// openTelemetry starts whatever the -ops/-events flags ask for. The bound
+// ops address is announced on stderr (stdout carries the artifacts) so
+// scripts can discover a :0 listener.
+func openTelemetry(opsAddr, eventsFile string) (*telemetry, error) {
+	t := &telemetry{}
+	if opsAddr != "" {
+		t.reg = obs.NewRegistry()
+		srv, err := ops.Serve(opsAddr, t.reg)
+		if err != nil {
+			return nil, fmt.Errorf("ops: %w", err)
+		}
+		t.srv = srv
+		fmt.Fprintf(os.Stderr, "ops: serving on %s\n", srv.URL())
+	}
+	if eventsFile != "" {
+		f, err := os.Create(eventsFile)
+		if err != nil {
+			t.srv.Close()
+			return nil, fmt.Errorf("events: %w", err)
+		}
+		t.ev = obs.NewEventLog(f)
+	}
+	return t, nil
+}
+
+// close shuts the listener down and flushes the event log; the first
+// error wins.
+func (t *telemetry) close() error {
+	err := t.srv.Close()
+	if e := t.ev.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+func run(cfg config) (err error) {
+	tel, err := openTelemetry(cfg.opsAddr, cfg.eventsFile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := tel.close(); err == nil {
+			err = e
+		}
+	}()
+	if cfg.gen != "" {
+		return runDifferential(cfg, tel)
+	}
+	return runArtifacts(cfg, tel)
+}
+
 // runDifferential parses "seed:N" and runs the differential-testing
 // harness; any cross-axis mismatch is an error (nonzero exit).
-func runDifferential(spec string, deadline time.Duration) error {
-	seedStr, nStr, ok := strings.Cut(spec, ":")
+func runDifferential(cfg config, tel *telemetry) error {
+	seedStr, nStr, ok := strings.Cut(cfg.gen, ":")
 	if !ok {
-		return fmt.Errorf("-gen wants seed:N, got %q", spec)
+		return fmt.Errorf("-gen wants seed:N, got %q", cfg.gen)
 	}
 	seed, err := strconv.ParseUint(seedStr, 10, 64)
 	if err != nil {
@@ -90,7 +175,8 @@ func runDifferential(spec string, deadline time.Duration) error {
 		return fmt.Errorf("-gen wants a positive app count, got %q", nStr)
 	}
 	res, err := evaluate.RunDifferential(evaluate.DiffConfig{
-		Seed: seed, N: n, BudgetDeadline: deadline,
+		Seed: seed, N: n, BudgetDeadline: cfg.deadline,
+		Obs: tel.reg, Events: tel.ev,
 	})
 	if err != nil {
 		return err
@@ -102,20 +188,24 @@ func runDifferential(spec string, deadline time.Duration) error {
 	return nil
 }
 
-func run(only string, profile, serial bool, deadline time.Duration, traceFile, cacheDir string) error {
+func runArtifacts(cfg config, tel *telemetry) error {
+	only := cfg.only
 	want := func(name string) bool { return only == "" || only == name }
 
 	var results []*evaluate.AppResult
 	var pstats *evaluate.ParallelStats
 	needCorpus := only == "" || only == "table1" || only == "table2" ||
 		only == "figure6" || only == "figure7" || only == "validity" || only == "timing"
-	if needCorpus || profile || traceFile != "" {
-		cfg := evaluate.RunConfig{Deadline: deadline, Trace: traceFile != "", CacheDir: cacheDir}
-		if serial {
-			cfg.Workers = 1
+	if needCorpus || cfg.profile || cfg.traceFile != "" {
+		rcfg := evaluate.RunConfig{
+			Deadline: cfg.deadline, Trace: cfg.traceFile != "", CacheDir: cfg.cacheDir,
+			Obs: tel.reg, Events: tel.ev, Flight: cfg.flight,
+		}
+		if cfg.serial {
+			rcfg.Workers = 1
 		}
 		var err error
-		results, pstats, err = evaluate.RunAllConfig(cfg)
+		results, pstats, err = evaluate.RunAllConfig(rcfg)
 		if err != nil {
 			return err
 		}
@@ -126,13 +216,13 @@ func run(only string, profile, serial bool, deadline time.Duration, traceFile, c
 		}
 	}
 
-	if profile {
+	if cfg.profile {
 		if err := printProfiles(results, pstats); err != nil {
 			return err
 		}
 	}
-	if traceFile != "" {
-		if err := writeCorpusTrace(traceFile, results); err != nil {
+	if cfg.traceFile != "" {
+		if err := writeCorpusTrace(cfg.traceFile, results); err != nil {
 			return err
 		}
 	}

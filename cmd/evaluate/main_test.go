@@ -5,7 +5,7 @@ import "testing"
 func TestRunSingleArtifacts(t *testing.T) {
 	// The cheap artifacts that do not require the full corpus sweep.
 	for _, only := range []string{"table3", "table5", "table6", "ablation"} {
-		if err := run(only, false, false, 0, "", ""); err != nil {
+		if err := run(config{only: only}); err != nil {
 			t.Errorf("%s: %v", only, err)
 		}
 	}
@@ -15,7 +15,7 @@ func TestRunTable1(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full corpus evaluation")
 	}
-	if err := run("table1", false, false, 0, "", ""); err != nil {
+	if err := run(config{only: "table1"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -26,7 +26,7 @@ func TestRunProfile(t *testing.T) {
 	}
 	// -profile over the parallel corpus mode: the per-app fan-out plus the
 	// observability rendering must succeed end to end.
-	if err := run("timing", true, false, 0, "", ""); err != nil {
+	if err := run(config{only: "timing", profile: true}); err != nil {
 		t.Fatal(err)
 	}
 }

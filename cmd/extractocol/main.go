@@ -16,7 +16,8 @@
 //	                        heuristic; default 1)
 //	-profile                append the per-phase observability breakdown
 //	                        (phase durations, workload counters, worker
-//	                        utilization) as indented JSON
+//	                        utilization, latency histograms with
+//	                        p50/p90/p99 quantiles) as indented JSON
 //	-deadline d             bound analysis wall time (e.g. 30s); what
 //	                        exceeds it is dropped and reported in the
 //	                        diagnostics section instead of hanging
@@ -36,6 +37,16 @@
 //	                        cleartext-HTTP transport plus credential- and
 //	                        PII-shaped request field keys (text and json
 //	                        formats; rendered only when non-empty)
+//	-ops addr               serve the live ops plane on addr (e.g. :9090 or
+//	                        127.0.0.1:0): /metrics in Prometheus text
+//	                        format, /healthz, and /debug/pprof/*; the bound
+//	                        address is printed to stderr
+//	-events file            append a structured JSONL event stream (run,
+//	                        phase, cache and diagnostic events with
+//	                        monotonic sequence numbers) to this file
+//	-flight                 arm the crash flight recorder: on a recovered
+//	                        panic or tripped deadline the diagnostic
+//	                        carries the most recent spans of every worker
 package main
 
 import (
@@ -47,22 +58,27 @@ import (
 	"extractocol/internal/core"
 	"extractocol/internal/dex"
 	"extractocol/internal/obs"
+	"extractocol/internal/ops"
 	"extractocol/internal/report"
 	"extractocol/internal/resultcache"
 )
 
 func main() {
-	format := flag.String("format", "text", "output format: text, json, dot or disasm")
-	scope := flag.String("scope", "", "class prefix to scope the analysis to")
-	hops := flag.Int("async-hops", 1, "asynchronous event hops (0 disables the heuristic)")
-	profile := flag.Bool("profile", false, "append the per-phase profile as JSON")
-	deadline := flag.Duration("deadline", 0, "analysis deadline (0 = unlimited)")
-	sliceBudget := flag.Int64("slice-budget", 0, "cumulative slice step budget (0 = unlimited)")
-	fixBudget := flag.Int64("fixpoint-budget", 0, "taint fixpoint iteration budget (0 = unlimited)")
-	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
-	explain := flag.Bool("explain", false, "append per-transaction provenance chains")
-	cacheDir := flag.String("cache", "", "persistent report cache directory (empty = off)")
-	security := flag.Bool("security", false, "annotate transactions with the security lens")
+	var cfg config
+	flag.StringVar(&cfg.format, "format", "text", "output format: text, json, dot or disasm")
+	flag.StringVar(&cfg.scope, "scope", "", "class prefix to scope the analysis to")
+	flag.IntVar(&cfg.hops, "async-hops", 1, "asynchronous event hops (0 disables the heuristic)")
+	flag.BoolVar(&cfg.profile, "profile", false, "append the per-phase profile as JSON")
+	flag.DurationVar(&cfg.deadline, "deadline", 0, "analysis deadline (0 = unlimited)")
+	flag.Int64Var(&cfg.sliceSteps, "slice-budget", 0, "cumulative slice step budget (0 = unlimited)")
+	flag.Int64Var(&cfg.fixIters, "fixpoint-budget", 0, "taint fixpoint iteration budget (0 = unlimited)")
+	flag.StringVar(&cfg.traceFile, "trace", "", "write a Chrome trace-event JSON timeline to this file")
+	flag.BoolVar(&cfg.explain, "explain", false, "append per-transaction provenance chains")
+	flag.StringVar(&cfg.cacheDir, "cache", "", "persistent report cache directory (empty = off)")
+	flag.BoolVar(&cfg.security, "security", false, "annotate transactions with the security lens")
+	flag.StringVar(&cfg.opsAddr, "ops", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+	flag.StringVar(&cfg.eventsFile, "events", "", "append the structured JSONL event stream to this file (empty = off)")
+	flag.BoolVar(&cfg.flight, "flight", false, "arm the crash flight recorder (recent-span dumps in diagnostics)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -70,22 +86,78 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	cfg := budgets{deadline: *deadline, sliceSteps: *sliceBudget, fixIters: *fixBudget}
-	if err := run(flag.Arg(0), *format, *scope, *hops, *profile, *explain, *security, *traceFile, *cacheDir, cfg); err != nil {
+	cfg.path = flag.Arg(0)
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "extractocol:", err)
 		os.Exit(1)
 	}
 }
 
-// budgets carries the robustness limits from flags into core.Options.
-type budgets struct {
+// config carries every flag into run; tests construct it directly.
+type config struct {
+	path       string
+	format     string
+	scope      string
+	hops       int
+	profile    bool
+	explain    bool
+	security   bool
+	traceFile  string
+	cacheDir   string
 	deadline   time.Duration
 	sliceSteps int64
 	fixIters   int64
+	opsAddr    string
+	eventsFile string
+	flight     bool
 }
 
-func run(path, format, scope string, hops int, profile, explain, security bool, traceFile, cacheDir string, cfg budgets) error {
-	data, err := os.ReadFile(path)
+// telemetry is the live ops plane behind -ops/-events: a registry for
+// exposition, the HTTP listener, and the structured event log. The zero
+// value (no flags) is fully off and costs nothing on the analysis path.
+type telemetry struct {
+	reg *obs.Registry
+	srv *ops.Server
+	ev  *obs.EventLog
+}
+
+// openTelemetry starts whatever the -ops/-events flags ask for. The bound
+// ops address is announced on stderr (stdout carries the report) so
+// scripts can discover a :0 listener.
+func openTelemetry(opsAddr, eventsFile string) (*telemetry, error) {
+	t := &telemetry{}
+	if opsAddr != "" {
+		t.reg = obs.NewRegistry()
+		srv, err := ops.Serve(opsAddr, t.reg)
+		if err != nil {
+			return nil, fmt.Errorf("ops: %w", err)
+		}
+		t.srv = srv
+		fmt.Fprintf(os.Stderr, "ops: serving on %s\n", srv.URL())
+	}
+	if eventsFile != "" {
+		f, err := os.Create(eventsFile)
+		if err != nil {
+			t.srv.Close()
+			return nil, fmt.Errorf("events: %w", err)
+		}
+		t.ev = obs.NewEventLog(f)
+	}
+	return t, nil
+}
+
+// close shuts the listener down and flushes the event log; the first
+// error wins.
+func (t *telemetry) close() error {
+	err := t.srv.Close()
+	if e := t.ev.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+func run(cfg config) (err error) {
+	data, err := os.ReadFile(cfg.path)
 	if err != nil {
 		return err
 	}
@@ -93,18 +165,30 @@ func run(path, format, scope string, hops int, profile, explain, security bool, 
 	if err != nil {
 		return err
 	}
+	tel, err := openTelemetry(cfg.opsAddr, cfg.eventsFile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if e := tel.close(); err == nil {
+			err = e
+		}
+	}()
 	opts := core.NewOptions()
-	opts.MaxAsyncHops = hops
-	opts.ScopePrefix = scope
+	opts.MaxAsyncHops = cfg.hops
+	opts.ScopePrefix = cfg.scope
 	opts.Deadline = cfg.deadline
 	opts.MaxSliceSteps = cfg.sliceSteps
 	opts.MaxFixpointIters = cfg.fixIters
-	opts.Explain = explain
-	if traceFile != "" {
+	opts.Explain = cfg.explain
+	opts.Obs = tel.reg
+	opts.Events = tel.ev
+	opts.Flight = cfg.flight
+	if cfg.traceFile != "" {
 		opts.Tracer = obs.NewTracer()
 	}
-	if cacheDir != "" {
-		cache, err := resultcache.Open(cacheDir)
+	if cfg.cacheDir != "" {
+		cache, err := resultcache.Open(cfg.cacheDir)
 		if err != nil {
 			return err
 		}
@@ -117,8 +201,8 @@ func run(path, format, scope string, hops int, profile, explain, security bool, 
 	if err != nil {
 		return err
 	}
-	ropts := report.Options{Security: security}
-	switch format {
+	ropts := report.Options{Security: cfg.security}
+	switch cfg.format {
 	case "json":
 		data, err := report.JSONOpts(rep, ropts)
 		if err != nil {
@@ -132,17 +216,17 @@ func run(path, format, scope string, hops int, profile, explain, security bool, 
 	case "text":
 		fmt.Print(report.TextOpts(rep, ropts))
 	default:
-		return fmt.Errorf("unknown format %q", format)
+		return fmt.Errorf("unknown format %q", cfg.format)
 	}
-	if profile {
+	if cfg.profile {
 		data, err := report.ProfileJSON(rep)
 		if err != nil {
 			return err
 		}
 		fmt.Println(string(data))
 	}
-	if explain {
-		if format == "json" {
+	if cfg.explain {
+		if cfg.format == "json" {
 			data, err := report.ExplainJSON(rep)
 			if err != nil {
 				return err
@@ -152,12 +236,12 @@ func run(path, format, scope string, hops int, profile, explain, security bool, 
 			fmt.Print(report.ExplainText(rep))
 		}
 	}
-	if traceFile != "" {
+	if cfg.traceFile != "" {
 		data, err := opts.Tracer.Export(1, rep.Package).JSON()
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(traceFile, data, 0o644); err != nil {
+		if err := os.WriteFile(cfg.traceFile, data, 0o644); err != nil {
 			return err
 		}
 	}

@@ -28,7 +28,7 @@ func writeApp(t *testing.T, name string) string {
 func TestRunAllFormats(t *testing.T) {
 	path := writeApp(t, "radio reddit")
 	for _, format := range []string{"text", "json", "dot"} {
-		if err := run(path, format, "", 1, false, false, false, "", "", budgets{}); err != nil {
+		if err := run(config{path: path, format: format, hops: 1}); err != nil {
 			t.Errorf("format %s: %v", format, err)
 		}
 	}
@@ -36,20 +36,20 @@ func TestRunAllFormats(t *testing.T) {
 
 func TestRunScoped(t *testing.T) {
 	path := writeApp(t, "KAYAK")
-	if err := run(path, "text", "com.kayak.", 1, false, false, false, "", "", budgets{}); err != nil {
+	if err := run(config{path: path, format: "text", scope: "com.kayak.", hops: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadFormat(t *testing.T) {
 	path := writeApp(t, "blippex")
-	if err := run(path, "yaml", "", 1, false, false, false, "", "", budgets{}); err == nil {
+	if err := run(config{path: path, format: "yaml", hops: 1}); err == nil {
 		t.Fatal("accepted unknown format")
 	}
 }
 
 func TestRunRejectsMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "missing.apkb"), "text", "", 1, false, false, false, "", "", budgets{}); err == nil {
+	if err := run(config{path: filepath.Join(t.TempDir(), "missing.apkb"), format: "text", hops: 1}); err == nil {
 		t.Fatal("accepted missing file")
 	}
 }
@@ -60,7 +60,7 @@ func TestRunRejectsMissingFile(t *testing.T) {
 func TestRunProfileEmitsPhaseBreakdown(t *testing.T) {
 	path := writeApp(t, "radio reddit")
 	out := captureStdout(t, func() {
-		if err := run(path, "dot", "", 1, true, false, false, "", "", budgets{}); err != nil {
+		if err := run(config{path: path, format: "dot", hops: 1, profile: true}); err != nil {
 			t.Error(err)
 		}
 	})
@@ -95,12 +95,12 @@ func TestRunCacheWarmServesIdenticalReport(t *testing.T) {
 	path := writeApp(t, "radio reddit")
 	cacheDir := filepath.Join(t.TempDir(), "cache")
 	cold := captureStdout(t, func() {
-		if err := run(path, "text", "", 1, false, false, false, "", cacheDir, budgets{}); err != nil {
+		if err := run(config{path: path, format: "text", hops: 1, cacheDir: cacheDir}); err != nil {
 			t.Error(err)
 		}
 	})
 	warm := captureStdout(t, func() {
-		if err := run(path, "text", "", 1, false, false, false, "", cacheDir, budgets{}); err != nil {
+		if err := run(config{path: path, format: "text", hops: 1, cacheDir: cacheDir}); err != nil {
 			t.Error(err)
 		}
 	})
@@ -121,12 +121,43 @@ func TestRunCacheWarmServesIdenticalReport(t *testing.T) {
 		t.Error("warm -cache run printed a different report")
 	}
 	profiled := captureStdout(t, func() {
-		if err := run(path, "dot", "", 1, true, false, false, "", cacheDir, budgets{}); err != nil {
+		if err := run(config{path: path, format: "dot", hops: 1, profile: true, cacheDir: cacheDir}); err != nil {
 			t.Error(err)
 		}
 	})
 	if !bytes.Contains(profiled, []byte(`"cache_report_hits": 1`)) {
 		t.Errorf("warm profile lacks the cache hit:\n%s", profiled)
+	}
+}
+
+// TestRunTelemetryFlags drives -events, -ops and the profile histograms in
+// one run: the event stream must bracket the analysis with run_start and
+// run_end and carry phase events, and the -profile JSON must include the
+// per-phase latency histograms with quantiles.
+func TestRunTelemetryFlags(t *testing.T) {
+	path := writeApp(t, "radio reddit")
+	eventsFile := filepath.Join(t.TempDir(), "events.jsonl")
+	out := captureStdout(t, func() {
+		if err := run(config{
+			path: path, format: "dot", hops: 1, profile: true,
+			opsAddr: "127.0.0.1:0", eventsFile: eventsFile, flight: true,
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	for _, want := range []string{`"hists"`, `"p50_ns"`, `"p99_ns"`, `"phase_`} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Errorf("profile output lacks %s:\n%s", want, out)
+		}
+	}
+	events, err := os.ReadFile(eventsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"type":"run_start"`, `"type":"phase_end"`, `"type":"run_end"`, `{"seq":1,`} {
+		if !bytes.Contains(events, []byte(want)) {
+			t.Errorf("event stream lacks %s:\n%s", want, events)
+		}
 	}
 }
 

@@ -263,6 +263,14 @@ type Diagnostic struct {
 	Kind   string `json:"kind"`
 	Site   string `json:"site"`
 	Detail string `json:"detail,omitempty"`
+
+	// Flight is the recording goroutine's recent span history (oldest
+	// first) at the moment a panic was recovered or a deadline fired —
+	// populated only when the flight recorder was armed (core.Options.
+	// Flight). Ring contents depend on worker scheduling, so the field is
+	// excluded from String() and from diagnostic sort order, and degraded
+	// reports are never cached, keeping default outputs deterministic.
+	Flight []string `json:"flight,omitempty"`
 }
 
 func (d Diagnostic) String() string {

@@ -89,6 +89,23 @@ type Options struct {
 	// cost). Off by default so reports stay byte-identical.
 	Explain bool
 
+	// Obs, when non-nil, attaches this run's collector to a process-wide
+	// registry for the duration of the Analyze call, so a live ops endpoint
+	// (internal/ops) can scrape in-flight phase latencies and counters.
+	// Never affects the report.
+	Obs *obs.Registry
+	// Events, when non-nil, streams structured lifecycle events — run,
+	// phase and job boundaries, cache hits and stores, diagnostics — as
+	// JSONL through the shared log. Never affects the report.
+	Events *obs.EventLog
+	// Flight arms the per-worker flight recorder: the newest spans of every
+	// worker survive in a bounded ring, and a recovered panic or tripped
+	// deadline dumps the recording goroutine's ring into the resulting
+	// Diagnostic.Flight. Off by default — ring contents depend on worker
+	// scheduling, so dumps are opt-in to keep default reports
+	// byte-deterministic.
+	Flight bool
+
 	// Cache, when non-nil together with a non-empty CacheKey, serves and
 	// stores whole reports across Analyze calls: a hit skips every pipeline
 	// phase and returns the stored report (Duration and Profile are always
@@ -309,6 +326,21 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 	}()
 	col := obs.NewCollector()
 	col.SetTracer(opts.Tracer)
+	col.SetEvents(opts.Events, p.Manifest.Package)
+	if opts.Flight {
+		col.EnableFlight()
+	}
+	// Live exposition: the collector joins the process registry for the
+	// duration of the run, so a concurrent /metrics scrape sees this app's
+	// in-flight phases; Detach folds the final snapshot into the
+	// completed-runs aggregate (it runs before this function's own deferred
+	// recover, after all observations).
+	opts.Obs.Attach(col)
+	defer opts.Obs.Detach(col)
+	col.Event(obs.Event{Type: obs.EvRunStart})
+	defer func() {
+		col.Event(obs.Event{Type: obs.EvRunEnd, DurNS: time.Since(start).Nanoseconds()})
+	}()
 	// The run span brackets the whole pipeline on the coordinator track;
 	// nil-safe and free when tracing is off.
 	endRun := opts.Tracer.Span(obs.CatRun, p.Manifest.Package)
@@ -326,6 +358,8 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 		for _, d := range ds {
 			diags = append(diags, d)
 			col.Add(obs.CtrDiagnostics, 1)
+			col.Event(obs.Event{Type: obs.EvDiagnostic, Phase: d.Phase,
+				Site: d.Site, Detail: d.Kind + ": " + d.Detail})
 			switch d.Kind {
 			case budget.DiagPanic:
 				col.Add(obs.CtrPanicsRecovered, 1)
@@ -351,7 +385,9 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 		switch {
 		case hit:
 			col.Add(obs.CtrCacheReportHits, 1)
+			col.Event(obs.Event{Type: obs.EvCacheHit, Site: opts.CacheKey})
 			cached.Duration = time.Since(start)
+			col.Observe(obs.HistAnalyze, cached.Duration.Nanoseconds())
 			cached.Profile = col.Snapshot()
 			return cached, nil
 		case cerr != nil:
@@ -413,9 +449,13 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 		var ex *budget.Exceeded
 		switch {
 		case errors.As(r.err, &rec):
-			note(budget.PanicDiag(rec.Phase, rec.Site, rec.Value))
+			d := budget.PanicDiag(rec.Phase, rec.Site, rec.Value)
+			d.Flight = r.flight
+			note(d)
 		case errors.As(r.err, &ex):
-			note(budget.ExceededDiag(ex))
+			d := budget.ExceededDiag(ex)
+			d.Flight = r.flight
+			note(d)
 		}
 	}
 
@@ -438,7 +478,9 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				deps = nil
-				note(budget.PanicDiag(budget.PhaseTxdep, p.Manifest.Package, r))
+				d := budget.PanicDiag(budget.PhaseTxdep, p.Manifest.Package, r)
+				d.Flight = col.FlightDump()
+				note(d)
 			}
 		}()
 		if ex := bud.Over(budget.PhaseTxdep, p.Manifest.Package); ex != nil {
@@ -500,6 +542,7 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 			note(budget.CacheDiag(opts.CacheKey, "store failed: "+perr.Error()))
 		} else {
 			col.Add(obs.CtrCacheReportWrites, 1)
+			col.Event(obs.Event{Type: obs.EvCacheStore, Site: opts.CacheKey})
 		}
 	}
 
@@ -518,6 +561,7 @@ func Analyze(p *ir.Program, opts Options) (rep *Report, err error) {
 	})
 
 	rep.Duration = time.Since(start)
+	col.Observe(obs.HistAnalyze, rep.Duration.Nanoseconds())
 	rep.Diagnostics = diags
 	rep.Profile = col.Snapshot()
 	return rep, nil
@@ -530,6 +574,10 @@ type built struct {
 	resp *sigbuild.ResponseSig
 	info sigbuild.BuildInfo
 	err  error
+	// flight is the worker shard's span history captured at the moment err
+	// was produced by a recovered panic or tripped budget; nil unless the
+	// flight recorder was armed.
+	flight []string
 }
 
 // buildSignatures runs signature extraction for every transaction.
@@ -564,14 +612,16 @@ func buildSignatures(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 		defer func() {
 			if r := recover(); r != nil {
 				// A panicking interpretation costs one transaction, not
-				// the run; Analyze converts the error into a diagnostic.
+				// the run; Analyze converts the error into a diagnostic,
+				// carrying this worker's flight history when armed.
 				results[i] = built{err: &budget.Recovered{
-					Phase: budget.PhaseSigbuild, Site: site, Value: r}}
+					Phase: budget.PhaseSigbuild, Site: site, Value: r},
+					flight: stats.FlightDump()}
 				stats.Add(obs.CtrSigbuildErrors, 1)
 			}
 		}()
 		if ex := bud.Over(budget.PhaseSigbuild, site); ex != nil {
-			results[i] = built{err: ex}
+			results[i] = built{err: ex, flight: stats.FlightDump()}
 			stats.Add(obs.CtrSigbuildErrors, 1)
 			return
 		}
@@ -579,9 +629,11 @@ func buildSignatures(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph,
 		defer sp.End()
 		t0 := time.Now()
 		r, rs, info, err := sigbuild.BuildTraced(p, model, cg, txs[i], stats, bud)
-		results[i] = built{r, rs, info, err}
+		ns := time.Since(t0).Nanoseconds()
+		results[i] = built{req: r, resp: rs, info: info, err: err}
 		stats.Add(obs.CtrSigbuildJobs, 1)
-		stats.Add(obs.CtrSigbuildBusyNS, time.Since(t0).Nanoseconds())
+		stats.Add(obs.CtrSigbuildBusyNS, ns)
+		stats.Observe(obs.HistSigbuildJob, ns)
 		if err != nil {
 			stats.Add(obs.CtrSigbuildErrors, 1)
 		}

@@ -15,6 +15,7 @@ import (
 	"extractocol/internal/core"
 	"extractocol/internal/corpus"
 	"extractocol/internal/fuzz"
+	"extractocol/internal/obs"
 	"extractocol/internal/report"
 	"extractocol/internal/resultcache"
 	"extractocol/internal/trace"
@@ -40,6 +41,12 @@ type DiffConfig struct {
 	// changes nothing, so a tripped budget is a mismatch, not noise.
 	// 0 means one minute.
 	BudgetDeadline time.Duration
+	// Obs and Events attach live telemetry (registry exposition, event
+	// stream) to every analysis the harness runs. Neither can affect the
+	// compared bytes: CanonicalReport strips Duration and Profile, and the
+	// harness itself is the regression gate proving that.
+	Obs    *obs.Registry
+	Events *obs.EventLog
 }
 
 // DiffMismatch is one app whose report diverged from the baseline.
@@ -201,7 +208,21 @@ func RunDifferential(cfg DiffConfig) (*DiffResult, error) {
 	}
 	apps := corpus.Rand(cfg.Seed, cfg.N)
 
-	baseline, err := analyzeGen(apps, 1, nil)
+	// tel wraps an axis' option mutator so every analysis also carries the
+	// run's telemetry hooks (no-ops when cfg.Obs/cfg.Events are nil). A live
+	// -ops endpoint therefore sees the harness' collectors come and go.
+	tel := func(mutate func(*corpus.App, *core.Options) error) func(*corpus.App, *core.Options) error {
+		return func(app *corpus.App, opts *core.Options) error {
+			opts.Obs = cfg.Obs
+			opts.Events = cfg.Events
+			if mutate == nil {
+				return nil
+			}
+			return mutate(app, opts)
+		}
+	}
+
+	baseline, err := analyzeGen(apps, 1, tel(nil))
 	if err != nil {
 		return nil, fmt.Errorf("differential baseline: %w", err)
 	}
@@ -229,7 +250,7 @@ func RunDifferential(cfg DiffConfig) (*DiffResult, error) {
 	// the generator shows up here before it can contaminate other axes.
 	err = axis("regen", "same-seed regeneration, serial re-analysis", func() ([]DiffMismatch, error) {
 		regen := corpus.Rand(cfg.Seed, cfg.N)
-		got, err := analyzeGen(regen, 1, nil)
+		got, err := analyzeGen(regen, 1, tel(nil))
 		if err != nil {
 			return nil, err
 		}
@@ -241,7 +262,7 @@ func RunDifferential(cfg DiffConfig) (*DiffResult, error) {
 
 	// Axis 2: serial vs parallel fan-out.
 	err = axis("parallel", "worker fan-out vs serial baseline", func() ([]DiffMismatch, error) {
-		got, err := analyzeGen(apps, cfg.Workers, nil)
+		got, err := analyzeGen(apps, cfg.Workers, tel(nil))
 		if err != nil {
 			return nil, err
 		}
@@ -272,12 +293,12 @@ func RunDifferential(cfg DiffConfig) (*DiffResult, error) {
 			opts.CacheKey = key
 			return nil
 		}
-		cold, err := analyzeGen(apps, 1, withCache)
+		cold, err := analyzeGen(apps, 1, tel(withCache))
 		if err != nil {
 			return nil, err
 		}
 		mm := compareAxis(apps, baseline, cold, "cold: ")
-		warm, err := analyzeGen(apps, 1, withCache)
+		warm, err := analyzeGen(apps, 1, tel(withCache))
 		if err != nil {
 			return nil, err
 		}
@@ -291,12 +312,12 @@ func RunDifferential(cfg DiffConfig) (*DiffResult, error) {
 	// enabling the accounting machinery must not change a single byte, and
 	// a tripped budget surfaces as report diagnostics — a mismatch.
 	err = axis("budget", "generous budgets vs unbudgeted baseline", func() ([]DiffMismatch, error) {
-		got, err := analyzeGen(apps, 1, func(_ *corpus.App, opts *core.Options) error {
+		got, err := analyzeGen(apps, 1, tel(func(_ *corpus.App, opts *core.Options) error {
 			opts.Deadline = cfg.BudgetDeadline
 			opts.MaxSliceSteps = 1 << 40
 			opts.MaxFixpointIters = 1 << 40
 			return nil
-		})
+		}))
 		if err != nil {
 			return nil, err
 		}
@@ -308,10 +329,10 @@ func RunDifferential(cfg DiffConfig) (*DiffResult, error) {
 
 	// Axis 5: pairing oracle vs inverted index, over the whole corpus.
 	err = axis("pairing", "oracle pairwise-scan vs inverted-index pairing", func() ([]DiffMismatch, error) {
-		got, err := analyzeGen(apps, 1, func(_ *corpus.App, opts *core.Options) error {
+		got, err := analyzeGen(apps, 1, tel(func(_ *corpus.App, opts *core.Options) error {
 			opts.PairingOracle = true
 			return nil
-		})
+		}))
 		if err != nil {
 			return nil, err
 		}
@@ -325,10 +346,10 @@ func RunDifferential(cfg DiffConfig) (*DiffResult, error) {
 	// taint fixpoint (slicing and pairing flow checks) runs on the
 	// pre-interning implementation; reports must be byte-identical.
 	err = axis("legacysets", "legacy string/map taint sets vs dense bitsets", func() ([]DiffMismatch, error) {
-		got, err := analyzeGen(apps, 1, func(_ *corpus.App, opts *core.Options) error {
+		got, err := analyzeGen(apps, 1, tel(func(_ *corpus.App, opts *core.Options) error {
 			opts.LegacySets = true
 			return nil
-		})
+		}))
 		if err != nil {
 			return nil, err
 		}
@@ -347,7 +368,10 @@ func RunDifferential(cfg DiffConfig) (*DiffResult, error) {
 	err = axis("matchvm", "interpretive matcher vs compiled sigvm bytecode", func() ([]DiffMismatch, error) {
 		var out []DiffMismatch
 		for i, app := range apps {
-			rep, err := core.Analyze(app.Prog, optionsFor(app))
+			aopts := optionsFor(app)
+			aopts.Obs = cfg.Obs
+			aopts.Events = cfg.Events
+			rep, err := core.Analyze(app.Prog, aopts)
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", app.Spec.Name, err)
 			}

@@ -69,6 +69,15 @@ type RunConfig struct {
 	// run ("" = off): a warm corpus evaluation serves each app's report
 	// from disk instead of re-analyzing it.
 	CacheDir string
+	// Obs attaches every app's collector to a process-wide registry for
+	// live /metrics exposition while the corpus runs (see internal/ops).
+	Obs *obs.Registry
+	// Events streams run/phase/job lifecycle events for every app to one
+	// shared JSONL log.
+	Events *obs.EventLog
+	// Flight arms the per-worker flight recorder for every app (see
+	// core.Options.Flight).
+	Flight bool
 }
 
 // RunApp analyzes one app and runs both fuzzing baselines.
@@ -83,6 +92,9 @@ func RunAppConfig(app *corpus.App, cfg RunConfig) (*AppResult, error) {
 	opts.MaxSliceSteps = cfg.MaxSliceSteps
 	opts.MaxFixpointIters = cfg.MaxFixpointIters
 	opts.Faults = cfg.Faults
+	opts.Obs = cfg.Obs
+	opts.Events = cfg.Events
+	opts.Flight = cfg.Flight
 	if cfg.Trace {
 		opts.Tracer = obs.NewTracer()
 	}
@@ -185,6 +197,11 @@ func RunAllConfig(cfg RunConfig) ([]*AppResult, *ParallelStats, error) {
 		}
 		ok = append(ok, r)
 	}
+	// Workers finish in scheduling order; sort so -gen failure output is
+	// deterministic across runs and worker counts.
+	sort.Slice(stats.Errors, func(i, j int) bool {
+		return stats.Errors[i].App < stats.Errors[j].App
+	})
 	return ok, stats, nil
 }
 

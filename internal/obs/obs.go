@@ -128,11 +128,20 @@ type Collector struct {
 	// before the pipeline starts; nil keeps tracing strictly zero-cost.
 	tr *Tracer
 
+	// ev/app, when set, stream lifecycle events (phase start/end here, job
+	// and run events at the instrumentation sites) to a structured event
+	// log tagged with the app under analysis (see events.go).
+	ev  *EventLog
+	app string
+
 	mu       sync.Mutex
+	flight   bool
+	ring     *flightRing
 	order    []string
 	phaseNS  map[string]int64
 	counters map[string]int64
 	gauges   map[string]float64
+	hists    map[string]*Hist
 }
 
 // NewCollector returns an empty collector; its total clock starts now.
@@ -142,6 +151,7 @@ func NewCollector() *Collector {
 		phaseNS:  map[string]int64{},
 		counters: map[string]int64{},
 		gauges:   map[string]float64{},
+		hists:    map[string]*Hist{},
 	}
 }
 
@@ -155,6 +165,30 @@ func (c *Collector) SetTracer(tr *Tracer) {
 	c.tr = tr
 }
 
+// SetEvents attaches a structured event log: phases emit start/end events
+// tagged with the given app name, and shards created afterwards carry the
+// log so job-level instrumentation sites can emit through them. A nil log
+// (the default) is free.
+func (c *Collector) SetEvents(l *EventLog, app string) {
+	if c == nil {
+		return
+	}
+	c.ev = l
+	c.app = app
+}
+
+// Event emits one event through the collector's log (no-op when none is
+// attached), filling the App field when the caller left it empty.
+func (c *Collector) Event(e Event) {
+	if c == nil || c.ev == nil {
+		return
+	}
+	if e.App == "" {
+		e.App = c.app
+	}
+	c.ev.Emit(e)
+}
+
 // Phase starts timing the named phase and returns the function that stops
 // it. Re-entering a phase name accumulates into the same entry. With a
 // tracer attached the phase is also recorded as a coordinator span, and
@@ -165,8 +199,14 @@ func (c *Collector) Phase(name string) func() {
 	}
 	t0 := time.Now()
 	endSpan := c.tr.Span(CatPhase, name)
+	tok := c.flightPush(CatPhase, name)
+	c.Event(Event{Type: EvPhaseStart, Phase: name})
 	return func() {
-		c.AddPhaseNS(name, time.Since(t0).Nanoseconds())
+		ns := time.Since(t0).Nanoseconds()
+		c.AddPhaseNS(name, ns)
+		c.Observe(HistPhasePrefix+name, ns)
+		c.flightEnd(tok)
+		c.Event(Event{Type: EvPhaseEnd, Phase: name, DurNS: ns})
 		if c.tr != nil {
 			endSpan()
 			var ms runtime.MemStats
@@ -209,17 +249,69 @@ func (c *Collector) Gauge(name string, v float64) {
 	c.mu.Unlock()
 }
 
+// Observe records one nanosecond measurement into the named histogram.
+// Coordinator-path equivalent of Shard.Observe; takes the collector mutex.
+func (c *Collector) Observe(name string, ns int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	h := c.hists[name]
+	if h == nil {
+		h = &Hist{}
+		c.hists[name] = h
+	}
+	h.Observe(ns)
+	c.mu.Unlock()
+}
+
 // NewShard returns an unsynchronized counter shard. The shard must be
 // owned by exactly one goroutine until it is passed to Drain. When a
 // tracer is attached, the shard is bound to a fresh tracer track so the
 // owning worker's spans render on their own row.
 func (c *Collector) NewShard() *Shard {
 	s := &Shard{counts: map[string]int64{}}
-	if c != nil && c.tr != nil {
+	if c == nil {
+		return s
+	}
+	if c.tr != nil {
 		s.tr = c.tr
 		s.tid = c.tr.allocTID()
 	}
+	s.ev, s.app = c.ev, c.app
+	c.mu.Lock()
+	if c.flight {
+		start := c.start
+		s.ring = newFlightRing(func() int64 { return time.Since(start).Nanoseconds() })
+	}
+	c.mu.Unlock()
 	return s
+}
+
+// flightPush records a coordinator-level span start into the collector's
+// flight ring; returns 0 when the recorder is unarmed.
+func (c *Collector) flightPush(cat, name string) uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring == nil {
+		return 0
+	}
+	return c.ring.push(cat, name)
+}
+
+// flightEnd closes a coordinator-level flight record.
+func (c *Collector) flightEnd(tok uint64) {
+	if c == nil || tok == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring != nil {
+		c.ring.end(tok)
+	}
 }
 
 // Drain merges a shard's counts into the collector, flushes its span
@@ -233,8 +325,17 @@ func (c *Collector) Drain(s *Shard) {
 	for k, v := range s.counts {
 		c.counters[k] += v
 	}
+	for k, sh := range s.hists {
+		h := c.hists[k]
+		if h == nil {
+			h = &Hist{}
+			c.hists[k] = h
+		}
+		h.merge(sh)
+	}
 	c.mu.Unlock()
 	s.counts = map[string]int64{}
+	s.hists = nil
 	s.flushSpans()
 }
 
@@ -244,22 +345,56 @@ func (c *Collector) Drain(s *Shard) {
 type Shard struct {
 	counts map[string]int64
 
+	// hists holds the shard's latency histograms, allocated lazily on the
+	// first Observe of each name; steady-state Observe is map-lookup plus
+	// Hist.Observe, with no allocation.
+	hists map[string]*Hist
+
 	// tr/tid bind the shard to a tracer track; nil tr (the default for
 	// standalone shards and untraced collectors) makes Span a no-op.
 	tr    *Tracer
 	tid   int64
 	spans []spanRec
+
+	// ring, when armed via Collector.EnableFlight, keeps the newest
+	// flightDepth spans for post-mortem dumps (see flight.go).
+	ring *flightRing
+
+	// ev/app let job-level instrumentation emit structured events without
+	// reaching back to the collector.
+	ev  *EventLog
+	app string
 }
 
-// Span starts a worker span on this shard's tracer track. With no tracer
-// bound (or a nil shard) it returns the zero ActiveSpan and performs no
+// Event emits one event through the shard's log (no-op when none is
+// attached), tagged with the shard's app.
+func (s *Shard) Event(e Event) {
+	if s == nil || s.ev == nil {
+		return
+	}
+	if e.App == "" {
+		e.App = s.app
+	}
+	s.ev.Emit(e)
+}
+
+// Span starts a worker span on this shard's tracer track and, when the
+// flight recorder is armed, in the shard's flight ring. With neither bound
+// (or a nil shard) it returns the zero ActiveSpan and performs no
 // allocation, so hot loops may call it unconditionally.
 func (s *Shard) Span(cat, name string) ActiveSpan {
-	if s == nil || s.tr == nil {
+	if s == nil || (s.tr == nil && s.ring == nil) {
 		return ActiveSpan{}
 	}
-	s.spans = append(s.spans, spanRec{cat: cat, name: name, start: s.tr.since()})
-	return ActiveSpan{s: s, idx: len(s.spans) - 1}
+	a := ActiveSpan{s: s, idx: -1}
+	if s.tr != nil {
+		s.spans = append(s.spans, spanRec{cat: cat, name: name, start: s.tr.since()})
+		a.idx = len(s.spans) - 1
+	}
+	if s.ring != nil {
+		a.rseq = s.ring.push(cat, name)
+	}
+	return a
 }
 
 // flushSpans moves the shard's span buffer into its tracer (no-op when
@@ -291,6 +426,26 @@ func (s *Shard) Count(name string) int64 {
 	return s.counts[name]
 }
 
+// Observe records one nanosecond measurement into the shard's named
+// histogram. Unsynchronized like Add: only the owning goroutine may call
+// it. After the first observation of a name, subsequent ones allocate
+// nothing (pinned by TestHistogramDisabledZeroAlloc and
+// BenchmarkHistogramRecord).
+func (s *Shard) Observe(name string, ns int64) {
+	if s == nil {
+		return
+	}
+	h := s.hists[name]
+	if h == nil {
+		if s.hists == nil {
+			s.hists = map[string]*Hist{}
+		}
+		h = &Hist{}
+		s.hists[name] = h
+	}
+	h.Observe(ns)
+}
+
 // Merge adds o's counts into s and resets o. Both shards must be quiescent
 // (their owning goroutines done writing); used to fold worker shards into a
 // caller-owned shard when no Collector is threaded through. Spans recorded
@@ -302,7 +457,19 @@ func (s *Shard) Merge(o *Shard) {
 	for k, v := range o.counts {
 		s.counts[k] += v
 	}
+	for k, oh := range o.hists {
+		h := s.hists[k]
+		if h == nil {
+			if s.hists == nil {
+				s.hists = map[string]*Hist{}
+			}
+			h = &Hist{}
+			s.hists[k] = h
+		}
+		h.merge(oh)
+	}
 	o.counts = map[string]int64{}
+	o.hists = nil
 	o.flushSpans()
 }
 
@@ -316,10 +483,11 @@ type PhaseProfile struct {
 // plus all counters and gauges. It is embedded in core.Report and rendered
 // by the report package and the -profile CLI flags.
 type Profile struct {
-	TotalNS  int64              `json:"total_ns"`
-	Phases   []PhaseProfile     `json:"phases"`
-	Counters map[string]int64   `json:"counters,omitempty"`
-	Gauges   map[string]float64 `json:"gauges,omitempty"`
+	TotalNS  int64                    `json:"total_ns"`
+	Phases   []PhaseProfile           `json:"phases"`
+	Counters map[string]int64         `json:"counters,omitempty"`
+	Gauges   map[string]float64       `json:"gauges,omitempty"`
+	Hists    map[string]*HistSnapshot `json:"hists,omitempty"`
 }
 
 // Snapshot freezes the collector into a Profile. Phases appear in first-
@@ -344,6 +512,12 @@ func (c *Collector) Snapshot() *Profile {
 		p.Gauges = make(map[string]float64, len(c.gauges))
 		for k, v := range c.gauges {
 			p.Gauges[k] = v
+		}
+	}
+	if len(c.hists) > 0 {
+		p.Hists = make(map[string]*HistSnapshot, len(c.hists))
+		for k, h := range c.hists {
+			p.Hists[k] = h.snapshot()
 		}
 	}
 	return p
@@ -380,6 +554,27 @@ func (p *Profile) PhaseSum() time.Duration {
 		ns += ph.DurationNS
 	}
 	return time.Duration(ns)
+}
+
+// Hist returns the named histogram snapshot (nil if absent).
+func (p *Profile) Hist(name string) *HistSnapshot {
+	if p == nil {
+		return nil
+	}
+	return p.Hists[name]
+}
+
+// HistNames returns all histogram names, sorted.
+func (p *Profile) HistNames() []string {
+	if p == nil {
+		return nil
+	}
+	out := make([]string, 0, len(p.Hists))
+	for k := range p.Hists {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // CounterNames returns all counter names, sorted.
@@ -430,6 +625,17 @@ func (p *Profile) Merge(o *Profile) {
 		} else {
 			p.Gauges[k] = v
 		}
+	}
+	for k, oh := range o.Hists {
+		if p.Hists == nil {
+			p.Hists = map[string]*HistSnapshot{}
+		}
+		h := p.Hists[k]
+		if h == nil {
+			h = &HistSnapshot{}
+			p.Hists[k] = h
+		}
+		h.Merge(oh)
 	}
 	p.TotalNS += o.TotalNS
 }

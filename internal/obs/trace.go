@@ -67,20 +67,29 @@ type spanRec struct {
 	start, end int64
 }
 
-// ActiveSpan is a started span on a shard. It is a two-word value — never
+// ActiveSpan is a started span on a shard. It is a small value — never
 // heap-allocated — so starting and ending spans is allocation-free. The
-// zero ActiveSpan (tracing disabled) is a no-op.
+// zero ActiveSpan (tracing and flight recording both disabled) is a no-op.
+// idx indexes the shard's span buffer (-1 when untraced); rseq is the
+// flight-ring token (0 when the recorder is unarmed).
 type ActiveSpan struct {
-	s   *Shard
-	idx int
+	s    *Shard
+	idx  int
+	rseq uint64
 }
 
-// End closes the span at the current tracer clock.
+// End closes the span at the current tracer clock (and in the flight ring
+// when armed).
 func (a ActiveSpan) End() {
 	if a.s == nil {
 		return
 	}
-	a.s.spans[a.idx].end = a.s.tr.since()
+	if a.idx >= 0 {
+		a.s.spans[a.idx].end = a.s.tr.since()
+	}
+	if a.rseq != 0 {
+		a.s.ring.end(a.rseq)
+	}
 }
 
 // Tracer owns the merged span timeline of one analysis run. All methods

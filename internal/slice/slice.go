@@ -188,6 +188,7 @@ func FindBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, opt
 			if r := recover(); r != nil {
 				results[i] = nil
 				d := budget.PanicDiag(budget.PhaseSlice, id, r)
+				d.Flight = stats.FlightDump()
 				diags[i] = &d
 			}
 		}()
@@ -198,25 +199,31 @@ func FindBudgeted(p *ir.Program, model *semmodel.Model, cg *callgraph.Graph, opt
 		}
 		if ex := bud.Over(budget.PhaseSlice, id); ex != nil {
 			d := budget.SkippedDiag(budget.PhaseSlice, id, ex.Limit)
+			d.Flight = stats.FlightDump()
 			diags[i] = &d
 			return
 		}
-		bud.MaybePanic(budget.PhaseSlice, id)
+		// The span starts before the fault probe so a panicking job is
+		// in-flight in the ring: its flight dump names the job that died.
 		sp := stats.Span(obs.CatSliceJob, id)
 		defer sp.End()
+		bud.MaybePanic(budget.PhaseSlice, id)
 		t0 := time.Now()
 		tx := buildTransaction(p, model, cg, opts, j, stats, sums)
+		ns := time.Since(t0).Nanoseconds()
 		if ex := truncatedBy(tx); ex != nil {
 			// A partial slice would produce a wrong signature: drop the
 			// transaction and say exactly what was lost.
 			d := budget.ExceededDiag(ex)
 			d.Site = id
+			d.Flight = stats.FlightDump()
 			diags[i] = &d
 			tx = nil
 		}
 		results[i] = tx
 		stats.Add(obs.CtrSliceJobs, 1)
-		stats.Add(obs.CtrSliceBusyNS, time.Since(t0).Nanoseconds())
+		stats.Add(obs.CtrSliceBusyNS, ns)
+		stats.Observe(obs.HistSliceJob, ns)
 	}
 	// Shards come from the collector when one is threaded through, so each
 	// worker lands on its own tracer track; standalone shards stay untraced.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"extractocol/internal/core"
+	"extractocol/internal/obs"
 	"extractocol/internal/sigvm"
 )
 
@@ -22,6 +23,11 @@ type ClassifyOptions struct {
 	// split into contiguous chunks and partial results merge in chunk
 	// order.
 	Workers int
+	// Col, when non-nil, receives per-entry classification latencies
+	// (obs.HistClassifyEntry) through per-worker shards — the telemetry
+	// hook for cmd/classify's -profile/-ops flags. Nil skips all clock
+	// reads.
+	Col *obs.Collector
 }
 
 // SigHits is one signature's classification tally.
@@ -89,8 +95,19 @@ func Classify(rep *core.Report, entries []Entry, opt ClassifyOptions) *ClassifyR
 	sigFailed := map[int]bool{}
 	hits := map[int]int{}
 
+	// Latency shards: one per worker, nil (free) when no collector is
+	// threaded through.
+	newStats := func() *obs.Shard {
+		if opt.Col == nil {
+			return nil
+		}
+		return opt.Col.NewShard()
+	}
+
 	if workers == 1 {
-		matchChunk(backend(), entries, &res.MatchResult, sigMatched, sigFailed, hits, res.Verdicts)
+		stats := newStats()
+		matchChunk(backend(), entries, &res.MatchResult, sigMatched, sigFailed, hits, res.Verdicts, stats)
+		opt.Col.Drain(stats)
 	} else {
 		type partial struct {
 			res     MatchResult
@@ -99,6 +116,7 @@ func Classify(rep *core.Report, entries []Entry, opt ClassifyOptions) *ClassifyR
 			hits    map[int]int
 		}
 		parts := make([]partial, workers)
+		shards := make([]*obs.Shard, workers)
 		chunk := (len(entries) + workers - 1) / workers
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -107,6 +125,7 @@ func Classify(rep *core.Report, entries []Entry, opt ClassifyOptions) *ClassifyR
 			if lo >= hi {
 				continue
 			}
+			shards[w] = newStats()
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
@@ -114,10 +133,15 @@ func Classify(rep *core.Report, entries []Entry, opt ClassifyOptions) *ClassifyR
 				p.matched = map[int]bool{}
 				p.failed = map[int]bool{}
 				p.hits = map[int]int{}
-				matchChunk(backend(), entries[lo:hi], &p.res, p.matched, p.failed, p.hits, res.Verdicts[lo:hi])
+				matchChunk(backend(), entries[lo:hi], &p.res, p.matched, p.failed, p.hits, res.Verdicts[lo:hi], shards[w])
 			}(w, lo, hi)
 		}
 		wg.Wait()
+		for _, s := range shards {
+			if s != nil {
+				opt.Col.Drain(s)
+			}
+		}
 		// Merge in chunk order: counters and byte stats are commutative
 		// sums, Unmatched concatenates back into entry order.
 		for w := range parts {

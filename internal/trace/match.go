@@ -2,8 +2,10 @@ package trace
 
 import (
 	"regexp"
+	"time"
 
 	"extractocol/internal/core"
+	"extractocol/internal/obs"
 	"extractocol/internal/siglang"
 	"extractocol/internal/sigvm"
 )
@@ -75,7 +77,7 @@ func MatchReportOpts(rep *core.Report, entries []Entry, opt MatchOptions) *Match
 	res := &MatchResult{}
 	sigMatched := map[int]bool{}
 	sigFailed := map[int]bool{}
-	matchChunk(b, entries, res, sigMatched, sigFailed, nil, nil)
+	matchChunk(b, entries, res, sigMatched, sigFailed, nil, nil, nil)
 	finishSigCounts(res, sigMatched, sigFailed)
 	return res
 }
@@ -95,11 +97,17 @@ func newBackend(rep *core.Report, opt MatchOptions) sigBackend {
 // accumulating into res and the per-signature maps. When hits/verdicts are
 // non-nil it also counts per-signature hits (keyed by transaction ID) and
 // records each entry's best-match transaction ID (0 = entry skipped or
-// unmatched), for Classify.
-func matchChunk(b sigBackend, entries []Entry, res *MatchResult, sigMatched, sigFailed map[int]bool, hits map[int]int, verdicts []int) {
+// unmatched), for Classify. A non-nil stats shard additionally records the
+// per-entry classification latency (obs.HistClassifyEntry); nil skips the
+// clock reads entirely, so the default match path is unchanged.
+func matchChunk(b sigBackend, entries []Entry, res *MatchResult, sigMatched, sigFailed map[int]bool, hits map[int]int, verdicts []int, stats *obs.Shard) {
+	var t0 time.Time
 	for ei, e := range entries {
 		if e.Status >= 400 {
 			continue
+		}
+		if stats != nil {
+			t0 = time.Now()
 		}
 		res.TraceEntries++
 		best := -1
@@ -117,6 +125,9 @@ func matchChunk(b sigBackend, entries []Entry, res *MatchResult, sigMatched, sig
 		}
 		if best < 0 {
 			res.Unmatched = append(res.Unmatched, e.RouteID)
+			if stats != nil {
+				stats.Observe(obs.HistClassifyEntry, time.Since(t0).Nanoseconds())
+			}
 			continue
 		}
 		res.MatchedEntries++
@@ -146,6 +157,9 @@ func matchChunk(b sigBackend, entries []Entry, res *MatchResult, sigMatched, sig
 		}
 		if !ok {
 			sigFailed[b.TxID(best)] = true
+		}
+		if stats != nil {
+			stats.Observe(obs.HistClassifyEntry, time.Since(t0).Nanoseconds())
 		}
 	}
 }
